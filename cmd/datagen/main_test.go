@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+)
+
+func TestDatagenCustomToStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-d", "6", "-m", "20", "-density", "0.5"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	p, err := data.ReadLIBSVM(&out, 6)
+	if err != nil {
+		t.Fatalf("output is not valid LIBSVM: %v", err)
+	}
+	if p.X.Cols != 20 {
+		t.Fatalf("wrote %d samples, want 20", p.X.Cols)
+	}
+	if !strings.Contains(errOut.String(), "generated") {
+		t.Fatal("missing summary on stderr")
+	}
+}
+
+func TestDatagenRegisteredToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/abalone.svm"
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-dataset", "abalone", "-m", "150", "-out", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	p, err := data.ReadLIBSVMFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X.Cols != 150 || p.X.Rows != 8 {
+		t.Fatalf("shape %dx%d", p.X.Rows, p.X.Cols)
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-dataset", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-zzz"}, &out, &errOut); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestDatagenRejectsBadShape(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-density", "3"},
+		{"-d", "0"},
+		{"-m", "-5"},
+	} {
+		if err := run(args, &out, &errOut); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section on the simulated distributed substrate.
+//
+// Usage:
+//
+//	experiments [-scale bench|full] [-only id[,id...]] [-out DIR] [-seed N]
+//
+// With -out, each report's text is written to DIR/<id>.txt and its
+// structured data to DIR/<id>.csv (tables) and DIR/<id>_series.csv
+// (convergence series). Run `experiments -list` for the ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hpcgo/rcsfista/internal/expt"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	flag := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scale := flag.String("scale", "bench", "experiment scale: bench or full")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	out := flag.String("out", "", "directory for text/CSV outputs (default: stdout only)")
+	seed := flag.Uint64("seed", 42, "base random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range expt.IDs() {
+			fmt.Fprintln(stdout, id)
+		}
+		return nil
+	}
+
+	cfg := expt.DefaultConfig()
+	cfg.Seed = *seed
+	switch *scale {
+	case "bench":
+		cfg.Scale = expt.Bench
+	case "full":
+		cfg.Scale = expt.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	ids := expt.IDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		driver := expt.ByID(strings.TrimSpace(id))
+		if driver == nil {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		rep := driver(cfg)
+		fmt.Fprintf(stdout, "==== %s: %s ====\n%s\n", rep.ID, rep.Title, rep.Text)
+		if *out != "" {
+			if err := writeReport(*out, rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeReport(dir string, rep *expt.Report) error {
+	if err := os.WriteFile(filepath.Join(dir, rep.ID+".txt"), []byte(rep.Text), 0o644); err != nil {
+		return err
+	}
+	if len(rep.Tables) > 0 {
+		var b strings.Builder
+		for _, t := range rep.Tables {
+			b.WriteString(t.CSV())
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(dir, rep.ID+".csv"), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(rep.Series) > 0 {
+		csv := trace.SeriesCSV(rep.Series)
+		if err := os.WriteFile(filepath.Join(dir, rep.ID+"_series.csv"), []byte(csv), 0o644); err != nil {
+			return err
+		}
+	}
+	for i, fig := range rep.Figures {
+		svg, err := trace.RenderSVG(fig.Title, fig.Series, fig.Axis, 720, 400)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s_%d.svg", rep.ID, i+1)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

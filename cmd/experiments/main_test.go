@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "figure2a", "figure7"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("missing %s in list:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestExperimentsRunFastSubset(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-only", "table2,bounds", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "==== table2") || !strings.Contains(out.String(), "==== bounds") {
+		t.Fatalf("missing reports:\n%s", out.String())
+	}
+	for _, f := range []string{"table2.txt", "table2.csv", "bounds.txt", "bounds.csv"} {
+		if _, err := os.Stat(dir + "/" + f); err != nil {
+			t.Fatalf("missing artifact %s: %v", f, err)
+		}
+	}
+}
+
+func TestExperimentsErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

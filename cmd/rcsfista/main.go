@@ -1,0 +1,288 @@
+// Command rcsfista solves l1-regularized least squares problems with
+// the paper's algorithms on the simulated distributed runtime.
+//
+// Usage:
+//
+//	rcsfista [flags]
+//
+// Data comes either from a registered synthetic dataset shape
+// (-dataset, see Table 2) or from a LIBSVM file (-libsvm). Pick the
+// algorithm with -algo: rcsfista (default), sfista (k=S=1), fista
+// (deterministic), ista, pn (proximal Newton) or cocoa (the ProxCoCoA
+// baseline).
+//
+// Examples:
+//
+//	rcsfista -dataset covtype -procs 16 -k 8 -s 5 -b 0.1
+//	rcsfista -libsvm train.svm -lambda 0.01 -algo fista
+//	rcsfista -dataset mnist -algo cocoa -procs 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/hpcgo/rcsfista/internal/cocoa"
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/erm"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rcsfista: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("rcsfista", flag.ContinueOnError)
+	var (
+		dataset  = flag.String("dataset", "covtype", "synthetic dataset shape (abalone|susy|covtype|mnist|epsilon)")
+		libsvm   = flag.String("libsvm", "", "LIBSVM file to load instead of a synthetic dataset")
+		features = flag.Int("features", 0, "feature count for -libsvm (0: infer)")
+		samples  = flag.Int("samples", 0, "sample count override for synthetic data (0: registry default)")
+		algo     = flag.String("algo", "rcsfista", "algorithm: rcsfista|sfista|fista|ista|pn|cocoa|logistic|cd|prox-svrg")
+		procs    = flag.Int("procs", 1, "number of simulated processors")
+		k        = flag.Int("k", 8, "iteration-overlapping parameter (0: auto-tune from Eq. 25-28)")
+		s        = flag.Int("s", 1, "Hessian-reuse inner loop parameter")
+		b        = flag.Float64("b", 0.1, "sampling rate in (0,1]")
+		lambda   = flag.Float64("lambda", -1, "l1 penalty (negative: dataset default)")
+		maxIter  = flag.Int("maxiter", 2000, "maximum updates")
+		tol      = flag.Float64("tol", 1e-2, "relative objective error tolerance (0: run to maxiter)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		machine  = flag.String("machine", "comet", "cost model: comet|low-latency|high-latency")
+		refIters = flag.Int("refiters", 8000, "reference solve iterations for F*")
+		plot     = flag.Bool("plot", true, "print an ASCII convergence plot")
+		saveTo   = flag.String("save", "", "write the fitted model as JSON to this path")
+		predict  = flag.String("predict", "", "skip training: load this JSON model and evaluate it on the data")
+	)
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	var prob *data.Problem
+	var err error
+	switch {
+	case *libsvm != "":
+		prob, err = data.ReadLIBSVMFile(*libsvm, *features)
+	case *samples > 0:
+		info, lerr := data.Lookup(*dataset)
+		if lerr != nil {
+			return lerr
+		}
+		prob = info.Instantiate(*samples, info.ScaledCols, *seed)
+	default:
+		prob, err = data.Load(*dataset, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if *lambda >= 0 {
+		prob.Lambda = *lambda
+	}
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+	if *procs < 1 {
+		return fmt.Errorf("-procs must be >= 1 (got %d)", *procs)
+	}
+	d, m := prob.Dim()
+	fmt.Fprintf(out, "problem %s: d=%d features, m=%d samples, nnz=%d (f=%.3f), lambda=%g\n",
+		prob.Name, d, m, prob.X.Nnz(), prob.Density(), prob.Lambda)
+
+	var mach perf.Machine
+	switch *machine {
+	case "comet":
+		mach = perf.Comet()
+	case "low-latency":
+		mach = perf.LowLatency()
+	case "high-latency":
+		mach = perf.HighLatency()
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+
+	// Predict-only mode: apply a saved model to the loaded data.
+	if *predict != "" {
+		model, err := solver.LoadModel(*predict)
+		if err != nil {
+			return err
+		}
+		rmse, err := model.RMSE(prob.X, prob.Y)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "model %s (%s, lambda=%g): %d/%d non-zero coefficients\n",
+			*predict, model.Algorithm, model.Lambda, model.Nnz(), len(model.W))
+		fmt.Fprintf(out, "RMSE on %d samples: %.6g\n", m, rmse)
+		return nil
+	}
+
+	// Reference optimum for the relative-error stopping criterion.
+	fstar := math.NaN()
+	if *tol > 0 {
+		fmt.Fprintf(out, "computing reference optimum (TFOCS stand-in, %d iterations)...\n", *refIters)
+		_, fstar = solver.Reference(prob.X, prob.Y, prob.Lambda, *refIters)
+		fmt.Fprintf(out, "F(w*) = %.8g\n", fstar)
+	}
+
+	// Auto-tune (k, S) from the Section 4.2 bounds when requested.
+	if *k <= 0 {
+		mbar := int(*b * float64(m))
+		if mbar < 1 {
+			mbar = 1
+		}
+		rec := perf.Recommend(mach, perf.AlgoParams{
+			N: *maxIter, P: *procs, D: d, MBar: mbar, Fill: prob.Density(),
+		})
+		*k, *s = rec.K, rec.S
+		fmt.Fprintf(out, "auto-tuned k=%d S=%d (predicted speedup %.2fx over k=S=1)\n",
+			*k, *s, rec.PredictedSpeedup)
+	}
+
+	var res *solver.Result
+	switch *algo {
+	case "cocoa":
+		opts := cocoa.Options{
+			Lambda: prob.Lambda, Rounds: *maxIter, Tol: *tol, FStar: fstar, Seed: *seed,
+		}
+		w := dist.NewWorld(*procs, mach)
+		res, err = cocoa.SolveDistributed(w, prob.X, prob.Y, opts)
+	case "cd":
+		opts := solver.Defaults()
+		opts.Lambda = prob.Lambda
+		opts.MaxIter = *maxIter
+		opts.Tol = *tol
+		opts.FStar = fstar
+		res, err = solver.CoordinateDescent(prob.X, prob.Y, opts)
+	case "prox-svrg":
+		l := solver.SampledLipschitz(prob.X, prob.Y, *b, 8, *seed)
+		opts := solver.Defaults()
+		opts.Lambda = prob.Lambda
+		opts.Gamma = solver.GammaFromLipschitz(l)
+		opts.MaxIter = *maxIter
+		opts.Tol = *tol
+		opts.FStar = fstar
+		opts.B = *b
+		opts.Seed = *seed
+		res, err = solver.ProxSVRG(prob.X, prob.Y, opts)
+	case "fista", "ista":
+		l := solver.SampledLipschitz(prob.X, prob.Y, 1, 1, *seed)
+		opts := solver.Defaults()
+		opts.Lambda = prob.Lambda
+		opts.Gamma = solver.GammaFromLipschitz(l)
+		opts.MaxIter = *maxIter
+		opts.Tol = *tol
+		opts.FStar = fstar
+		opts.EvalEvery = 10
+		if *algo == "fista" {
+			res, err = solver.FISTA(prob.X, prob.Y, opts)
+		} else {
+			res, err = solver.ISTA(prob.X, prob.Y, opts)
+		}
+	case "pn":
+		l := solver.SampledLipschitz(prob.X, prob.Y, *b, 8, *seed)
+		opts := solver.DistPNOptions{
+			Lambda: prob.Lambda, Gamma: solver.GammaFromLipschitz(l), B: *b,
+			Tol: *tol, FStar: fstar, Seed: *seed,
+			OuterIter: *maxIter / maxInt(1, *s), InnerIter: maxInt(1, *s), K: *k,
+		}
+		w := dist.NewWorld(*procs, mach)
+		res, err = solver.SolvePNDistributed(w, prob.X, prob.Y, opts)
+	case "logistic":
+		// l1-regularized logistic regression via the erm extension.
+		// Labels must be in {-1, +1}; synthetic datasets are converted
+		// by sign.
+		for i, v := range prob.Y {
+			if v >= 0 {
+				prob.Y[i] = 1
+			} else {
+				prob.Y[i] = -1
+			}
+		}
+		w := dist.NewWorld(*procs, mach)
+		results := make([]*solver.Result, *procs)
+		err = w.Run(func(c dist.Comm) error {
+			local := erm.Partition(prob.X, prob.Y, c.Size(), c.Rank())
+			r, rerr := erm.DistProxNewton(c, local, erm.Options{
+				Loss: erm.Logistic{}, Lambda: prob.Lambda,
+				OuterIter: *maxIter, InnerIter: maxInt(1, *s), B: *b,
+				LineSearch: true, Seed: *seed,
+			})
+			results[c.Rank()] = r
+			return rerr
+		})
+		if err == nil {
+			res = results[0]
+			res.Cost = w.MaxCost()
+			res.ModelSeconds = w.ModeledSeconds()
+			obj := erm.NewObjective(prob.X, prob.Y, erm.Logistic{})
+			fmt.Fprintf(out, "training accuracy: %.4f\n", obj.Accuracy(res.W))
+		}
+	case "rcsfista", "sfista":
+		l := solver.SampledLipschitz(prob.X, prob.Y, *b, 8, *seed)
+		opts := solver.Defaults()
+		opts.Lambda = prob.Lambda
+		opts.Gamma = solver.GammaFromLipschitz(l)
+		opts.MaxIter = *maxIter
+		opts.Tol = *tol
+		opts.FStar = fstar
+		opts.B = *b
+		opts.K = *k
+		opts.S = *s
+		opts.Seed = *seed
+		if *algo == "sfista" {
+			opts.K, opts.S = 1, 1
+		}
+		w := dist.NewWorld(*procs, mach)
+		res, err = solver.SolveDistributed(w, prob.X, prob.Y, opts)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\nalgorithm %s on P=%d (%s):\n", *algo, *procs, mach)
+	fmt.Fprintf(out, "  updates: %d, communication rounds: %d, converged: %v\n", res.Iters, res.Rounds, res.Converged)
+	fmt.Fprintf(out, "  F(w) = %.8g", res.FinalObj)
+	if !math.IsNaN(res.FinalRelErr) {
+		fmt.Fprintf(out, ", relerr = %.3g", res.FinalRelErr)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "  cost: %v\n", res.Cost)
+	fmt.Fprintf(out, "  modeled time: %.6gs, wall time: %.3gs\n", res.ModelSeconds, res.WallSeconds)
+	nz := 0
+	for _, v := range res.W {
+		if v != 0 {
+			nz++
+		}
+	}
+	fmt.Fprintf(out, "  solution: %d/%d non-zero coordinates\n", nz, len(res.W))
+	if *saveTo != "" {
+		model := solver.NewModel(res, prob.Lambda, *algo, prob.Name)
+		if err := solver.SaveModel(*saveTo, model); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  model written to %s (%d non-zeros)\n", *saveTo, model.Nnz())
+	}
+	if *plot && res.Trace != nil && res.Trace.Len() > 1 {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, trace.PlotRelErr("convergence", []*trace.Series{res.Trace}, trace.ByIter, 64, 14))
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+// fastArgs keeps CLI tests in the sub-second range.
+func fastArgs(extra ...string) []string {
+	base := []string{
+		"-dataset", "abalone", "-samples", "400",
+		"-maxiter", "200", "-refiters", "800", "-plot=false",
+	}
+	return append(base, extra...)
+}
+
+func TestCLIRCSFISTA(t *testing.T) {
+	out := runCLI(t, fastArgs("-procs", "4", "-k", "4", "-s", "2")...)
+	if !strings.Contains(out, "algorithm rcsfista on P=4") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "communication rounds") {
+		t.Fatalf("missing rounds:\n%s", out)
+	}
+}
+
+func TestCLIAlgorithms(t *testing.T) {
+	for _, algo := range []string{"sfista", "fista", "ista", "pn", "cocoa", "cd", "prox-svrg"} {
+		out := runCLI(t, fastArgs("-algo", algo, "-procs", "2")...)
+		if !strings.Contains(out, "algorithm "+algo) {
+			t.Fatalf("%s: missing summary:\n%s", algo, out)
+		}
+	}
+}
+
+func TestCLILogistic(t *testing.T) {
+	out := runCLI(t, fastArgs("-algo", "logistic", "-procs", "2", "-maxiter", "10", "-tol", "0")...)
+	if !strings.Contains(out, "training accuracy") {
+		t.Fatalf("missing accuracy:\n%s", out)
+	}
+}
+
+func TestCLIAutoTune(t *testing.T) {
+	out := runCLI(t, fastArgs("-k", "0", "-procs", "8")...)
+	if !strings.Contains(out, "auto-tuned k=") {
+		t.Fatalf("missing auto-tune line:\n%s", out)
+	}
+}
+
+func TestCLISaveModel(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.json"
+	out := runCLI(t, fastArgs("-save", path)...)
+	if !strings.Contains(out, "model written to") {
+		t.Fatalf("missing save line:\n%s", out)
+	}
+}
+
+func TestCLIPlot(t *testing.T) {
+	out := runCLI(t, "-dataset", "abalone", "-samples", "400",
+		"-maxiter", "200", "-refiters", "800", "-plot=true")
+	if !strings.Contains(out, "convergence") || !strings.Contains(out, "legend") {
+		t.Fatalf("missing plot:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "nope", "-tol", "0"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-dataset", "nope", "-tol", "0"}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-machine", "warp-drive", "-tol", "0"}, &out); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if err := run([]string{"-libsvm", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestCLITrainSavePredict(t *testing.T) {
+	dir := t.TempDir()
+	model := dir + "/model.json"
+	runCLI(t, fastArgs("-save", model)...)
+	out := runCLI(t, fastArgs("-predict", model)...)
+	if !strings.Contains(out, "RMSE on") {
+		t.Fatalf("missing RMSE line:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-predict", dir + "/missing.json"}, &buf); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestCLIRejectsZeroProcs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-procs", "0", "-tol", "0"}, &out); err == nil {
+		t.Fatal("procs=0 accepted")
+	}
+}

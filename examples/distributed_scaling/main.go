@@ -1,0 +1,77 @@
+// Distributed scaling: a strong-scaling study of RC-SFISTA on the
+// simulated cluster. For P = 1..64 the example runs a fixed iteration
+// budget, reports the modeled time split into compute/latency/bandwidth
+// on the paper's Comet machine model, and shows how the
+// iteration-overlapping parameter k moves the crossover where
+// communication starts dominating.
+//
+// Run with:
+//
+//	go run ./examples/distributed_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solver"
+)
+
+func main() {
+	prob, err := data.LoadWith("covtype", 8000, 54, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := solver.SampledLipschitz(prob.X, prob.Y, 0.1, 8, 7)
+	machine := perf.Comet()
+	const iters = 128
+
+	base := solver.Defaults()
+	base.Lambda = prob.Lambda
+	base.Gamma = solver.GammaFromLipschitz(l)
+	base.B = 0.1
+	base.MaxIter = iters
+	base.Tol = 0
+	base.EvalEvery = iters
+	base.VarianceReduced = false
+
+	fmt.Printf("strong scaling, covtype shape, N=%d iterations, machine %s\n\n", iters, machine)
+	fmt.Printf("%-4s %-4s %-12s %-12s %-12s %-12s %-10s\n",
+		"P", "k", "compute s", "latency s", "bandwidth s", "total s", "vs P=1")
+	var t1 float64
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		for _, k := range []int{1, 8} {
+			opts := base
+			opts.K = k
+			world := dist.NewWorld(p, machine)
+			res, err := solver.SolveDistributed(world, prob.X, prob.Y, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c := res.Cost
+			comp := machine.Gamma * float64(c.Flops)
+			lat := machine.Alpha * float64(c.Messages)
+			bw := machine.Beta * float64(c.Words)
+			total := comp + lat + bw
+			if p == 1 && k == 1 {
+				t1 = total
+			}
+			fmt.Printf("%-4d %-4d %-12.3g %-12.3g %-12.3g %-12.3g %-10.2fx\n",
+				p, k, comp, lat, bw, total, t1/total)
+		}
+	}
+	fmt.Println("\ncompute shrinks ~1/P; latency and bandwidth grow with log P. k=8 removes most of the")
+	fmt.Println("latency term, pushing the scaling limit out — the effect Figure 4 quantifies.")
+
+	// Collective profile of one representative run.
+	world := dist.NewWorld(16, machine)
+	opts := base
+	opts.K = 8
+	if _, err := solver.SolveDistributed(world, prob.X, prob.Y, opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncollective profile (P=16, k=8):\n%s", world.ProfileString())
+}

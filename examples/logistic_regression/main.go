@@ -1,0 +1,86 @@
+// Logistic regression: the paper's Proximal Newton framework on the
+// general ERM problem class (Eqs. 1-2) — l1-regularized logistic
+// regression for sparse feature selection in binary classification.
+// Demonstrates the erm extension package: sampled Hessians for a
+// non-quadratic loss, sequential and distributed solves, and why
+// iteration-overlapping does not transfer to w-dependent Hessians.
+//
+// Run with:
+//
+//	go run ./examples/logistic_regression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/erm"
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solver"
+)
+
+func main() {
+	// Binary classification with a planted 8-feature sparse model and
+	// 3% label noise.
+	prob := data.GenerateClassification(data.GenSpec{
+		D: 80, M: 3000, Density: 0.4, TrueNnz: 8, NoiseStd: 0.2, Seed: 5,
+	}, 0.03)
+	obj := erm.NewObjective(prob.X, prob.Y, erm.Logistic{})
+	d, m := prob.Dim()
+	fmt.Printf("classification problem: %d features, %d samples\n", d, m)
+	fmt.Printf("planted-model training accuracy: %.3f\n\n", obj.Accuracy(prob.WTrue))
+
+	// Sequential l1-logistic Proximal Newton across a few penalties.
+	fmt.Printf("%-10s %-8s %-10s %-10s %s\n", "lambda", "outer", "loss", "accuracy", "nnz")
+	var best []float64
+	for _, lambda := range []float64{0.05, 0.02, 0.01, 0.005} {
+		res, err := erm.ProxNewton(prob.X, prob.Y, erm.Options{
+			Loss: erm.Logistic{}, Lambda: lambda,
+			OuterIter: 40, InnerIter: 30, B: 1, LineSearch: true, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.3f %-8d %-10.5f %-10.3f %d\n",
+			lambda, res.Iters, obj.Value(res.W, nil), obj.Accuracy(res.W), mat.CountNonzeros(res.W, 0))
+		best = res.W
+	}
+
+	fmt.Println("\nrecovered support vs planted (lambda = 0.005):")
+	shown := 0
+	for i, truth := range prob.WTrue {
+		if truth != 0 || best[i] != 0 {
+			fmt.Printf("  w[%2d]: planted %+6.2f -> fitted %+6.3f\n", i, truth, best[i])
+			shown++
+			if shown >= 12 {
+				break
+			}
+		}
+	}
+
+	// Distributed run with a sampled Hessian (b = 20%).
+	fmt.Println("\ndistributed stochastic PN (P=16, b=0.2):")
+	world := dist.NewWorld(16, perf.Comet())
+	results := make([]*solver.Result, 16)
+	err := world.Run(func(c dist.Comm) error {
+		local := erm.Partition(prob.X, prob.Y, c.Size(), c.Rank())
+		r, err := erm.DistProxNewton(c, local, erm.Options{
+			Loss: erm.Logistic{}, Lambda: 0.01,
+			OuterIter: 30, InnerIter: 20, B: 0.2, LineSearch: true, Seed: 5,
+		})
+		results[c.Rank()] = r
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := results[0]
+	fmt.Printf("  outer iters: %d, accuracy: %.3f, cost: %v\n",
+		res.Iters, obj.Accuracy(res.W), world.MaxCost())
+	fmt.Printf("  modeled time on Comet: %.3g s\n", world.ModeledSeconds())
+	fmt.Println("\nnote: unlike least squares, H(w) here depends on w, so the k-way Hessian batching")
+	fmt.Println("of RC-SFISTA cannot be applied — each outer iteration needs its own allreduce.")
+}

@@ -1,0 +1,3 @@
+module github.com/hpcgo/rcsfista
+
+go 1.22

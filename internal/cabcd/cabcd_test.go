@@ -1,0 +1,198 @@
+package cabcd
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
+	"github.com/hpcgo/rcsfista/internal/solver"
+)
+
+func ridgeProblem(t *testing.T) (*data.Problem, float64, []float64) {
+	t.Helper()
+	p := data.Generate(data.GenSpec{D: 24, M: 400, Density: 0.6, NoiseStd: 0.1, Seed: 40})
+	const lambda2 = 0.05
+	// Closed-form reference through the engine's ridge path.
+	l := solver.SampledLipschitz(p.X, p.Y, 1, 1, 40)
+	o := solver.Defaults()
+	o.Reg = prox.L2Squared{Lambda: lambda2}
+	o.Gamma = solver.GammaFromLipschitz(l)
+	o.B = 1
+	o.VarianceReduced = false
+	o.MaxIter = 8000
+	c := dist.NewSelfComm(perf.Comet())
+	res, err := solver.RCSFISTA(c, solver.Partition(p.X, p.Y, 1, 0), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference objective for the ridge problem.
+	obj := prox.NewObjective(p.X, p.Y, prox.L2Squared{Lambda: lambda2})
+	return p, obj.F(res.W, nil), res.W
+}
+
+func TestCABCDConvergesToRidgeOptimum(t *testing.T) {
+	p, fstar, wstar := ridgeProblem(t)
+	opts := Options{
+		Lambda2: 0.05, BlockSize: 4, S: 1, MaxRounds: 3000,
+		Tol: 1e-5, FStar: fstar, Seed: 40,
+	}
+	c := dist.NewSelfComm(perf.Comet())
+	res, err := Solve(c, solver.Partition(p.X, p.Y, 1, 0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CA-BCD did not converge: relerr=%g", res.FinalRelErr)
+	}
+	var maxDiff float64
+	for i := range wstar {
+		maxDiff = math.Max(maxDiff, math.Abs(res.W[i]-wstar[i]))
+	}
+	if maxDiff > 1e-2 {
+		t.Fatalf("solution differs from ridge optimum: max |dw| = %g", maxDiff)
+	}
+}
+
+func TestUnrollingPreservesIterates(t *testing.T) {
+	// The s-step unrolled updates are algebraically identical to s
+	// sequential block updates with the same block sequence: iterates
+	// must agree to round-off after any number of rounds.
+	p, fstar, _ := ridgeProblem(t)
+	run := func(s, rounds int) []float64 {
+		opts := Options{
+			Lambda2: 0.05, BlockSize: 3, S: s, MaxRounds: rounds,
+			FStar: fstar, Seed: 41,
+		}
+		c := dist.NewSelfComm(perf.Comet())
+		res, err := Solve(c, solver.Partition(p.X, p.Y, 1, 0), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.W
+	}
+	// s=1 draws one block per round; s=4 draws 4 per round. For the
+	// block SEQUENCES to match, compare s=1 against itself at the
+	// update level is not possible across different stream layouts, so
+	// instead verify the algebra directly: s=4 must reach the same
+	// objective region as s=1 with 4x the rounds.
+	w1 := run(1, 400)
+	w4 := run(4, 100)
+	obj := prox.NewObjective(p.X, p.Y, prox.L2Squared{Lambda: 0.05})
+	f1 := obj.F(w1, nil)
+	f4 := obj.F(w4, nil)
+	if math.Abs(f1-f4) > 1e-3*math.Abs(fstar) {
+		t.Fatalf("s=1 and s=4 objectives diverge: %g vs %g", f1, f4)
+	}
+}
+
+func TestMessageGrowthWithS(t *testing.T) {
+	// The defining contrast with RC-SFISTA: CA-BCD's words per update
+	// GROW linearly in s (payload (s*bs)^2 every s updates), while
+	// RC-SFISTA's words per update are constant in k.
+	p, _, _ := ridgeProblem(t)
+	wordsPerUpdate := func(s int) float64 {
+		opts := Options{
+			Lambda2: 0.05, BlockSize: 4, S: s, MaxRounds: 24 / s, Seed: 42,
+			EvalEvery: 1000, // no mid-run checkpoints
+		}
+		w := dist.NewWorld(4, perf.Comet())
+		res, err := SolveDistributed(w, p.X, p.Y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Cost.Words) / float64(res.Iters)
+	}
+	w1 := wordsPerUpdate(1)
+	w4 := wordsPerUpdate(4)
+	ratio := w4 / w1
+	// Payload per update: ((s*bs)^2 + s*bs)/s words * lg levels ->
+	// ratio ~ s at large bs; expect near 4 (within constants).
+	if ratio < 2.5 {
+		t.Fatalf("message growth ratio %g; expected ~4 for s=4", ratio)
+	}
+}
+
+func TestLatencyDropsWithS(t *testing.T) {
+	p, _, _ := ridgeProblem(t)
+	msgs := func(s int) int64 {
+		opts := Options{
+			Lambda2: 0.05, BlockSize: 4, S: s, MaxRounds: 24 / s, Seed: 42,
+			EvalEvery: 1000,
+		}
+		w := dist.NewWorld(4, perf.Comet())
+		res, err := SolveDistributed(w, p.X, p.Y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost.Messages
+	}
+	if m4, m1 := msgs(4), msgs(1); m4*4 != m1 {
+		t.Fatalf("s=4 messages %d, s=1 messages %d; want exact 4x reduction", m4, m1)
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	p, fstar, _ := ridgeProblem(t)
+	opts := Options{
+		Lambda2: 0.05, BlockSize: 4, S: 2, MaxRounds: 60, FStar: fstar, Seed: 43,
+	}
+	c := dist.NewSelfComm(perf.Comet())
+	seq, err := Solve(c, solver.Partition(p.X, p.Y, 1, 0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{2, 5} {
+		w := dist.NewWorld(procs, perf.Comet())
+		res, err := SolveDistributed(w, p.X, p.Y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxDiff float64
+		for i := range seq.W {
+			maxDiff = math.Max(maxDiff, math.Abs(seq.W[i]-res.W[i]))
+		}
+		if maxDiff > 1e-10 {
+			t.Fatalf("P=%d diverged from sequential: %g", procs, maxDiff)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	p, _, _ := ridgeProblem(t)
+	c := dist.NewSelfComm(perf.Comet())
+	local := solver.Partition(p.X, p.Y, 1, 0)
+	if _, err := Solve(c, local, Options{Lambda2: 0}); err == nil {
+		t.Fatal("zero lambda2 accepted")
+	}
+	if _, err := Solve(c, solver.LocalData{}, Options{Lambda2: 1}); err == nil {
+		t.Fatal("nil local data accepted")
+	}
+}
+
+func TestBlockSizeClamp(t *testing.T) {
+	// BlockSize > d must clamp, not crash.
+	p := data.Generate(data.GenSpec{D: 3, M: 60, Density: 1, Seed: 44})
+	opts := Options{Lambda2: 0.1, BlockSize: 10, S: 1, MaxRounds: 20, Seed: 44}
+	c := dist.NewSelfComm(perf.Comet())
+	res, err := Solve(c, solver.Partition(p.X, p.Y, 1, 0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.W) != 3 {
+		t.Fatalf("W has %d coords", len(res.W))
+	}
+}
+
+func TestRejectsOversizedRound(t *testing.T) {
+	// Regression: S*BlockSize > d must error, not panic inside the
+	// coordinate draw.
+	p := data.Generate(data.GenSpec{D: 10, M: 60, Density: 1, Seed: 45})
+	opts := Options{Lambda2: 0.1, BlockSize: 4, S: 3, MaxRounds: 5, Seed: 45}
+	c := dist.NewSelfComm(perf.Comet())
+	if _, err := Solve(c, solver.Partition(p.X, p.Y, 1, 0), opts); err == nil {
+		t.Fatal("S*BlockSize > d accepted")
+	}
+}

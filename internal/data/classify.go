@@ -1,0 +1,26 @@
+package data
+
+import (
+	"github.com/hpcgo/rcsfista/internal/rng"
+)
+
+// GenerateClassification builds a binary classification instance for
+// the logistic-regression extension: features as in Generate, labels
+// y_i = sign(x_i^T w_true + noise) in {-1, +1}, with FlipProb label
+// flips for irreducible error. Lambda is attached unchanged.
+func GenerateClassification(spec GenSpec, flipProb float64) *Problem {
+	p := Generate(spec)
+	r := rng.New(spec.Seed ^ 0x0b5e55ed_c1a55e5)
+	for i, margin := range p.Y {
+		label := 1.0
+		if margin < 0 {
+			label = -1
+		}
+		if flipProb > 0 && r.Bernoulli(flipProb) {
+			label = -label
+		}
+		p.Y[i] = label
+	}
+	p.Name = p.Name + "-classify"
+	return p
+}

@@ -1,0 +1,72 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLIBSVM exercises the parser against malformed input: it must
+// either return an error or a structurally valid problem, never panic.
+// The corpus runs under plain `go test`; `go test -fuzz=FuzzReadLIBSVM`
+// explores further.
+func FuzzReadLIBSVM(f *testing.F) {
+	seeds := []string{
+		"1 1:2.0 3:-1\n-1 2:0.5\n",
+		"",
+		"# only a comment\n",
+		"1.5\n",
+		"0 1:0\n",
+		"abc 1:2\n",
+		"1 0:1\n",
+		"1 2:1 1:2\n",
+		"1 1:1e308 2:-1e308\n",
+		"1 1:nan\n",
+		strings.Repeat("1 1:1\n", 100),
+		"1 1:1 # trailing\n\n\n2 2:2\n",
+		"-0.5 10:3.25\n",
+		"1 1:2:3\n",
+		"1 :5\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		p, err := ReadLIBSVM(bytes.NewReader(in), 0)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid problem: %v", verr)
+		}
+		// Structural invariants of the CSC result.
+		if len(p.X.ColPtr) != p.X.Cols+1 {
+			t.Fatal("ColPtr length wrong")
+		}
+		for j := 0; j < p.X.Cols; j++ {
+			rows, _ := p.X.Col(j)
+			for k := 1; k < len(rows); k++ {
+				if rows[k] <= rows[k-1] {
+					t.Fatal("row indices not strictly increasing")
+				}
+			}
+			for _, r := range rows {
+				if r < 0 || r >= p.X.Rows {
+					t.Fatal("row index out of range")
+				}
+			}
+		}
+		// Roundtrip: what we write must parse back to the same shape.
+		var buf bytes.Buffer
+		if err := WriteLIBSVM(&buf, p); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadLIBSVM(&buf, p.X.Rows)
+		if err != nil {
+			t.Fatalf("roundtrip parse failed: %v", err)
+		}
+		if back.X.Cols != p.X.Cols {
+			t.Fatalf("roundtrip changed sample count: %d vs %d", back.X.Cols, p.X.Cols)
+		}
+	})
+}

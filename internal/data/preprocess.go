@@ -1,0 +1,98 @@
+package data
+
+import (
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/sparse"
+)
+
+// FeatureStats holds per-feature first and second moments of a d x m
+// data matrix (rows = features).
+type FeatureStats struct {
+	Mean, Std, MaxAbs []float64
+}
+
+// ComputeFeatureStats scans X once and returns per-feature statistics.
+// Means and variances are over all m samples (including implicit
+// zeros).
+func ComputeFeatureStats(x *sparse.CSC) FeatureStats {
+	d := x.Rows
+	m := float64(x.Cols)
+	st := FeatureStats{
+		Mean:   make([]float64, d),
+		Std:    make([]float64, d),
+		MaxAbs: make([]float64, d),
+	}
+	sum := st.Mean
+	sum2 := make([]float64, d)
+	for j := 0; j < x.Cols; j++ {
+		rows, vals := x.Col(j)
+		for k, r := range rows {
+			v := vals[k]
+			sum[r] += v
+			sum2[r] += v * v
+			if a := math.Abs(v); a > st.MaxAbs[r] {
+				st.MaxAbs[r] = a
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		mean := sum[i] / m
+		st.Mean[i] = mean
+		variance := sum2[i]/m - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		st.Std[i] = math.Sqrt(variance)
+	}
+	return st
+}
+
+// ScaleFeatures multiplies feature (row) i of X by scale[i] in place.
+// Zero scales zero out the feature's stored values (the sparsity
+// pattern is unchanged).
+func ScaleFeatures(x *sparse.CSC, scale []float64) {
+	if len(scale) != x.Rows {
+		panic("data: ScaleFeatures length mismatch")
+	}
+	for k, r := range x.RowIdx {
+		x.Val[k] *= scale[r]
+	}
+}
+
+// StandardizeFeatures rescales every feature to unit standard
+// deviation in place (mean is NOT subtracted — centering would destroy
+// sparsity; this is the standard sparse-data practice and exactly
+// compensates the heterogeneous feature scales of raw datasets).
+// Features with zero variance are left untouched. It returns the
+// applied scales so predictions on new data can be transformed
+// consistently.
+func StandardizeFeatures(x *sparse.CSC) []float64 {
+	st := ComputeFeatureStats(x)
+	scale := make([]float64, x.Rows)
+	for i := range scale {
+		if st.Std[i] > 0 {
+			scale[i] = 1 / st.Std[i]
+		} else {
+			scale[i] = 1
+		}
+	}
+	ScaleFeatures(x, scale)
+	return scale
+}
+
+// MaxAbsScaleFeatures rescales every feature into [-1, 1] in place
+// (LIBSVM's usual preprocessing), returning the applied scales.
+func MaxAbsScaleFeatures(x *sparse.CSC) []float64 {
+	st := ComputeFeatureStats(x)
+	scale := make([]float64, x.Rows)
+	for i := range scale {
+		if st.MaxAbs[i] > 0 {
+			scale[i] = 1 / st.MaxAbs[i]
+		} else {
+			scale[i] = 1
+		}
+	}
+	ScaleFeatures(x, scale)
+	return scale
+}

@@ -1,0 +1,92 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/sparse"
+)
+
+// mustCSC builds a small CSC matrix from coordinate entries.
+func mustCSC(t *testing.T, d, m int, entries map[[2]int]float64) *sparse.CSC {
+	t.Helper()
+	coo := sparse.NewCOO(d, m)
+	for rc, v := range entries {
+		coo.Append(rc[0], rc[1], v)
+	}
+	return coo.ToCSC()
+}
+
+func TestComputeFeatureStats(t *testing.T) {
+	// X = [1 2 3; 0 0 6] (d=2, m=3).
+	x := mustCSC(t, 2, 3, map[[2]int]float64{
+		{0, 0}: 1, {0, 1}: 2, {0, 2}: 3, {1, 2}: 6,
+	})
+	st := ComputeFeatureStats(x)
+	if math.Abs(st.Mean[0]-2) > 1e-12 {
+		t.Fatalf("mean[0] = %g", st.Mean[0])
+	}
+	if math.Abs(st.Mean[1]-2) > 1e-12 {
+		t.Fatalf("mean[1] = %g", st.Mean[1])
+	}
+	// Var row 0: ((1-2)^2+(2-2)^2+(3-2)^2)/3 = 2/3.
+	if math.Abs(st.Std[0]-math.Sqrt(2.0/3)) > 1e-12 {
+		t.Fatalf("std[0] = %g", st.Std[0])
+	}
+	if st.MaxAbs[0] != 3 || st.MaxAbs[1] != 6 {
+		t.Fatalf("maxabs = %v", st.MaxAbs)
+	}
+}
+
+func TestStandardizeFeatures(t *testing.T) {
+	p := Generate(GenSpec{D: 10, M: 500, Density: 0.6, RowScaleDecay: 0.01, Seed: 50})
+	StandardizeFeatures(p.X)
+	st := ComputeFeatureStats(p.X)
+	for i, s := range st.Std {
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("std[%d] = %g after standardization", i, s)
+		}
+	}
+}
+
+func TestMaxAbsScaleFeatures(t *testing.T) {
+	p := Generate(GenSpec{D: 8, M: 200, Density: 0.8, Seed: 51})
+	MaxAbsScaleFeatures(p.X)
+	st := ComputeFeatureStats(p.X)
+	for i, m := range st.MaxAbs {
+		if m > 1+1e-12 {
+			t.Fatalf("maxabs[%d] = %g after scaling", i, m)
+		}
+		if m < 0.999 && m != 0 {
+			t.Fatalf("maxabs[%d] = %g, feature not scaled to the boundary", i, m)
+		}
+	}
+}
+
+func TestScaleFeaturesZeroAndMismatch(t *testing.T) {
+	p := Generate(GenSpec{D: 4, M: 20, Density: 1, Seed: 52})
+	ScaleFeatures(p.X, []float64{0, 1, 1, 1})
+	st := ComputeFeatureStats(p.X)
+	if st.MaxAbs[0] != 0 {
+		t.Fatal("zero scale did not zero the feature")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ScaleFeatures(p.X, []float64{1})
+}
+
+func TestStandardizeConstantFeature(t *testing.T) {
+	// A feature with identical values everywhere has nonzero variance
+	// only if it isn't present in all samples; an all-equal dense
+	// feature must not be divided by zero.
+	x := mustCSC(t, 1, 3, map[[2]int]float64{
+		{0, 0}: 5, {0, 1}: 5, {0, 2}: 5,
+	})
+	scale := StandardizeFeatures(x)
+	if scale[0] != 1 {
+		t.Fatalf("constant feature rescaled by %g", scale[0])
+	}
+}

@@ -1,0 +1,180 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DatasetInfo describes one of the paper's benchmarks (Table 2) plus
+// the scaling this repository applies to keep experiments laptop-sized.
+type DatasetInfo struct {
+	// Name is the paper's dataset name.
+	Name string
+	// PaperRows and PaperCols are the sample and feature counts of
+	// Table 2 ("Row numbers" = samples m, "Column numbers" = features d).
+	PaperRows, PaperCols int
+	// Density is the percentage of non-zeros f from Table 2, in (0,1].
+	Density float64
+	// Lambda is the paper's tuned penalty (Section 5.1): 1e-4 for
+	// epsilon, 0.1 for everything else.
+	Lambda float64
+	// LambdaRatio re-tunes the penalty for the synthetic stand-in as a
+	// fraction of lambda_max = ||X y / m||_inf (the smallest penalty
+	// with an all-zero solution), mirroring the paper's per-dataset
+	// tuning "so that our experiments have reasonable running time":
+	// 0.1 everywhere, 0.01 for epsilon (whose paper lambda is also
+	// 1000x smaller).
+	LambdaRatio float64
+	// ScaledRows and ScaledCols are the dimensions the default
+	// generators use. Convergence behaviour and cost-model shape are
+	// preserved; see DESIGN.md. For small datasets these equal the
+	// paper values.
+	ScaledRows, ScaledCols int
+}
+
+// The five benchmarks of Table 2. Scaled sample counts keep full
+// experiment sweeps in the seconds-to-minutes range; scaled feature
+// counts (mnist, epsilon) bound the d^2 Hessian memory when the
+// simulated machine runs hundreds of ranks (see DESIGN.md Section 3).
+var registry = map[string]DatasetInfo{
+	"abalone": {
+		Name: "abalone", PaperRows: 4177, PaperCols: 8, Density: 1.00, Lambda: 0.1, LambdaRatio: 0.1,
+		ScaledRows: 4177, ScaledCols: 8,
+	},
+	"susy": {
+		Name: "susy", PaperRows: 5_000_000, PaperCols: 18, Density: 0.2539, Lambda: 0.1, LambdaRatio: 0.02,
+		ScaledRows: 40_000, ScaledCols: 18,
+	},
+	"covtype": {
+		Name: "covtype", PaperRows: 581_012, PaperCols: 54, Density: 0.2212, Lambda: 0.1, LambdaRatio: 0.02,
+		ScaledRows: 24_000, ScaledCols: 54,
+	},
+	"mnist": {
+		Name: "mnist", PaperRows: 60_000, PaperCols: 780, Density: 0.1922, Lambda: 0.1, LambdaRatio: 0.1,
+		ScaledRows: 8_000, ScaledCols: 196,
+	},
+	"epsilon": {
+		Name: "epsilon", PaperRows: 400_000, PaperCols: 2000, Density: 1.00, Lambda: 1e-4, LambdaRatio: 0.02,
+		ScaledRows: 4_000, ScaledCols: 256,
+	},
+}
+
+// Datasets returns the registry entries sorted by name.
+func Datasets() []DatasetInfo {
+	out := make([]DatasetInfo, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the registry entry for name.
+func Lookup(name string) (DatasetInfo, error) {
+	d, ok := registry[name]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("data: unknown dataset %q", name)
+	}
+	return d, nil
+}
+
+// Load generates the scaled synthetic stand-in for a registered
+// dataset. The seed makes runs reproducible; the same (name, seed)
+// always yields the same instance.
+func Load(name string, seed uint64) (*Problem, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return info.Instantiate(info.ScaledRows, info.ScaledCols, seed), nil
+}
+
+// LoadWith generates the dataset stand-in at explicit dimensions,
+// keeping the registered density and lambda. Useful when an experiment
+// needs a smaller or larger instance of the same shape.
+func LoadWith(name string, samples, features int, seed uint64) (*Problem, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		samples = info.ScaledRows
+	}
+	if features <= 0 {
+		features = info.ScaledCols
+	}
+	return info.Instantiate(samples, features, seed), nil
+}
+
+// Instantiate builds a synthetic problem with this dataset's density
+// and lambda at the given size. Feature scales decay by 20x across the
+// feature range and labels carry 20% noise, reproducing the
+// ill-conditioning and noise floor of the real LIBSVM datasets that
+// make the paper's iteration counts non-trivial.
+func (d DatasetInfo) Instantiate(samples, features int, seed uint64) *Problem {
+	return d.InstantiateTuned(samples, features, seed, 0.2, 0.02)
+}
+
+// InstantiateTuned is Instantiate with explicit label-noise and
+// feature-scale-decay knobs, for difficulty calibration.
+func (d DatasetInfo) InstantiateTuned(samples, features int, seed uint64, noise, decay float64) *Problem {
+	// Dense benchmarks get correlated (low-effective-rank) features,
+	// like the real epsilon dataset; see GenSpec.FactorRank.
+	rank := 0
+	if d.Name == "epsilon" {
+		rank = features / 8
+		if rank < 2 {
+			rank = 2
+		}
+	}
+	p := Generate(GenSpec{
+		Name:          d.Name,
+		D:             features,
+		M:             samples,
+		Density:       d.Density,
+		NoiseStd:      noise,
+		RowScaleDecay: decay,
+		FactorRank:    rank,
+		Lambda:        d.Lambda,
+		Seed:          seed ^ hashName(d.Name),
+	})
+	// Re-tune lambda relative to this instance's lambda_max so the
+	// solution is meaningfully sparse but non-trivial (Section 5.1).
+	ratio := d.LambdaRatio
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	g0 := make([]float64, p.X.Rows)
+	p.X.MulVec(g0, p.Y, nil)
+	var lmax float64
+	for _, v := range g0 {
+		if v < 0 {
+			v = -v
+		}
+		if v > lmax {
+			lmax = v
+		}
+	}
+	lmax /= float64(p.X.Cols)
+	if lmax > 0 {
+		p.Lambda = ratio * lmax
+	}
+	return p
+}
+
+// PaperSizeBytes estimates the nnz payload of the paper-scale dataset
+// in bytes (8-byte values plus 4-byte indices), for the Table 2
+// reproduction.
+func (d DatasetInfo) PaperSizeBytes() int64 {
+	nnz := float64(d.PaperRows) * float64(d.PaperCols) * d.Density
+	return int64(nnz * 12)
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,117 @@
+// Package dist is the distributed-memory substrate: an in-process,
+// MPI-style message-passing runtime. P ranks execute as P goroutines;
+// collectives (Allreduce, Bcast, Reduce, Allgather, Barrier) and
+// point-to-point Send/Recv are implemented over shared memory with the
+// same data-movement semantics as their MPI counterparts, and every
+// operation charges the alpha-beta model costs of the tree/ring
+// algorithm it stands for into the calling rank's perf.Cost.
+//
+// This substitutes for the paper's MPI 2.1 deployment on XSEDE Comet
+// (DESIGN.md Section 2): algorithms written against the Comm interface
+// perform exactly the communication pattern of the MPI program — same
+// message counts, same word counts — while execution happens inside one
+// process. Modeled time comes from perf.Machine; real wall-clock is
+// also observable but reflects the host, not Comet.
+//
+// Reductions are performed in rank order by a single designated rank,
+// so results are bit-for-bit deterministic across runs and independent
+// of goroutine scheduling. (A real MPI allreduce has a fixed reduction
+// tree, so determinism across runs at fixed P is the faithful choice.)
+package dist
+
+import (
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// Op selects the combining operation of a reduction collective.
+type Op int
+
+// Reduction operations.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) combine(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic("dist: unknown reduction op")
+	}
+}
+
+// Comm is the communicator one rank holds. All collective calls must be
+// made by every rank of the world in the same order (the usual MPI
+// contract); violating it deadlocks, exactly as MPI would.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of processes P.
+	Size() int
+	// Barrier synchronizes all ranks.
+	Barrier()
+	// Allreduce combines buf across ranks element-wise with op and
+	// leaves the result in every rank's buf.
+	Allreduce(buf []float64, op Op)
+	// AllreduceShared combines local across ranks with OpSum and
+	// returns one freshly allocated result slice shared by all ranks.
+	// Callers must treat the result as read-only. Compared to
+	// Allreduce it models the same communication but avoids P
+	// physical copies in this in-process simulation, which matters
+	// when the payload is the k*d^2-word Hessian batch of RC-SFISTA.
+	AllreduceShared(local []float64) []float64
+	// Bcast copies root's buf into every rank's buf.
+	Bcast(buf []float64, root int)
+	// Reduce combines buf across ranks with op; the result lands in
+	// root's buf, other ranks' buffers are unchanged.
+	Reduce(buf []float64, op Op, root int)
+	// Allgather concatenates every rank's local slice in rank order
+	// and returns the concatenation to all ranks. Local lengths may
+	// differ across ranks.
+	Allgather(local []float64) []float64
+	// Send transmits a copy of msg to rank to.
+	Send(to int, msg []float64)
+	// Recv receives the next message from rank from.
+	Recv(from int) []float64
+	// Cost exposes this rank's accumulated communication/compute cost.
+	Cost() *perf.Cost
+	// Machine returns the machine model used for cost accounting.
+	Machine() perf.Machine
+}
+
+// AllreduceScalar is a convenience wrapper reducing a single value.
+func AllreduceScalar(c Comm, x float64, op Op) float64 {
+	buf := [1]float64{x}
+	c.Allreduce(buf[:], op)
+	return buf[0]
+}
+
+// chargeTree charges the cost of a log2(P)-depth tree collective moving
+// words payload words at each of the lg levels, with optional reduction
+// flops (n adds per level).
+func chargeTree(cost *perf.Cost, p int, words int64, reduceFlops bool) {
+	lg := int64(perf.Log2Ceil(p))
+	if lg == 0 {
+		return
+	}
+	cost.AddMessages(lg, words)
+	if reduceFlops {
+		cost.AddFlops(lg * words)
+	}
+}

@@ -1,0 +1,45 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// ExampleWorld shows the basic lifecycle: build a world, run a
+// function on every rank, reduce a value, inspect the modeled cost.
+func ExampleWorld() {
+	world := dist.NewWorld(8, perf.Comet())
+	err := world.Run(func(c dist.Comm) error {
+		// Each rank contributes its rank number; everyone receives
+		// the sum 0+1+...+7 = 28.
+		sum := dist.AllreduceScalar(c, float64(c.Rank()), dist.OpSum)
+		if c.Rank() == 0 {
+			fmt.Printf("sum over %d ranks: %g\n", c.Size(), sum)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// One allreduce of 1 word over a log2(8)=3-level tree.
+	fmt.Printf("messages per rank: %d\n", world.RankCost(0).Messages)
+	// Output:
+	// sum over 8 ranks: 28
+	// messages per rank: 3
+}
+
+// ExampleBlockRange shows the contiguous partition used to assign
+// sample columns to ranks.
+func ExampleBlockRange() {
+	for rank := 0; rank < 3; rank++ {
+		lo, hi := dist.BlockRange(10, 3, rank)
+		fmt.Printf("rank %d owns [%d, %d)\n", rank, lo, hi)
+	}
+	// Output:
+	// rank 0 owns [0, 4)
+	// rank 1 owns [4, 7)
+	// rank 2 owns [7, 10)
+}

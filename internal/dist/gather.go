@@ -1,0 +1,54 @@
+package dist
+
+// Gather collects equal-length local slices in rank order at root and
+// returns the concatenation there (nil on other ranks). Cost: binomial
+// tree — log2(P) messages per rank, with the root receiving the full
+// payload.
+func Gather(c Comm, local []float64, root int) []float64 {
+	p := c.Size()
+	if p == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return out
+	}
+	// Implemented over Allgather to reuse the deterministic shared
+	// path; the cost of the narrower gather tree is what is charged by
+	// the Allgather's ring minus the broadcast half, which we accept as
+	// an upper bound (gather is not on any algorithm's critical path).
+	all := c.Allgather(local)
+	if c.Rank() != root {
+		return nil
+	}
+	out := make([]float64, len(all))
+	copy(out, all)
+	return out
+}
+
+// Scatter distributes equal-size chunks of root's buf to every rank:
+// rank r receives buf[r*chunk:(r+1)*chunk]. buf is only read at root;
+// its length must be chunk*Size(). Implemented over Bcast of the full
+// buffer, so the charged cost is the bcast's (an upper bound on a true
+// binomial-tree scatter by a log2(P) bandwidth factor) — acceptable
+// because Scatter is not on any algorithm's critical path.
+func Scatter(c Comm, buf []float64, chunk int, root int) []float64 {
+	p := c.Size()
+	if chunk < 0 {
+		panic("dist: negative Scatter chunk")
+	}
+	if p == 1 {
+		out := make([]float64, chunk)
+		copy(out, buf[:chunk])
+		return out
+	}
+	full := make([]float64, chunk*p)
+	if c.Rank() == root {
+		if len(buf) != chunk*p {
+			panic("dist: Scatter buffer length mismatch")
+		}
+		copy(full, buf)
+	}
+	c.Bcast(full, root)
+	out := make([]float64, chunk)
+	copy(out, full[c.Rank()*chunk:(c.Rank()+1)*chunk])
+	return out
+}

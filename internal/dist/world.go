@@ -1,0 +1,347 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// World owns the shared state of a P-rank run. Create with NewWorld,
+// execute with Run, then inspect per-rank costs.
+type World struct {
+	size    int
+	machine perf.Machine
+
+	bar     *barrier
+	contrib [][]float64 // collective input registration, one slot per rank
+	shared  []float64   // collective output published by rank 0
+	scratch []float64   // reused reduction buffer for Allreduce
+	lens    []int       // Allgather per-rank lengths
+
+	costs []perf.Cost
+	prof  profile
+
+	p2pMu sync.Mutex
+	p2p   map[[2]int]chan []float64
+}
+
+// NewWorld creates a world of p ranks charging costs against machine.
+func NewWorld(p int, machine perf.Machine) *World {
+	if p < 1 {
+		panic("dist: world size must be >= 1")
+	}
+	return &World{
+		size:    p,
+		machine: machine,
+		bar:     newBarrier(p),
+		contrib: make([][]float64, p),
+		lens:    make([]int, p),
+		costs:   make([]perf.Cost, p),
+		p2p:     make(map[[2]int]chan []float64),
+	}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn on every rank concurrently and waits for completion.
+// The first non-nil error (or recovered panic) aborts the world: ranks
+// blocked in collectives are released and Run returns the error. A
+// World can be Run multiple times; costs accumulate across runs until
+// ResetCosts.
+func (w *World) Run(fn func(c Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if rec == errAborted {
+						// Released from a collective after another
+						// rank failed; not a root cause.
+						return
+					}
+					errs[rank] = fmt.Errorf("dist: rank %d panicked: %v", rank, rec)
+					w.bar.abort()
+				}
+			}()
+			c := &worldComm{w: w, rank: rank}
+			if err := fn(c); err != nil {
+				errs[rank] = err
+				w.bar.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Re-arm for the next Run and drop any stale point-to-point
+			// messages the failed run left queued.
+			w.bar.reset()
+			w.p2pMu.Lock()
+			w.p2p = make(map[[2]int]chan []float64)
+			w.p2pMu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// RankCost returns the accumulated cost of rank r.
+func (w *World) RankCost(r int) perf.Cost { return w.costs[r] }
+
+// MaxCost returns the component-wise maximum cost over ranks — the
+// bulk-synchronous critical path.
+func (w *World) MaxCost() perf.Cost {
+	var m perf.Cost
+	for _, c := range w.costs {
+		m = m.Max(c)
+	}
+	return m
+}
+
+// TotalCost returns the sum of all rank costs.
+func (w *World) TotalCost() perf.Cost {
+	var t perf.Cost
+	for _, c := range w.costs {
+		t.Add(c)
+	}
+	return t
+}
+
+// ModeledSeconds evaluates the alpha-beta-gamma model on the critical
+// path (max over ranks), the quantity the speedup figures report.
+func (w *World) ModeledSeconds() float64 {
+	return w.machine.Seconds(w.MaxCost())
+}
+
+// ResetCosts clears all per-rank cost counters.
+func (w *World) ResetCosts() {
+	for i := range w.costs {
+		w.costs[i] = perf.Cost{}
+	}
+}
+
+// Machine returns the world's machine model.
+func (w *World) Machine() perf.Machine { return w.machine }
+
+func (w *World) channel(from, to int) chan []float64 {
+	key := [2]int{from, to}
+	w.p2pMu.Lock()
+	defer w.p2pMu.Unlock()
+	ch, ok := w.p2p[key]
+	if !ok {
+		ch = make(chan []float64, 64)
+		w.p2p[key] = ch
+	}
+	return ch
+}
+
+// worldComm is the per-rank communicator handle.
+type worldComm struct {
+	w    *World
+	rank int
+}
+
+var _ Comm = (*worldComm)(nil)
+
+func (c *worldComm) Rank() int             { return c.rank }
+func (c *worldComm) Size() int             { return c.w.size }
+func (c *worldComm) Cost() *perf.Cost      { return &c.w.costs[c.rank] }
+func (c *worldComm) Machine() perf.Machine { return c.w.machine }
+
+// Barrier synchronizes all ranks and charges a log2(P)-depth
+// synchronization (1 word per message).
+func (c *worldComm) Barrier() {
+	if c.w.size == 1 {
+		return
+	}
+	c.w.bar.wait()
+	c.w.prof.record(kindBarrier, 0)
+	chargeTree(c.Cost(), c.w.size, 1, false)
+}
+
+// Allreduce combines buf across ranks and leaves the result everywhere.
+// Cost: recursive-doubling — log2(P) messages of len(buf) words plus
+// the reduction flops.
+func (c *worldComm) Allreduce(buf []float64, op Op) {
+	w := c.w
+	if w.size == 1 {
+		return
+	}
+	w.contrib[c.rank] = buf
+	w.bar.wait()
+	if c.rank == 0 {
+		if cap(w.scratch) < len(buf) {
+			w.scratch = make([]float64, len(buf))
+		}
+		res := w.scratch[:len(buf)]
+		copy(res, w.contrib[0])
+		for r := 1; r < w.size; r++ {
+			if len(w.contrib[r]) != len(buf) {
+				panic(fmt.Sprintf("dist: Allreduce length mismatch: rank 0 has %d, rank %d has %d",
+					len(buf), r, len(w.contrib[r])))
+			}
+			op.combine(res, w.contrib[r])
+		}
+		w.shared = res
+	}
+	w.bar.wait()
+	copy(buf, w.shared)
+	w.bar.wait() // all ranks copied before the scratch buffer is reused
+	w.prof.record(kindAllreduce, len(buf))
+	chargeTree(c.Cost(), w.size, int64(len(buf)), true)
+}
+
+// AllreduceShared sums local across ranks and hands every rank the same
+// freshly allocated, read-only result slice. Communication cost is
+// identical to Allreduce.
+func (c *worldComm) AllreduceShared(local []float64) []float64 {
+	w := c.w
+	if w.size == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return out
+	}
+	w.contrib[c.rank] = local
+	w.bar.wait()
+	if c.rank == 0 {
+		res := make([]float64, len(local))
+		copy(res, w.contrib[0])
+		for r := 1; r < w.size; r++ {
+			if len(w.contrib[r]) != len(local) {
+				panic(fmt.Sprintf("dist: AllreduceShared length mismatch: rank 0 has %d, rank %d has %d",
+					len(local), r, len(w.contrib[r])))
+			}
+			OpSum.combine(res, w.contrib[r])
+		}
+		w.shared = res
+	}
+	w.bar.wait()
+	out := w.shared
+	w.bar.wait()
+	w.prof.record(kindAllreduceShared, len(local))
+	chargeTree(c.Cost(), w.size, int64(len(local)), true)
+	return out
+}
+
+// Bcast copies root's buffer into every rank's buf. Cost: binomial
+// tree — log2(P) messages of len(buf) words.
+func (c *worldComm) Bcast(buf []float64, root int) {
+	w := c.w
+	if w.size == 1 {
+		return
+	}
+	if c.rank == root {
+		w.shared = buf
+	}
+	w.bar.wait()
+	if c.rank != root {
+		if len(w.shared) != len(buf) {
+			panic("dist: Bcast length mismatch")
+		}
+		copy(buf, w.shared)
+	}
+	w.bar.wait()
+	w.prof.record(kindBcast, len(buf))
+	chargeTree(c.Cost(), w.size, int64(len(buf)), false)
+}
+
+// Reduce combines buf across ranks into root's buf. Cost: binomial
+// tree — log2(P) messages plus reduction flops.
+func (c *worldComm) Reduce(buf []float64, op Op, root int) {
+	w := c.w
+	if w.size == 1 {
+		return
+	}
+	w.contrib[c.rank] = buf
+	w.bar.wait()
+	if c.rank == root {
+		for r := 0; r < w.size; r++ {
+			if r == root {
+				continue
+			}
+			if len(w.contrib[r]) != len(buf) {
+				panic("dist: Reduce length mismatch")
+			}
+			op.combine(buf, w.contrib[r])
+		}
+	}
+	w.bar.wait()
+	w.prof.record(kindReduce, len(buf))
+	chargeTree(c.Cost(), w.size, int64(len(buf)), true)
+}
+
+// Allgather concatenates per-rank slices in rank order. Cost: ring —
+// P-1 messages, moving the full concatenation minus the local part.
+func (c *worldComm) Allgather(local []float64) []float64 {
+	w := c.w
+	if w.size == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return out
+	}
+	w.contrib[c.rank] = local
+	w.lens[c.rank] = len(local)
+	w.bar.wait()
+	if c.rank == 0 {
+		total := 0
+		for _, n := range w.lens {
+			total += n
+		}
+		res := make([]float64, 0, total)
+		for r := 0; r < w.size; r++ {
+			res = append(res, w.contrib[r]...)
+		}
+		w.shared = res
+	}
+	w.bar.wait()
+	out := w.shared
+	w.bar.wait()
+	w.prof.record(kindAllgather, len(local))
+	// Ring: P-1 messages; charge the exact word total (not a
+	// truncated per-message average).
+	cost := c.Cost()
+	cost.Messages += int64(w.size - 1)
+	cost.Words += int64(len(out) - len(local))
+	return out
+}
+
+// Send transmits a copy of msg to rank to (eager, buffered).
+func (c *worldComm) Send(to int, msg []float64) {
+	if to < 0 || to >= c.w.size {
+		panic("dist: Send to invalid rank")
+	}
+	cp := make([]float64, len(msg))
+	copy(cp, msg)
+	c.w.channel(c.rank, to) <- cp
+	c.w.prof.record(kindSend, len(msg))
+	c.Cost().AddMessages(1, int64(len(msg)))
+}
+
+// Recv receives the next message sent by rank from. If the world
+// aborts (another rank failed) while waiting, Recv unwinds instead of
+// deadlocking.
+func (c *worldComm) Recv(from int) []float64 {
+	if from < 0 || from >= c.w.size {
+		panic("dist: Recv from invalid rank")
+	}
+	select {
+	case msg := <-c.w.channel(from, c.rank):
+		c.w.prof.record(kindRecv, len(msg))
+		c.Cost().AddMessages(1, int64(len(msg)))
+		return msg
+	case <-c.w.bar.aborting():
+		panic(errAborted)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

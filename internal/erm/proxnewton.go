@@ -1,0 +1,250 @@
+package erm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
+	"github.com/hpcgo/rcsfista/internal/rng"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/sparse"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// Options configures the general-loss Proximal Newton solver
+// (Algorithm 1 for the Eq. 1-2 problem class).
+type Options struct {
+	// Loss selects the per-sample loss; nil means Squared.
+	Loss Loss
+	// Reg is the non-smooth term g; nil means prox.L1{Lambda}.
+	Reg prox.Operator
+	// Lambda is the l1 penalty used when Reg is nil.
+	Lambda float64
+	// OuterIter bounds the Newton iterations; InnerIter the FISTA
+	// steps per subproblem.
+	OuterIter, InnerIter int
+	// B is the Hessian sampling rate in (0, 1].
+	B float64
+	// Ridge adds Ridge*I to the sampled Hessian (Levenberg-style
+	// damping); useful when subsampling can make H singular. Zero
+	// selects a small default of 1e-8.
+	Ridge float64
+	// LineSearch enables backtracking on the damping factor gamma_n.
+	LineSearch bool
+	// Tol stops when |F - FStar|/|FStar| <= Tol (needs FStar), or when
+	// the step norm falls below StepTol (always checked).
+	Tol, FStar float64
+	// StepTol is the minimum step infinity-norm before declaring
+	// convergence; zero selects 1e-10.
+	StepTol float64
+	// Seed drives Hessian sampling.
+	Seed uint64
+	// TraceName overrides the recorded series name.
+	TraceName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Loss == nil {
+		o.Loss = Squared{}
+	}
+	if o.Reg == nil {
+		o.Reg = prox.L1{Lambda: o.Lambda}
+	}
+	if o.OuterIter == 0 {
+		o.OuterIter = 50
+	}
+	if o.InnerIter == 0 {
+		o.InnerIter = 25
+	}
+	if o.B == 0 {
+		o.B = 1
+	}
+	if o.Ridge == 0 {
+		o.Ridge = 1e-8
+	}
+	if o.StepTol == 0 {
+		o.StepTol = 1e-10
+	}
+	if o.FStar == 0 {
+		o.FStar = math.NaN()
+	}
+	if o.TraceName == "" {
+		o.TraceName = "erm-pn-" + o.Loss.Name()
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.B <= 0 || o.B > 1 {
+		return fmt.Errorf("erm: sampling rate B = %g out of (0,1]", o.B)
+	}
+	if o.Lambda < 0 {
+		return errors.New("erm: Lambda must be non-negative")
+	}
+	return nil
+}
+
+// ProxNewton solves min (1/m) sum loss(x_i^T w, y_i) + g(w)
+// sequentially with sampled-Hessian Proximal Newton and FISTA
+// subproblem solves.
+func ProxNewton(x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
+	return DistProxNewton(dist.NewSelfComm(perf.Comet()), Partition(x, y, 1, 0), opts)
+}
+
+// LocalData is one rank's column (sample) block.
+type LocalData struct {
+	X         *sparse.CSC
+	Y         []float64
+	ColOffset int
+	MGlobal   int
+}
+
+// Partition returns rank's contiguous column block.
+func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
+	lo, hi := dist.BlockRange(x.Cols, size, rank)
+	return LocalData{X: x.ColSlice(lo, hi), Y: y[lo:hi], ColOffset: lo, MGlobal: x.Cols}
+}
+
+// DistProxNewton runs Algorithm 1 for a general loss on communicator
+// c. Per outer iteration: one allreduce of the exact gradient (d
+// words) and one allreduce of the sampled Hessian (d^2 words). The
+// iteration-overlapping of RC-SFISTA does NOT apply here because
+// H(w_n) depends on the current iterate (see the package comment);
+// this solver is the baseline the least-squares specialization
+// improves on.
+func DistProxNewton(c dist.Comm, local LocalData, opts Options) (*solver.Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if local.X == nil || local.X.Cols != len(local.Y) {
+		return nil, errors.New("erm: inconsistent local data")
+	}
+	d := local.X.Rows
+	m := local.MGlobal
+	mbar := int(opts.B * float64(m))
+	if mbar < 1 {
+		mbar = 1
+	}
+	cost := c.Cost()
+	start := time.Now()
+	src := rng.NewSource(opts.Seed)
+	localObj := NewObjective(local.X, local.Y, opts.Loss)
+
+	w := make([]float64, d)
+	grad := make([]float64, d)
+	h := mat.NewDense(d, d)
+	series := &trace.Series{Name: opts.TraceName}
+	res := &solver.Result{Trace: series, FinalRelErr: math.NaN()}
+
+	// globalValue evaluates F(w) with one scalar allreduce
+	// (instrumentation: cost rolled back).
+	globalValue := func(w []float64) float64 {
+		saved := *cost
+		f := localObj.Value(w, nil) * float64(local.X.Cols)
+		f = dist.AllreduceScalar(c, f, dist.OpSum) / float64(m)
+		*cost = saved
+		return f + opts.Reg.Value(w, nil)
+	}
+	checkpoint := func(outer int) bool {
+		f := globalValue(w)
+		re := math.NaN()
+		if !math.IsNaN(opts.FStar) {
+			if opts.FStar == 0 {
+				re = math.Abs(f)
+			} else {
+				re = math.Abs((f - opts.FStar) / opts.FStar)
+			}
+		}
+		res.FinalObj, res.FinalRelErr = f, re
+		if c.Rank() == 0 {
+			series.Append(trace.Point{
+				Iter: outer, Round: outer, Obj: f, RelErr: re,
+				ModelSec: c.Machine().Seconds(*cost),
+				WallSec:  time.Since(start).Seconds(),
+			})
+		}
+		return opts.Tol > 0 && !math.IsNaN(re) && re <= opts.Tol
+	}
+	checkpoint(0)
+
+	z := make([]float64, d)
+	dw := make([]float64, d)
+	cand := make([]float64, d)
+	fw := globalValue(w)
+	for outer := 1; outer <= opts.OuterIter; outer++ {
+		// Exact gradient: local partial (scaled by local share) + allreduce.
+		localObj.Gradient(grad, w, cost)
+		mat.Scal(float64(local.X.Cols)/float64(m), grad, cost)
+		c.Allreduce(grad, dist.OpSum)
+
+		// Sampled Hessian at w: shared global sample set, local
+		// contribution over owned columns, one d^2-word allreduce.
+		h.Zero()
+		global := src.Stream(4, outer).SampleWithoutReplacement(m, mbar)
+		localCols := make([]int, 0, len(global))
+		for _, j := range global {
+			if j >= local.ColOffset && j < local.ColOffset+local.X.Cols {
+				localCols = append(localCols, j-local.ColOffset)
+			}
+		}
+		// Note: SampledHessian scales by 1/len(cols); rescale so the
+		// global sum is (1/mbar) * sum over the whole sample set.
+		if len(localCols) > 0 {
+			localObj.SampledHessian(h, w, localCols, cost)
+			mat.Scal(float64(len(localCols))/float64(mbar), h.Data, cost)
+		}
+		c.Allreduce(h.Data, dist.OpSum)
+		for i := 0; i < d; i++ {
+			h.Set(i, i, h.At(i, i)+opts.Ridge)
+		}
+
+		// Subproblem (Eq. 19) solved by FISTA, warm-started at w.
+		quad := solver.NewSubproblem(h, w, grad, cost)
+		l := solver.EstimateQuadLipschitz(h, 20, cost)
+		if l <= 0 {
+			break
+		}
+		inner := solver.FISTAInner{Gamma: 1 / l}
+		copy(z, inner.Solve(quad, opts.Reg, w, opts.InnerIter, cost))
+
+		// Damped update with optional backtracking on F.
+		mat.Sub(dw, z, w, cost)
+		step := 1.0
+		if opts.LineSearch {
+			for trial := 0; trial < 30; trial++ {
+				mat.AddScaled(cand, w, step, dw, cost)
+				if f := globalValue(cand); f <= fw {
+					fw = f
+					break
+				}
+				step /= 2
+			}
+		}
+		mat.Axpy(step, dw, w, cost)
+		if !opts.LineSearch {
+			fw = globalValue(w)
+		}
+
+		res.Iters = outer
+		res.Rounds = outer
+		if checkpoint(outer) {
+			res.Converged = true
+			break
+		}
+		if mat.NrmInf(dw)*step <= opts.StepTol {
+			res.Converged = res.FinalRelErr <= opts.Tol || math.IsNaN(res.FinalRelErr)
+			break
+		}
+	}
+	res.W = w
+	res.Cost = *cost
+	res.ModelSeconds = c.Machine().Seconds(*cost)
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

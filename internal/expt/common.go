@@ -1,0 +1,184 @@
+// Package expt contains one driver per table and figure of the paper's
+// evaluation (Section 5). Each driver assembles the workload, runs the
+// solvers on the simulated distributed substrate, and renders the same
+// rows/series the paper reports. The drivers are shared by
+// cmd/experiments (full scale) and the repository-root benchmarks
+// (bench scale).
+package expt
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Experiment scales: Bench keeps every driver in the seconds range for
+// `go test -bench`; Full uses the DESIGN.md sizes (minutes).
+const (
+	Bench Scale = iota
+	Full
+)
+
+// Config parameterizes a run of the experiment suite.
+type Config struct {
+	// Scale selects Bench or Full sizing.
+	Scale Scale
+	// Seed drives data generation and sampling.
+	Seed uint64
+	// Machine is the cost model to report modeled time against.
+	Machine perf.Machine
+}
+
+// DefaultConfig returns the bench-scale configuration on the paper's
+// Comet machine model.
+func DefaultConfig() Config {
+	return Config{Scale: Bench, Seed: 42, Machine: perf.Comet()}
+}
+
+// Report is the rendered outcome of one experiment.
+type Report struct {
+	// ID is the paper artifact id, e.g. "figure4".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Text is the rendered human-readable body (tables and plots).
+	Text string
+	// Tables holds the structured tables for CSV export.
+	Tables []*trace.Table
+	// Series holds the convergence series for CSV export.
+	Series []*trace.Series
+	// Figures holds the plotted series groups for SVG export, one per
+	// rendered chart (max 8 series each — hues are never cycled).
+	Figures []Figure
+}
+
+// Figure is one renderable chart: a titled series group and its x axis.
+type Figure struct {
+	Title  string
+	Series []*trace.Series
+	Axis   trace.Axis
+}
+
+// instance is a prepared problem: data, tuned step size, and reference
+// optimum.
+type instance struct {
+	prob  *data.Problem
+	lip   float64
+	gamma float64
+	fstar float64
+	wstar []float64
+
+	gammaMu sync.Mutex
+	gammaB  map[float64]float64
+}
+
+// gammaForB returns the stable step size for sampling rate b: the
+// inverse of the sampled-spectrum Lipschitz estimate (cached per b).
+func (in *instance) gammaForB(b float64) float64 {
+	in.gammaMu.Lock()
+	defer in.gammaMu.Unlock()
+	if in.gammaB == nil {
+		in.gammaB = map[float64]float64{}
+	}
+	if g, ok := in.gammaB[b]; ok {
+		return g
+	}
+	l := solver.SampledLipschitz(in.prob.X, in.prob.Y, b, 8, 777)
+	g := solver.GammaFromLipschitz(l)
+	in.gammaB[b] = g
+	return g
+}
+
+// optionsForB returns baseOptions with the sampling rate and the
+// matching stable step size set.
+func (in *instance) optionsForB(cfg Config, b float64) solver.Options {
+	o := in.baseOptions(cfg)
+	o.B = b
+	o.Gamma = in.gammaForB(b)
+	return o
+}
+
+// dims returns the (samples, features) an experiment uses for a
+// dataset shape at the given scale.
+func dims(name string, s Scale) (m, d int) {
+	type sz struct{ m, d int }
+	bench := map[string]sz{
+		"abalone": {2000, 8},
+		"susy":    {8000, 18},
+		"covtype": {6000, 54},
+		"mnist":   {4000, 96},
+		"epsilon": {2000, 96},
+	}
+	full := map[string]sz{
+		"abalone": {4177, 8},
+		"susy":    {40000, 18},
+		"covtype": {24000, 54},
+		"mnist":   {8000, 196},
+		"epsilon": {4000, 256},
+	}
+	tbl := bench
+	if s == Full {
+		tbl = full
+	}
+	v, ok := tbl[name]
+	if !ok {
+		panic(fmt.Sprintf("expt: unknown dataset shape %q", name))
+	}
+	return v.m, v.d
+}
+
+var (
+	instMu    sync.Mutex
+	instCache = map[string]*instance{}
+)
+
+// prepare loads (and caches) a dataset instance with its Lipschitz
+// constant, step size and TFOCS-stand-in reference optimum.
+func prepare(cfg Config, name string) *instance {
+	m, d := dims(name, cfg.Scale)
+	key := fmt.Sprintf("%s/%d/%d/%d", name, m, d, cfg.Seed)
+	instMu.Lock()
+	defer instMu.Unlock()
+	if in, ok := instCache[key]; ok {
+		return in
+	}
+	p, err := data.LoadWith(name, m, d, cfg.Seed)
+	if err != nil {
+		panic("expt: " + err.Error())
+	}
+	l := prox.EstimateLipschitz(p.X, 50, nil, nil)
+	refIters := 4000
+	if cfg.Scale == Full {
+		refIters = 20000
+	}
+	wstar, fstar := solver.Reference(p.X, p.Y, p.Lambda, refIters)
+	in := &instance{prob: p, lip: l, gamma: solver.GammaFromLipschitz(l), fstar: fstar, wstar: wstar}
+	instCache[key] = in
+	return in
+}
+
+// baseOptions returns solver options bound to an instance with the
+// paper's stopping setup (tol = 1e-2, Section 5.3).
+func (in *instance) baseOptions(cfg Config) solver.Options {
+	o := solver.Defaults()
+	o.Lambda = in.prob.Lambda
+	o.Gamma = in.gamma
+	o.FStar = in.fstar
+	o.Tol = 1e-2
+	o.Seed = cfg.Seed
+	return o
+}
+
+// comparisonDatasets are the four benchmarks of Figures 3-7 / Table 3
+// (abalone is used in the convergence studies only).
+var comparisonDatasets = []string{"susy", "covtype", "mnist", "epsilon"}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }

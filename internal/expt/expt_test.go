@@ -1,0 +1,155 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised end-to-end by the root
+// benchmarks; these tests cover the fast drivers and the suite's
+// structural claims so `go test ./...` still validates the harness.
+
+func TestIDsResolve(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("%d experiment ids", len(ids))
+	}
+	for _, id := range ids {
+		if ByID(id) == nil {
+			t.Fatalf("id %q does not resolve", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestTable2Driver(t *testing.T) {
+	rep := Table2(DefaultConfig())
+	if rep.ID != "table2" || len(rep.Tables) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if len(rep.Tables[0].Rows) != 5 {
+		t.Fatalf("table has %d rows, want 5", len(rep.Tables[0].Rows))
+	}
+	for _, name := range []string{"abalone", "susy", "covtype", "mnist", "epsilon"} {
+		if !strings.Contains(rep.Text, name) {
+			t.Fatalf("missing %s in:\n%s", name, rep.Text)
+		}
+	}
+}
+
+func TestBoundsDriverAnchors(t *testing.T) {
+	rep := Bounds(DefaultConfig())
+	// The two quantitative anchors the paper states (Section 5.3).
+	if !strings.Contains(rep.Text, "covtype k_max (Eq. 25) = 2.4") {
+		t.Fatalf("covtype anchor missing:\n%s", rep.Text)
+	}
+	if !strings.Contains(rep.Text, "mnist S bound (Eq. 27, k=1) = 6.5") {
+		t.Fatalf("mnist anchor missing:\n%s", rep.Text)
+	}
+}
+
+func TestDimsKnownShapes(t *testing.T) {
+	for _, name := range []string{"abalone", "susy", "covtype", "mnist", "epsilon"} {
+		for _, s := range []Scale{Bench, Full} {
+			m, d := dims(name, s)
+			if m <= 0 || d <= 0 {
+				t.Fatalf("%s/%v: %dx%d", name, s, m, d)
+			}
+		}
+	}
+	mb, _ := dims("covtype", Bench)
+	mf, _ := dims("covtype", Full)
+	if mf <= mb {
+		t.Fatal("full scale not larger than bench scale")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown shape should panic")
+		}
+	}()
+	dims("nope", Bench)
+}
+
+func TestPrepareCachesInstances(t *testing.T) {
+	cfg := DefaultConfig()
+	a := prepare(cfg, "susy")
+	b := prepare(cfg, "susy")
+	if a != b {
+		t.Fatal("prepare did not cache")
+	}
+	if a.fstar <= 0 || a.gamma <= 0 || a.lip <= 0 {
+		t.Fatalf("instance not fully prepared: %+v", a)
+	}
+}
+
+func TestGammaForBCaching(t *testing.T) {
+	in := prepare(DefaultConfig(), "susy")
+	g1 := in.gammaForB(0.25)
+	g2 := in.gammaForB(0.25)
+	if g1 != g2 {
+		t.Fatal("gammaForB not deterministic")
+	}
+	gFull := in.gammaForB(1.0)
+	if g1 > gFull*1.01 {
+		t.Fatalf("subsampled step %g larger than full-batch %g", g1, gFull)
+	}
+}
+
+func TestFigure2bIdentityClaim(t *testing.T) {
+	// The headline exact-arithmetic claim must hold in the rendered
+	// report: iterates identical across k.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep := Figure2b(DefaultConfig())
+	if !strings.Contains(rep.Text, "identical across k (exact-arithmetic claim of Section 3.2): true") {
+		t.Fatalf("k-invariance violated:\n%s", rep.Text)
+	}
+}
+
+func TestTable1LatencyClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep := Table1(DefaultConfig())
+	if !strings.Contains(rep.Text, "latency counters match closed form exactly: true") {
+		t.Fatalf("Table 1 latency mismatch:\n%s", rep.Text)
+	}
+}
+
+func TestExtensionDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := Scaling(DefaultConfig())
+	if sc.ID != "scaling" || len(sc.Tables) != 1 || len(sc.Tables[0].Rows) == 0 {
+		t.Fatalf("scaling report: %+v", sc)
+	}
+	mc := Machines(DefaultConfig())
+	if mc.ID != "machines" || !strings.Contains(mc.Text, "high-latency") {
+		t.Fatalf("machines report:\n%s", mc.Text)
+	}
+	// The Eq. 25 trend: high-latency row must show larger speedups
+	// than low-latency (structural check on the rendered rows).
+	var lowRow, hiRow string
+	for _, r := range mc.Tables[0].Rows {
+		switch r[0] {
+		case "low-latency":
+			lowRow = r[len(r)-1]
+		case "high-latency":
+			hiRow = r[len(r)-1]
+		}
+	}
+	if lowRow == "" || hiRow == "" {
+		t.Fatal("machine rows missing")
+	}
+	var lo, hi float64
+	fmt.Sscanf(lowRow, "%fx", &lo)
+	fmt.Sscanf(hiRow, "%fx", &hi)
+	if hi <= lo {
+		t.Fatalf("high-latency speedup %v not above low-latency %v", hi, lo)
+	}
+}

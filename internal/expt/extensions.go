@@ -1,0 +1,101 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// Scaling is an extension experiment (not a paper artifact): a strong
+// scaling study of RC-SFISTA. For a fixed covtype-shaped problem and
+// iteration budget, the modeled time is decomposed into
+// compute/latency/bandwidth per processor count, with and without
+// iteration-overlapping. It quantifies where each regime's scaling
+// stalls — the phenomenon Figures 4/5 exploit.
+func Scaling(cfg Config) *Report {
+	in := prepare(cfg, "covtype")
+	iters := 128
+	procs := []int{1, 2, 4, 8, 16, 32, 64}
+	if cfg.Scale == Full {
+		iters = 256
+		procs = append(procs, 128, 256)
+	}
+	tbl := &trace.Table{
+		Title: fmt.Sprintf("Extension: strong scaling (covtype shape, N=%d, b=0.1, %s)",
+			iters, cfg.Machine.Name),
+		Headers: []string{"P", "k", "compute s", "latency s", "bandwidth s", "total s", "vs P=1"},
+	}
+	var t1 float64
+	for _, p := range procs {
+		for _, k := range []int{1, 8} {
+			o := in.optionsForB(cfg, 0.1)
+			o.Tol = 0
+			o.MaxIter = iters
+			o.K = k
+			o.VarianceReduced = false
+			o.EvalEvery = iters
+			w := dist.NewWorld(p, cfg.Machine)
+			res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
+			if err != nil {
+				panic("expt: scaling: " + err.Error())
+			}
+			c := res.Cost
+			comp := cfg.Machine.Gamma * float64(c.Flops)
+			lat := cfg.Machine.Alpha * float64(c.Messages)
+			bw := cfg.Machine.Beta * float64(c.Words)
+			total := comp + lat + bw
+			if p == 1 && k == 1 {
+				t1 = total
+			}
+			tbl.AddRow(fmt.Sprint(p), fmt.Sprint(k),
+				fmt.Sprintf("%.3g", comp), fmt.Sprintf("%.3g", lat), fmt.Sprintf("%.3g", bw),
+				fmt.Sprintf("%.3g", total), fmt.Sprintf("%.2fx", t1/total))
+		}
+	}
+	var b strings.Builder
+	b.WriteString(tbl.Render())
+	b.WriteString("\ncompute shrinks ~1/P while latency/bandwidth grow with log P; k=8 strips most of the\n")
+	b.WriteString("latency term, moving the scaling knee outward.\n")
+	return &Report{ID: "scaling", Title: "Strong scaling decomposition (extension)",
+		Text: b.String(), Tables: []*trace.Table{tbl}}
+}
+
+// Machines is an extension experiment: the k-speedup as a function of
+// the machine's latency/bandwidth ratio, the Eq. 25 sensitivity. The
+// same fixed-budget run is priced on three machine profiles.
+func Machines(cfg Config) *Report {
+	in := prepare(cfg, "covtype")
+	iters := 128
+	const p = 16
+	machines := []perf.Machine{perf.LowLatency(), perf.Comet(), perf.HighLatency()}
+	ks := []int{2, 8, 32}
+	tbl := &trace.Table{
+		Title:   fmt.Sprintf("Extension: overlap speedup vs machine profile (covtype shape, P=%d, N=%d)", p, iters),
+		Headers: append([]string{"machine", "alpha/beta", "k_max (Eq. 25)"}, kHeaders(ks)...),
+	}
+	for _, m := range machines {
+		sub := cfg
+		sub.Machine = m
+		base := runFixedIters(sub, in, p, 1, iters)
+		bounds := perf.ParameterBounds(m, perf.AlgoParams{
+			N: iters, P: p, D: in.prob.X.Rows,
+			MBar: int(0.1 * float64(in.prob.X.Cols)), Fill: in.prob.Density(),
+		})
+		row := []string{m.Name, fmt.Sprintf("%.3g", m.Alpha/m.Beta), fmtF(bounds.KLatencyBandwidth)}
+		for _, k := range ks {
+			t := runFixedIters(sub, in, p, k, iters)
+			row = append(row, fmt.Sprintf("%.2fx", perf.Speedup(base, t)))
+		}
+		tbl.AddRow(row...)
+	}
+	var b strings.Builder
+	b.WriteString(tbl.Render())
+	b.WriteString("\niteration-overlapping pays in proportion to the machine's alpha/beta ratio (Eq. 25):\n")
+	b.WriteString("negligible on low-latency fabrics, multiples on high-latency (cloud-like) networks.\n")
+	return &Report{ID: "machines", Title: "Machine sensitivity of overlap (extension)",
+		Text: b.String(), Tables: []*trace.Table{tbl}}
+}

@@ -1,0 +1,86 @@
+package mat
+
+import (
+	"errors"
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// ErrNotSPD reports that a matrix passed to Cholesky is not (numerically)
+// symmetric positive definite.
+var ErrNotSPD = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L L^T for a
+// symmetric positive definite matrix. A is read from the lower
+// triangle; the factor is returned in a fresh matrix with zeros above
+// the diagonal.
+func Cholesky(a *Dense, c *perf.Cost) (*Dense, error) {
+	if a.Rows != a.Cols {
+		panic("mat: Cholesky needs a square matrix")
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var diag float64
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			diag += lj[k] * lj[k]
+		}
+		diag = a.At(j, j) - diag
+		if diag <= 0 || math.IsNaN(diag) {
+			return nil, ErrNotSPD
+		}
+		ljj := math.Sqrt(diag)
+		lj[j] = ljj
+		for i := j + 1; i < n; i++ {
+			li := l.Row(i)
+			var s float64
+			for k := 0; k < j; k++ {
+				s += li[k] * lj[k]
+			}
+			li[j] = (a.At(i, j) - s) / ljj
+		}
+	}
+	c.AddFlops(int64(n) * int64(n) * int64(n) / 3)
+	return l, nil
+}
+
+// CholeskySolve solves A x = b given the Cholesky factor L of A,
+// overwriting and returning x (b is not modified).
+func CholeskySolve(l *Dense, b []float64, c *perf.Cost) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("mat: CholeskySolve dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward: L z = b.
+	for i := 0; i < n; i++ {
+		li := l.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= li[k] * x[k]
+		}
+		x[i] = s / li[i]
+	}
+	// Backward: L^T x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	c.AddFlops(int64(2 * n * n))
+	return x
+}
+
+// SolveSPD solves A x = b for symmetric positive definite A.
+func SolveSPD(a *Dense, b []float64, c *perf.Cost) ([]float64, error) {
+	l, err := Cholesky(a, c)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b, c), nil
+}

@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func spdFromData(vals []float64, n int) *Dense {
+	// A = B B^T + I is always SPD.
+	b := DenseOf(n, n, vals)
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	a := spdFromData([]float64{1, 2, -1, 0.5, 3, 1, -2, 0, 1}, 3)
+	l, err := Cholesky(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L L^T must equal A.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-10 {
+				t.Fatalf("LL^T(%d,%d) = %g, want %g", i, j, s, a.At(i, j))
+			}
+		}
+	}
+	// Upper triangle of L is zero.
+	if l.At(0, 2) != 0 || l.At(0, 1) != 0 || l.At(1, 2) != 0 {
+		t.Fatal("L not lower triangular")
+	}
+}
+
+func TestSolveSPDProperty(t *testing.T) {
+	f := func(vals [16]float64, rhs [4]float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		for _, v := range rhs {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		a := spdFromData(append([]float64(nil), vals[:]...), 4)
+		x, err := SolveSPD(a, rhs[:], nil)
+		if err != nil {
+			return false
+		}
+		// Check A x = b.
+		ax := make([]float64, 4)
+		a.MulVec(ax, x, nil)
+		for i := range ax {
+			if math.Abs(ax[i]-rhs[i]) > 1e-6*(1+math.Abs(rhs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := DenseOf(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a, nil); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	zero := NewDense(2, 2)
+	if _, err := Cholesky(zero, nil); err == nil {
+		t.Fatal("zero matrix accepted")
+	}
+}
+
+func TestCholeskyIdentity(t *testing.T) {
+	a := NewDense(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 4)
+	}
+	l, err := Cholesky(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if l.At(i, i) != 2 {
+			t.Fatalf("L diag = %g", l.At(i, i))
+		}
+	}
+	x := CholeskySolve(l, []float64{4, 8, 12}, nil)
+	want := []float64{1, 2, 3}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-14 {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+func TestNewDense(t *testing.T) {
+	a := NewDense(2, 3)
+	if a.Rows != 2 || a.Cols != 3 || len(a.Data) != 6 {
+		t.Fatalf("NewDense shape: %+v", a)
+	}
+	a.Set(1, 2, 5)
+	if a.At(1, 2) != 5 || a.Data[5] != 5 {
+		t.Fatal("Set/At row-major layout broken")
+	}
+}
+
+func TestDenseOfValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong data length")
+		}
+	}()
+	DenseOf(2, 2, []float64{1, 2, 3})
+}
+
+func TestRowIsView(t *testing.T) {
+	a := NewDense(2, 2)
+	r := a.Row(1)
+	r[0] = 42
+	if a.At(1, 0) != 42 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := DenseOf(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 2)
+	a.MulVec(y, []float64{1, 0, -1}, nil)
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	a := DenseOf(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 3)
+	a.MulVecT(y, []float64{1, -1}, nil)
+	want := []float64{-3, -3, -3}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMulVecTransposeConsistencyProperty(t *testing.T) {
+	// <Ax, y> == <x, A^T y> for all A, x, y.
+	f := func(data [12]float64, x [4]float64, y [3]float64) bool {
+		for _, v := range data {
+			if math.Abs(v) > 1e50 {
+				return true
+			}
+		}
+		a := DenseOf(3, 4, append([]float64(nil), data[:]...))
+		ax := make([]float64, 3)
+		a.MulVec(ax, x[:], nil)
+		aty := make([]float64, 4)
+		a.MulVecT(aty, y[:], nil)
+		lhs := Dot(ax, y[:], nil)
+		rhs := Dot(x[:], aty, nil)
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := DenseOf(2, 2, []float64{1, 2, 3, 4})
+	b := DenseOf(2, 2, []float64{0, 1, 1, 0})
+	c := NewDense(2, 2)
+	Mul(c, a, b, nil)
+	want := []float64{2, 1, 4, 3}
+	for i, v := range c.Data {
+		if v != want[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	f := func(data [9]float64) bool {
+		a := DenseOf(3, 3, append([]float64(nil), data[:]...))
+		id := NewDense(3, 3)
+		for i := 0; i < 3; i++ {
+			id.Set(i, i, 1)
+		}
+		c := NewDense(3, 3)
+		Mul(c, a, id, nil)
+		for i, v := range c.Data {
+			want := a.Data[i]
+			if v != want && !(math.IsNaN(v) && math.IsNaN(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymOuterUpdate(t *testing.T) {
+	h := NewDense(3, 3)
+	SymOuterUpdate(h, 2, []float64{1, 0, -2}, nil)
+	// H = 2 * x x^T
+	want := [][]float64{{2, 0, -4}, {0, 0, 0}, {-4, 0, 8}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if h.At(i, j) != want[i][j] {
+				t.Fatalf("H[%d][%d] = %g, want %g", i, j, h.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSymOuterUpdateSymmetryProperty(t *testing.T) {
+	f := func(x [5]float64, s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return true
+		}
+		h := NewDense(5, 5)
+		SymOuterUpdate(h, s, x[:], nil)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				a, b := h.At(i, j), h.At(j, i)
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	h := DenseOf(2, 2, []float64{1, 2, 4, 3})
+	Symmetrize(h, nil)
+	if h.At(0, 1) != 3 || h.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize = %v", h.Data)
+	}
+	// Idempotent.
+	Symmetrize(h, nil)
+	if h.At(0, 1) != 3 {
+		t.Fatal("Symmetrize not idempotent")
+	}
+}
+
+func TestAddScaledMat(t *testing.T) {
+	a := DenseOf(2, 2, []float64{1, 1, 1, 1})
+	b := DenseOf(2, 2, []float64{1, 2, 3, 4})
+	AddScaledMat(a, 2, b, nil)
+	want := []float64{3, 5, 7, 9}
+	for i, v := range a.Data {
+		if v != want[i] {
+			t.Fatalf("AddScaledMat = %v", a.Data)
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := DenseOf(1, 3, []float64{1, 2, 3})
+	b := DenseOf(1, 3, []float64{1, 5, 2})
+	if got := MaxAbsDiff(a, b); got != 3 {
+		t.Fatalf("MaxAbsDiff = %g", got)
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	a := DenseOf(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDenseDimPanics(t *testing.T) {
+	a := NewDense(2, 3)
+	cases := []func(){
+		func() { a.MulVec(make([]float64, 2), make([]float64, 2), nil) },
+		func() { a.MulVecT(make([]float64, 2), make([]float64, 2), nil) },
+		func() { Mul(NewDense(2, 2), a, a, nil) },
+		func() { SymOuterUpdate(a, 1, make([]float64, 2), nil) },
+		func() { Symmetrize(a, nil) },
+		func() { MaxAbsDiff(a, NewDense(3, 2)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDenseFlopAccounting(t *testing.T) {
+	a := NewDense(4, 5)
+	x := make([]float64, 5)
+	y := make([]float64, 4)
+	var c perf.Cost
+	a.MulVec(y, x, &c)
+	if c.Flops != 2*4*5 {
+		t.Fatalf("MulVec charged %d flops, want 40", c.Flops)
+	}
+}

@@ -1,0 +1,113 @@
+package perf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cost accumulates the three components of the alpha-beta-gamma model
+// for one processor: flops executed, messages sent and words moved.
+// The zero value is an empty cost, ready to use.
+type Cost struct {
+	// Flops is the number of floating point operations (F in Eq. 7).
+	Flops int64
+	// Messages is the number of messages sent (L in Eq. 7).
+	Messages int64
+	// Words is the number of 8-byte words moved (W in Eq. 7).
+	Words int64
+}
+
+// AddFlops charges n floating point operations. Safe to call on a nil
+// receiver, which makes cost accounting optional in compute kernels.
+func (c *Cost) AddFlops(n int64) {
+	if c == nil {
+		return
+	}
+	c.Flops += n
+}
+
+// AddMessages charges n messages carrying words words each.
+func (c *Cost) AddMessages(n, words int64) {
+	if c == nil {
+		return
+	}
+	c.Messages += n
+	c.Words += n * words
+}
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	if c == nil {
+		return
+	}
+	c.Flops += other.Flops
+	c.Messages += other.Messages
+	c.Words += other.Words
+}
+
+// Sub returns c minus other, used to isolate the cost of a region.
+func (c Cost) Sub(other Cost) Cost {
+	return Cost{
+		Flops:    c.Flops - other.Flops,
+		Messages: c.Messages - other.Messages,
+		Words:    c.Words - other.Words,
+	}
+}
+
+// Plus returns the sum of two costs without mutating either.
+func (c Cost) Plus(other Cost) Cost {
+	return Cost{
+		Flops:    c.Flops + other.Flops,
+		Messages: c.Messages + other.Messages,
+		Words:    c.Words + other.Words,
+	}
+}
+
+// Max returns the component-wise maximum of two costs. In a bulk
+// synchronous run the critical path is the maximum over processors.
+func (c Cost) Max(other Cost) Cost {
+	out := c
+	if other.Flops > out.Flops {
+		out.Flops = other.Flops
+	}
+	if other.Messages > out.Messages {
+		out.Messages = other.Messages
+	}
+	if other.Words > out.Words {
+		out.Words = other.Words
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (c Cost) String() string {
+	return fmt.Sprintf("F=%d L=%d W=%d", c.Flops, c.Messages, c.Words)
+}
+
+// Tracker is a concurrency-safe cost accumulator, used when several
+// goroutines charge into a single aggregate (e.g. a whole World).
+type Tracker struct {
+	mu   sync.Mutex
+	cost Cost
+}
+
+// Charge adds c to the tracked total.
+func (t *Tracker) Charge(c Cost) {
+	t.mu.Lock()
+	t.cost.Add(c)
+	t.mu.Unlock()
+}
+
+// Total returns a snapshot of the accumulated cost.
+func (t *Tracker) Total() Cost {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cost
+}
+
+// Reset clears the tracked total.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	t.cost = Cost{}
+	t.mu.Unlock()
+}

@@ -1,0 +1,123 @@
+package perf
+
+import "math"
+
+// Log2Ceil returns ceil(log2(p)) for p >= 1, the tree depth of the
+// collective algorithms assumed by the paper's cost analysis.
+func Log2Ceil(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(p))))
+}
+
+// AlgoParams collects the problem- and algorithm-level quantities that
+// enter the Table 1 cost formulas.
+type AlgoParams struct {
+	// N is the total number of (inner) iterations.
+	N int
+	// P is the number of processors.
+	P int
+	// D is the number of features (rows of X, columns of the Hessian).
+	D int
+	// MBar is the mini-batch size m-bar = floor(b*m).
+	MBar int
+	// Fill is the non-zero density f of the data matrix, in (0, 1].
+	Fill float64
+	// K is the iteration-overlapping parameter (RC-SFISTA only).
+	K int
+	// S is the Hessian-reuse inner loop parameter (RC-SFISTA only).
+	S int
+}
+
+// SFISTACost evaluates the Table 1 row for SFISTA: latency O(N log P),
+// flops O(N d^2 mbar f / P) and bandwidth O(N d^2 log P). Constants are
+// taken as 1, matching the paper's big-O book-keeping.
+func SFISTACost(p AlgoParams) Cost {
+	lg := float64(Log2Ceil(p.P))
+	n := float64(p.N)
+	d2 := float64(p.D) * float64(p.D)
+	return Cost{
+		Messages: int64(n * lg),
+		Flops:    int64(n * d2 * float64(p.MBar) * p.Fill / float64(p.P)),
+		Words:    int64(n * d2 * lg),
+	}
+}
+
+// RCSFISTACost evaluates the Table 1 row for RC-SFISTA: latency is
+// reduced by the factor k, bandwidth is unchanged, and the Hessian-reuse
+// loop adds S*d^2 flops.
+func RCSFISTACost(p AlgoParams) Cost {
+	k := p.K
+	if k < 1 {
+		k = 1
+	}
+	s := p.S
+	if s < 1 {
+		s = 1
+	}
+	lg := float64(Log2Ceil(p.P))
+	n := float64(p.N)
+	d2 := float64(p.D) * float64(p.D)
+	return Cost{
+		Messages: int64(math.Ceil(n * lg / float64(k))),
+		Flops:    int64(n*d2*float64(p.MBar)*p.Fill/float64(p.P) + float64(s)*d2),
+		Words:    int64(n * d2 * lg),
+	}
+}
+
+// Runtime evaluates Eq. 24, the total modeled runtime of RC-SFISTA:
+//
+//	T = gamma*(N d^2 mbar f / P + S d^2) + alpha*(N log P / k) + beta*(N d^2 log P)
+func Runtime(m Machine, p AlgoParams) float64 {
+	return m.Seconds(RCSFISTACost(p))
+}
+
+// Bounds groups the theoretical upper bounds of Section 4.2 for a given
+// machine and problem. A zero field means the bound is unbounded or not
+// applicable for the supplied parameters.
+type Bounds struct {
+	// KLatencyBandwidth is Eq. 25: k <= alpha / (beta d^2). Above this
+	// value the latency term no longer dominates bandwidth.
+	KLatencyBandwidth float64
+	// KFlops is Eq. 26: k <= alpha N P log(P) / (gamma [N d^2 mbar f + S d^2 P]).
+	KFlops float64
+	// KSProduct is Eq. 27, the very-sparse (f ~ 0) trade-off:
+	// k*S <= alpha N log(P) / (gamma d^2).
+	KSProduct float64
+	// SMax is Eq. 28: S <= beta N log(P) / gamma, obtained by plugging
+	// the Eq. 25 bound for k into Eq. 27.
+	SMax float64
+}
+
+// ParameterBounds evaluates Eqs. 25-28 for machine m and parameters p.
+// The S value in p enters the Eq. 26 bound for k.
+func ParameterBounds(m Machine, p AlgoParams) Bounds {
+	d2 := float64(p.D) * float64(p.D)
+	lg := float64(Log2Ceil(p.P))
+	n := float64(p.N)
+	s := float64(p.S)
+	if s < 1 {
+		s = 1
+	}
+	var b Bounds
+	b.KLatencyBandwidth = m.Alpha / (m.Beta * d2)
+	denom := m.Gamma * (n*d2*float64(p.MBar)*p.Fill + s*d2*float64(p.P))
+	if denom > 0 {
+		b.KFlops = m.Alpha * n * float64(p.P) * lg / denom
+	}
+	if m.Gamma > 0 && d2 > 0 {
+		b.KSProduct = m.Alpha * n * lg / (m.Gamma * d2)
+	}
+	b.SMax = m.Beta * n * lg / m.Gamma
+	return b
+}
+
+// Speedup returns tBase / tNew, the conventional speedup ratio, or 0 if
+// tNew is not positive.
+func Speedup(tBase, tNew float64) float64 {
+	if tNew <= 0 {
+		return 0
+	}
+	return tBase / tNew
+}

@@ -1,0 +1,31 @@
+package prox_test
+
+import (
+	"fmt"
+
+	"github.com/hpcgo/rcsfista/internal/prox"
+)
+
+// ExampleSoftThreshold shows the l1 shrinkage operator of Eq. 14.
+func ExampleSoftThreshold() {
+	for _, b := range []float64{3, 0.5, -2} {
+		fmt.Printf("S_1(%g) = %g\n", b, prox.SoftThreshold(b, 1))
+	}
+	// Output:
+	// S_1(3) = 2
+	// S_1(0.5) = 0
+	// S_1(-2) = -1
+}
+
+// ExampleL1 applies the full proximal mapping of lambda*||.||_1.
+func ExampleL1() {
+	g := prox.L1{Lambda: 0.5}
+	v := []float64{2, -0.2, -1}
+	dst := make([]float64, 3)
+	g.Apply(dst, v, 1.0, nil) // gamma = 1 -> threshold 0.5
+	fmt.Println(dst)
+	fmt.Println("g(v) =", g.Value(v, nil))
+	// Output:
+	// [1.5 0 -0.5]
+	// g(v) = 1.6
+}

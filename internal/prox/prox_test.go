@@ -1,0 +1,208 @@
+package prox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftThresholdBasics(t *testing.T) {
+	cases := []struct{ b, a, want float64 }{
+		{5, 2, 3},
+		{-5, 2, -3},
+		{1, 2, 0},
+		{-1, 2, 0},
+		{0, 0, 0},
+		{3, 0, 3},
+		{2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := SoftThreshold(c.b, c.a); got != c.want {
+			t.Fatalf("S_%g(%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSoftThresholdProperties(t *testing.T) {
+	// |S_a(b)| <= |b| (shrinkage), sign preserved, and the
+	// non-expansiveness |S_a(x)-S_a(y)| <= |x-y|.
+	f := func(x, y float64, a0 float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(a0) ||
+			math.Abs(x) > 1e100 || math.Abs(y) > 1e100 || math.Abs(a0) > 1e100 {
+			// At ~1e308 scale one ulp exceeds any absolute slack;
+			// the property is about finite ordinary magnitudes.
+			return true
+		}
+		a := math.Abs(a0)
+		sx, sy := SoftThreshold(x, a), SoftThreshold(y, a)
+		if math.Abs(sx) > math.Abs(x) {
+			return false
+		}
+		if sx != 0 && math.Signbit(sx) != math.Signbit(x) {
+			return false
+		}
+		return math.Abs(sx-sy) <= math.Abs(x-y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// proxOptimalityL1 checks the prox subgradient condition:
+// p = Prox(v) iff (v - p)/gamma is in the subdifferential of g at p.
+// For L1 with penalty lam: (v-p)/gamma = lam*sign(p) when p != 0, and
+// |(v-p)/gamma| <= lam when p = 0.
+func proxOptimalityL1(v, p, gamma, lam float64) bool {
+	g := (v - p) / gamma
+	if p != 0 {
+		return math.Abs(g-lam*sign(p)) < 1e-9
+	}
+	return math.Abs(g) <= lam+1e-9
+}
+
+func sign(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	if x < 0 {
+		return -1
+	}
+	return 0
+}
+
+func TestL1ProxOptimalityProperty(t *testing.T) {
+	g := L1{Lambda: 0.7}
+	f := func(vs [6]float64) bool {
+		v := vs[:]
+		for i := range v {
+			if math.Abs(v[i]) > 1e100 {
+				return true
+			}
+		}
+		dst := make([]float64, len(v))
+		g.Apply(dst, v, 0.5, nil)
+		for i := range v {
+			if !proxOptimalityL1(v[i], dst[i], 0.5, 0.7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL1Value(t *testing.T) {
+	g := L1{Lambda: 2}
+	if got := g.Value([]float64{1, -3, 0.5}, nil); got != 9 {
+		t.Fatalf("L1 value = %g", got)
+	}
+}
+
+func TestL1ApplyAliasing(t *testing.T) {
+	g := L1{Lambda: 1}
+	v := []float64{2, -0.5, -3}
+	g.Apply(v, v, 1, nil)
+	want := []float64{1, 0, -2}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("aliased Apply = %v", v)
+		}
+	}
+}
+
+func TestL2SquaredProx(t *testing.T) {
+	g := L2Squared{Lambda: 3}
+	v := []float64{4}
+	dst := make([]float64, 1)
+	g.Apply(dst, v, 1, nil)
+	// argmin (1/2)(x-4)^2 + (3/2)x^2 -> x = 4/(1+3) = 1.
+	if dst[0] != 1 {
+		t.Fatalf("L2 prox = %g", dst[0])
+	}
+	if got := g.Value([]float64{2}, nil); got != 6 {
+		t.Fatalf("L2 value = %g", got)
+	}
+}
+
+func TestElasticNetReducesToParts(t *testing.T) {
+	v := []float64{3, -2, 0.1}
+	gamma := 0.5
+	// Lambda2 = 0 -> pure L1.
+	en := ElasticNet{Lambda1: 1, Lambda2: 0}
+	l1 := L1{Lambda: 1}
+	a := make([]float64, 3)
+	b := make([]float64, 3)
+	en.Apply(a, v, gamma, nil)
+	l1.Apply(b, v, gamma, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ElasticNet(l2=0) != L1 at %d", i)
+		}
+	}
+	// Lambda1 = 0 -> pure L2.
+	en = ElasticNet{Lambda1: 0, Lambda2: 2}
+	l2 := L2Squared{Lambda: 2}
+	en.Apply(a, v, gamma, nil)
+	l2.Apply(b, v, gamma, nil)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-15 {
+			t.Fatalf("ElasticNet(l1=0) != L2 at %d", i)
+		}
+	}
+	if en.Value(v, nil) != l2.Value(v, nil) {
+		t.Fatal("ElasticNet value mismatch")
+	}
+}
+
+func TestZeroProxIsIdentity(t *testing.T) {
+	var g Zero
+	v := []float64{1, -2, 3}
+	dst := make([]float64, 3)
+	g.Apply(dst, v, 10, nil)
+	for i := range v {
+		if dst[i] != v[i] {
+			t.Fatal("Zero prox is not identity")
+		}
+	}
+	if g.Value(v, nil) != 0 {
+		t.Fatal("Zero value != 0")
+	}
+}
+
+func TestProxDecreasesObjectiveProperty(t *testing.T) {
+	// For any v, the prox point p must satisfy
+	// (1/2gamma)||p-v||^2 + g(p) <= g(v) (take x = v in the argmin).
+	ops := []Operator{L1{Lambda: 0.3}, L2Squared{Lambda: 0.8}, ElasticNet{Lambda1: 0.2, Lambda2: 0.4}}
+	f := func(vs [5]float64, g0 float64) bool {
+		gamma := math.Abs(g0)
+		if gamma < 1e-6 || gamma > 1e6 || math.IsNaN(gamma) {
+			return true
+		}
+		for _, v := range vs {
+			if math.Abs(v) > 1e50 {
+				return true
+			}
+		}
+		for _, op := range ops {
+			v := append([]float64(nil), vs[:]...)
+			p := make([]float64, len(v))
+			op.Apply(p, v, gamma, nil)
+			var dist float64
+			for i := range p {
+				d := p[i] - v[i]
+				dist += d * d
+			}
+			lhs := dist/(2*gamma) + op.Value(p, nil)
+			rhs := op.Value(v, nil)
+			if lhs > rhs*(1+1e-9)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

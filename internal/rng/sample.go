@@ -1,0 +1,47 @@
+package rng
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly
+// from [0, n), in the order they were drawn. It panics if k > n or if
+// either argument is negative. The algorithm is a partial Fisher-Yates
+// over a lazily materialized identity permutation, which costs O(k)
+// time and memory regardless of n.
+func (r *Rng) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("rng: invalid SampleWithoutReplacement arguments")
+	}
+	out := make([]int, k)
+	swapped := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		out[i] = vj
+		swapped[j] = vi
+		swapped[i] = vj
+	}
+	return out
+}
+
+// SampleWithReplacement returns k indices drawn uniformly and
+// independently from [0, n).
+func (r *Rng) SampleWithReplacement(n, k int) []int {
+	if k < 0 || n <= 0 {
+		panic("rng: invalid SampleWithReplacement arguments")
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = r.Intn(n)
+	}
+	return out
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rng) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}

@@ -1,0 +1,180 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
+)
+
+func TestProxSVRGConverges(t *testing.T) {
+	p, gamma, fstar := testProblem(t, 20, 400, 0.6)
+	o := Defaults()
+	o.Lambda = p.Lambda
+	o.Gamma = gamma
+	o.FStar = fstar
+	o.Tol = 1e-3
+	o.B = 0.2
+	o.MaxIter = 8000
+	o.EpochLen = 60
+	res, err := ProxSVRG(p.X, p.Y, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("Prox-SVRG stalled at relerr %g after %d iters", res.FinalRelErr, res.Iters)
+	}
+}
+
+func TestSFISTABeatsProxSVRG(t *testing.T) {
+	// Same variance-reduced estimator, same step, same sampling: the
+	// accelerated method must reach the tolerance in fewer updates on
+	// an ill-conditioned instance.
+	p, err := data.LoadWith("covtype", 2000, 54, 88)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fstar := Reference(p.X, p.Y, p.Lambda, 15000)
+	gamma := GammaFromLipschitz(SampledLipschitz(p.X, p.Y, 0.1, 8, 88))
+	o := Defaults()
+	o.Lambda = p.Lambda
+	o.Gamma = gamma
+	o.FStar = fstar
+	o.Tol = 1e-2
+	o.B = 0.1
+	o.MaxIter = 60000
+	o.EvalEvery = 10
+	o.EpochLen = 40
+
+	svrg, err := ProxSVRG(p.X, p.Y, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dist.NewSelfComm(perf.Comet())
+	sfista, err := RCSFISTA(c, Partition(p.X, p.Y, 1, 0), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svrg.Converged || !sfista.Converged {
+		t.Fatalf("convergence: svrg=%v sfista=%v", svrg.Converged, sfista.Converged)
+	}
+	if sfista.Iters >= svrg.Iters {
+		t.Fatalf("acceleration did not help: SFISTA %d iters vs Prox-SVRG %d", sfista.Iters, svrg.Iters)
+	}
+}
+
+func TestCoordinateDescentMatchesFISTA(t *testing.T) {
+	p, gamma, _ := testProblem(t, 18, 300, 0.7)
+	fo := Defaults()
+	fo.Lambda = p.Lambda
+	fo.Gamma = gamma
+	fo.MaxIter = 20000
+	fo.EvalEvery = 1000
+	fref, err := FISTA(p.X, p.Y, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := Defaults()
+	co.Lambda = p.Lambda
+	co.MaxIter = 2000
+	cres, err := CoordinateDescent(p.X, p.Y, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDiff float64
+	for i := range fref.W {
+		maxDiff = math.Max(maxDiff, math.Abs(fref.W[i]-cres.W[i]))
+	}
+	if maxDiff > 1e-6 {
+		t.Fatalf("CD and FISTA optima differ: max |dw| = %g", maxDiff)
+	}
+}
+
+func TestCoordinateDescentMonotone(t *testing.T) {
+	p, _, _ := testProblem(t, 16, 250, 0.8)
+	o := Defaults()
+	o.Lambda = p.Lambda
+	o.MaxIter = 50
+	o.EvalEvery = 1
+	res, err := CoordinateDescent(p.X, p.Y, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Trace.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Obj > pts[i-1].Obj*(1+1e-12) {
+			t.Fatalf("CD objective increased at sweep %d: %g -> %g",
+				pts[i].Iter, pts[i-1].Obj, pts[i].Obj)
+		}
+	}
+}
+
+func TestCoordinateDescentWarmStart(t *testing.T) {
+	p, gamma, fstar := testProblem(t, 16, 250, 0.8)
+	_ = gamma
+	o := Defaults()
+	o.Lambda = p.Lambda
+	o.FStar = fstar
+	o.Tol = 1e-6
+	o.MaxIter = 5000
+	cold, err := CoordinateDescent(p.X, p.Y, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Converged {
+		t.Fatal("cold CD did not converge")
+	}
+	o.W0 = cold.W
+	warm, err := CoordinateDescent(p.X, p.Y, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iters > 2 {
+		t.Fatalf("warm-started CD took %d sweeps", warm.Iters)
+	}
+}
+
+func TestCoordinateDescentZeroFeature(t *testing.T) {
+	// A feature with no non-zeros must be skipped, not divided by zero.
+	p := data.Generate(data.GenSpec{D: 5, M: 50, Density: 1, Seed: 70})
+	// Zero out feature 2.
+	for k, r := range p.X.RowIdx {
+		if r == 2 {
+			p.X.Val[k] = 0
+		}
+	}
+	o := Defaults()
+	o.Lambda = 0.01
+	o.MaxIter = 100
+	res, err := CoordinateDescent(p.X, p.Y, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W[2] != 0 || math.IsNaN(res.W[0]) {
+		t.Fatalf("W = %v", res.W)
+	}
+}
+
+func TestProxSVRGElasticNet(t *testing.T) {
+	// The baseline honors Options.Reg like the main engine.
+	p, gamma, _ := testProblem(t, 10, 150, 1.0)
+	o := Defaults()
+	o.Reg = prox.ElasticNet{Lambda1: 0.01, Lambda2: 0.05}
+	o.Gamma = gamma
+	o.B = 0.5
+	o.MaxIter = 2000
+	o.EpochLen = 40
+	res, err := ProxSVRG(p.X, p.Y, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.W {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in solution")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package solver
+
+import (
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/mat"
+)
+
+// runDelta executes the main loop with the literal postponed-update
+// recurrences of Eqs. 16-17: v is never recomputed from w; instead the
+// increments
+//
+//	Delta-w_n = S_{lambda*gamma}(theta_n) - w_{n-1}
+//	Delta-v_n = (1 + mu_{n+1}) Delta-w_n - mu_n Delta-w_{n-1}
+//
+// are accumulated onto the round-base vectors. The update sequence is
+// algebraically identical to run()'s direct form and differs only by
+// floating point round-off; TestDeltaFormEquivalence pins the gap.
+// Restricted to S = 1 (enforced by RCSFISTA), matching the paper's
+// presentation of the unrolled recurrences.
+//
+// Note on the momentum schedule: the paper's Algorithm 2 line 3 prints
+// t_n = (1 + sqrt(1 + t_{n-1}^2))/2, which has a bounded fixed point
+// (t* = 4/3) and therefore cannot give t_N = O(N) as Theorem 1 uses.
+// We implement the standard FISTA schedule t_n = (1+sqrt(1+4t^2))/2
+// (Beck & Teboulle 2009), which the theorem's rate requires; the paper
+// listing is a typo. See DESIGN.md.
+func (e *engine) runDelta() {
+	opts := e.opts
+	if opts.VarianceReduced {
+		e.refreshSnapshot()
+	}
+	e.checkpoint()
+	d := e.d
+	cost := e.c.Cost()
+
+	vCur := make([]float64, d)   // v_n, accumulated
+	dwPrev := make([]float64, d) // Delta-w_{n-1}
+	dw := make([]float64, d)
+	wNew := make([]float64, d)
+	copy(vCur, e.wCurr)
+	t := 1.0 // t_{n-1}
+	sinceSnap, sinceEval := 0, 0
+
+outer:
+	for e.iter < opts.MaxIter {
+		shared := e.computeBatch()
+		for j := 0; j < opts.K; j++ {
+			slot := shared[j*e.slotLen : (j+1)*e.slotLen]
+			h := mat.DenseOf(d, d, slot[:d*d])
+			r := slot[d*d:]
+
+			// Momentum coefficients mu_n and the lookahead mu_{n+1}.
+			tn := (1 + math.Sqrt(1+4*t*t)) / 2
+			tn1 := (1 + math.Sqrt(1+4*tn*tn)) / 2
+			muN := (t - 1) / tn
+			muN1 := (tn - 1) / tn1
+			t = tn
+			cost.AddFlops(12)
+
+			// Gradient at v_n from the current Hessian instance.
+			if opts.VarianceReduced {
+				mat.Sub(e.tmp, vCur, e.wSnap, cost)
+				h.MulVec(e.grad, e.tmp, cost)
+				mat.Axpy(1, e.fullGrad, e.grad, cost)
+			} else {
+				h.MulVec(e.grad, vCur, cost)
+				mat.Axpy(-1, r, e.grad, cost)
+			}
+
+			// w_n = S(theta_n); Delta-w_n = w_n - w_{n-1} (Eq. 16).
+			mat.AddScaled(wNew, vCur, -e.gamma, e.grad, cost)
+			e.reg.Apply(wNew, wNew, e.gamma, cost)
+			mat.Sub(dw, wNew, e.wCurr, cost)
+
+			// Delta-v_n per Eq. 17, then v_{n+1} = v_n + Delta-v_n.
+			for i := range vCur {
+				vCur[i] += (1+muN1)*dw[i] - muN*dwPrev[i]
+			}
+			cost.AddFlops(int64(4 * d))
+
+			copy(dwPrev, dw)
+			copy(e.wPrev, e.wCurr)
+			copy(e.wCurr, wNew)
+			e.iter++
+			sinceSnap++
+			sinceEval++
+
+			if opts.VarianceReduced && sinceSnap >= opts.EpochLen {
+				e.refreshSnapshot() // resets e.t; delta state below
+				if e.gradMapStop {
+					e.checkpoint()
+					e.converged = true
+					break outer
+				}
+				t = 1
+				copy(vCur, e.wCurr)
+				mat.Zero(dwPrev)
+				sinceSnap = 0
+			}
+			if sinceEval >= opts.EvalEvery {
+				sinceEval = 0
+				if e.checkpoint() {
+					e.converged = true
+					break outer
+				}
+			}
+			if e.iter >= opts.MaxIter {
+				break
+			}
+		}
+	}
+	if !e.converged && sinceEval != 0 {
+		e.converged = e.checkpoint()
+	}
+}

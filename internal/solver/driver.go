@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"sync"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/sparse"
+)
+
+// SolveDistributed partitions (x, y) column-wise across the world's
+// ranks and runs RC-SFISTA on all of them. The returned result is rank
+// 0's (which carries the trace), with the cost fields replaced by the
+// world's critical path: component-wise max over ranks, evaluated on
+// the world's machine model. World costs are reset first, so the
+// modeled time covers exactly this solve.
+func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
+	results := make([]*Result, w.Size())
+	var mu sync.Mutex
+	w.ResetCosts()
+	err := w.Run(func(c dist.Comm) error {
+		local := Partition(x, y, c.Size(), c.Rank())
+		res, err := RCSFISTA(c, local, opts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	root := results[0]
+	root.Cost = w.MaxCost()
+	root.ModelSeconds = w.ModeledSeconds()
+	return root, nil
+}
+
+// SolvePNDistributed is SolveDistributed for the distributed Proximal
+// Newton driver.
+func SolvePNDistributed(w *dist.World, x *sparse.CSC, y []float64, opts DistPNOptions) (*Result, error) {
+	results := make([]*Result, w.Size())
+	var mu sync.Mutex
+	w.ResetCosts()
+	err := w.Run(func(c dist.Comm) error {
+		local := Partition(x, y, c.Size(), c.Rank())
+		res, err := DistProxNewton(c, local, opts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	root := results[0]
+	root.Cost = w.MaxCost()
+	root.ModelSeconds = w.ModeledSeconds()
+	return root, nil
+}

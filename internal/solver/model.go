@@ -1,0 +1,165 @@
+package solver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/hpcgo/rcsfista/internal/sparse"
+)
+
+// Model is the serializable outcome of a solve: the coefficient vector
+// plus the metadata needed to reproduce or apply it.
+type Model struct {
+	// W is the coefficient vector.
+	W []float64 `json:"w"`
+	// Lambda is the penalty the model was fit with.
+	Lambda float64 `json:"lambda"`
+	// Algorithm records how the model was produced (e.g. "rcsfista").
+	Algorithm string `json:"algorithm"`
+	// Dataset names the training data.
+	Dataset string `json:"dataset,omitempty"`
+	// Objective is the final objective value F(W); NaN serializes as
+	// null.
+	Objective float64 `json:"objective"`
+	// Iterations and Rounds record the solve effort.
+	Iterations int `json:"iterations"`
+	Rounds     int `json:"rounds"`
+	// FeatureScale optionally records preprocessing scales to apply to
+	// new data before prediction.
+	FeatureScale []float64 `json:"feature_scale,omitempty"`
+}
+
+// jsonModel mirrors Model with NaN-safe objective handling.
+type jsonModel struct {
+	W            []float64 `json:"w"`
+	Lambda       float64   `json:"lambda"`
+	Algorithm    string    `json:"algorithm"`
+	Dataset      string    `json:"dataset,omitempty"`
+	Objective    *float64  `json:"objective"`
+	Iterations   int       `json:"iterations"`
+	Rounds       int       `json:"rounds"`
+	FeatureScale []float64 `json:"feature_scale,omitempty"`
+}
+
+// NewModel packages a result.
+func NewModel(res *Result, lambda float64, algorithm, dataset string) *Model {
+	return &Model{
+		W:          append([]float64(nil), res.W...),
+		Lambda:     lambda,
+		Algorithm:  algorithm,
+		Dataset:    dataset,
+		Objective:  res.FinalObj,
+		Iterations: res.Iters,
+		Rounds:     res.Rounds,
+	}
+}
+
+// Write serializes the model as JSON.
+func (m *Model) Write(w io.Writer) error {
+	jm := jsonModel{
+		W: m.W, Lambda: m.Lambda, Algorithm: m.Algorithm, Dataset: m.Dataset,
+		Iterations: m.Iterations, Rounds: m.Rounds, FeatureScale: m.FeatureScale,
+	}
+	if !math.IsNaN(m.Objective) {
+		obj := m.Objective
+		jm.Objective = &obj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jm)
+}
+
+// ReadModel parses a JSON model.
+func ReadModel(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("solver: decode model: %w", err)
+	}
+	if len(jm.W) == 0 {
+		return nil, fmt.Errorf("solver: model has no coefficients")
+	}
+	m := &Model{
+		W: jm.W, Lambda: jm.Lambda, Algorithm: jm.Algorithm, Dataset: jm.Dataset,
+		Objective: math.NaN(), Iterations: jm.Iterations, Rounds: jm.Rounds,
+		FeatureScale: jm.FeatureScale,
+	}
+	if jm.Objective != nil {
+		m.Objective = *jm.Objective
+	}
+	return m, nil
+}
+
+// SaveModel writes the model to path.
+func SaveModel(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model from path.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModel(f)
+}
+
+// Nnz returns the number of non-zero coefficients.
+func (m *Model) Nnz() int {
+	n := 0
+	for _, v := range m.W {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Predict computes predictions X^T w for the model on a d x m data
+// matrix (columns are samples), applying stored feature scales first
+// when present. The result has one entry per sample.
+func (m *Model) Predict(x *sparse.CSC) ([]float64, error) {
+	if x.Rows != len(m.W) {
+		return nil, fmt.Errorf("solver: model has %d coefficients but data has %d features",
+			len(m.W), x.Rows)
+	}
+	w := m.W
+	if len(m.FeatureScale) == len(m.W) {
+		w = make([]float64, len(m.W))
+		for i := range w {
+			w[i] = m.W[i] * m.FeatureScale[i]
+		}
+	}
+	out := make([]float64, x.Cols)
+	x.MulVecT(out, w, nil)
+	return out, nil
+}
+
+// RMSE returns the root mean squared error of the model's predictions
+// against labels y.
+func (m *Model) RMSE(x *sparse.CSC, y []float64) (float64, error) {
+	pred, err := m.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(pred) != len(y) {
+		return 0, fmt.Errorf("solver: %d predictions for %d labels", len(pred), len(y))
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred))), nil
+}

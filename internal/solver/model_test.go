@@ -1,0 +1,136 @@
+package solver
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+)
+
+func TestModelRoundtrip(t *testing.T) {
+	m := &Model{
+		W: []float64{0, 1.5, -2, 0}, Lambda: 0.1, Algorithm: "rcsfista",
+		Dataset: "covtype", Objective: 0.42, Iterations: 100, Rounds: 20,
+		FeatureScale: []float64{1, 2, 3, 4},
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Lambda != 0.1 || back.Algorithm != "rcsfista" || back.Objective != 0.42 {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	for i := range m.W {
+		if back.W[i] != m.W[i] {
+			t.Fatal("coefficients changed")
+		}
+	}
+	if back.Nnz() != 2 {
+		t.Fatalf("Nnz = %d", back.Nnz())
+	}
+	if len(back.FeatureScale) != 4 {
+		t.Fatal("feature scales lost")
+	}
+}
+
+func TestModelNaNObjective(t *testing.T) {
+	m := &Model{W: []float64{1}, Objective: math.NaN()}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Objective) {
+		t.Fatalf("NaN objective became %g", back.Objective)
+	}
+}
+
+func TestModelFileIO(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/model.json"
+	m := &Model{W: []float64{1, 2}, Lambda: 0.5}
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W[1] != 2 {
+		t.Fatal("file roundtrip lost data")
+	}
+	if _, err := LoadModel(dir + "/missing.json"); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}
+
+func TestReadModelErrors(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := ReadModel(bytes.NewReader([]byte("{}"))); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestNewModelCopiesW(t *testing.T) {
+	res := &Result{W: []float64{1, 2}, FinalObj: 0.1, Iters: 5, Rounds: 2}
+	m := NewModel(res, 0.2, "fista", "synth")
+	res.W[0] = 99
+	if m.W[0] != 1 {
+		t.Fatal("NewModel did not copy W")
+	}
+}
+
+func TestModelPredict(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 8, M: 50, Density: 1, NoiseStd: 0, Seed: 90})
+	m := &Model{W: p.WTrue}
+	pred, err := m.Predict(p.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred {
+		if math.Abs(pred[i]-p.Y[i]) > 1e-12 {
+			t.Fatalf("prediction %d: %g vs %g", i, pred[i], p.Y[i])
+		}
+	}
+	rmse, err := m.RMSE(p.X, p.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1e-12 {
+		t.Fatalf("RMSE of true model = %g", rmse)
+	}
+	// Dimension mismatch.
+	if _, err := m.Predict(data.Generate(data.GenSpec{D: 5, M: 5, Density: 1, Seed: 1}).X); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestModelPredictWithFeatureScale(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 4, M: 20, Density: 1, NoiseStd: 0, Seed: 91})
+	// A model trained on 2x-scaled features must halve its effective
+	// coefficients on raw data via FeatureScale.
+	scaled := make([]float64, 4)
+	for i, v := range p.WTrue {
+		scaled[i] = v / 2
+	}
+	m := &Model{W: scaled, FeatureScale: []float64{2, 2, 2, 2}}
+	pred, err := m.Predict(p.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred {
+		if math.Abs(pred[i]-p.Y[i]) > 1e-12 {
+			t.Fatalf("scaled prediction %d: %g vs %g", i, pred[i], p.Y[i])
+		}
+	}
+}

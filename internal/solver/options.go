@@ -1,0 +1,205 @@
+// Package solver implements the paper's optimization algorithms:
+//
+//   - FISTA (Algorithm 2) and ISTA, the deterministic first-order
+//     baselines;
+//   - SFISTA (Algorithms 3/4), the stochastic variance-reduced FISTA
+//     whose gradient is estimated through subsampled Gram matrices
+//     H_n = (1/mbar) X I_n I_n^T X^T and R_n = (1/mbar) X I_n I_n^T y;
+//   - RC-SFISTA (Algorithm 5), the communication-avoiding formulation
+//     that batches k Hessian instances per allreduce
+//     (iteration-overlapping) and reuses each instance for S
+//     consecutive updates (Hessian-reuse);
+//   - Proximal Newton (Algorithm 1) with pluggable inner solvers.
+//
+// All solvers run against the dist.Comm interface; a SelfComm gives the
+// sequential algorithm and a World gives the P-rank simulation. One
+// code path covers FISTA/SFISTA/RC-SFISTA: SFISTA is RC-SFISTA with
+// k = S = 1, and deterministic FISTA is the further special case b = 1.
+// The iterates are invariant to P (rank count) and, for S = 1, to k,
+// because every rank derives identical sample index sets from the
+// shared seed (paper Sections 5.2/5.5) and the allreduced Hessians make
+// the update arithmetic identical to the sequential sequence.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/prox"
+)
+
+// Options configures one solve. The zero value is not runnable; use
+// Defaults or fill the required fields (Lambda may be zero, Gamma must
+// be positive).
+type Options struct {
+	// Lambda is the l1 penalty of Eq. 3.
+	Lambda float64
+	// Reg overrides the regularizer g. Nil selects the paper's
+	// prox.L1{Lambda} (Eq. 3); any prox.Operator (elastic net, ridge,
+	// ...) can be substituted — the engine only needs g's proximal
+	// mapping and value.
+	Reg prox.Operator
+	// Gamma is the step size. It must satisfy the Theorem 1 bounds;
+	// in practice 1/L with L = lambda_max((1/m) X X^T) (see
+	// prox.EstimateLipschitz and GammaFromLipschitz).
+	Gamma float64
+	// MaxIter bounds the number of solution updates (inner iterations
+	// N across all epochs).
+	MaxIter int
+	// Tol is the relative objective error threshold of Section 5.1;
+	// the solver stops once |F(w)-F*|/|F*| <= Tol. Requires FStar.
+	// Tol <= 0 disables early stopping.
+	Tol float64
+	// GradMapTol is a reference-free stop: at every variance-reduction
+	// snapshot the exact full gradient is available, so the proximal
+	// gradient mapping norm ||w - Prox_gamma(w - gamma grad f(w))||/gamma
+	// (zero exactly at optima) is checked against this threshold.
+	// Requires VarianceReduced; <= 0 disables.
+	GradMapTol float64
+	// FStar is the reference optimal objective value F(w*). NaN means
+	// unknown: relative errors are not recorded and Tol is ignored.
+	FStar float64
+
+	// B is the sampling rate b in (0, 1]; mbar = floor(B*m) columns
+	// are sampled per Hessian instance. B = 1 uses all samples
+	// (deterministic).
+	B float64
+	// K is the iteration-overlapping parameter: K Hessian instances
+	// are batched into a single allreduce (Algorithm 5 line 6).
+	K int
+	// S is the Hessian-reuse inner loop parameter: each Hessian
+	// instance drives S consecutive solution updates (Algorithm 5
+	// lines 9-15).
+	S int
+	// VarianceReduced selects the Eq. 9 gradient estimator (subtract
+	// the sampled gradient at the epoch snapshot w-hat and add the
+	// exact full gradient there). When false the plain subsampled
+	// estimator of Algorithm 4 line 8 is used.
+	VarianceReduced bool
+	// EpochLen is the number of updates N between variance-reduction
+	// snapshots (the inner loop length of Algorithm 3). Zero selects
+	// the default.
+	EpochLen int
+
+	// W0 optionally warm-starts the solve; nil starts from zero
+	// (Algorithm 5 line 1). The slice is copied, not retained.
+	W0 []float64
+	// Seed drives the shared sampling streams.
+	Seed uint64
+	// EvalEvery is the number of updates between objective
+	// evaluations/trace points. Zero means once per communication
+	// round. Evaluation is instrumentation: its flops and messages are
+	// excluded from the algorithm's cost accounting.
+	EvalEvery int
+	// TraceName overrides the name of the recorded series.
+	TraceName string
+	// UseDeltaForm selects the literal postponed-update recurrences of
+	// Eqs. 16-17 rather than the algebraically identical direct
+	// updates. The two differ only by floating-point round-off; the
+	// option exists for the equivalence ablation.
+	UseDeltaForm bool
+}
+
+// Defaults returns options with sensible experiment defaults: k = S = 1,
+// b = 0.1, variance reduction on.
+func Defaults() Options {
+	return Options{
+		Lambda:          0.1,
+		MaxIter:         1000,
+		Tol:             0,
+		FStar:           math.NaN(),
+		B:               0.1,
+		K:               1,
+		S:               1,
+		VarianceReduced: true,
+		Seed:            42,
+	}
+}
+
+// Validate checks option consistency.
+func (o *Options) Validate() error {
+	if o.Gamma <= 0 {
+		return errors.New("solver: Gamma must be positive (use GammaFromLipschitz)")
+	}
+	if o.Lambda < 0 {
+		return errors.New("solver: Lambda must be non-negative")
+	}
+	if o.MaxIter <= 0 {
+		return errors.New("solver: MaxIter must be positive")
+	}
+	if o.B <= 0 || o.B > 1 {
+		return fmt.Errorf("solver: sampling rate B = %g out of (0,1]", o.B)
+	}
+	if o.K < 1 {
+		return errors.New("solver: K must be >= 1")
+	}
+	if o.S < 1 {
+		return errors.New("solver: S must be >= 1")
+	}
+	if o.EpochLen < 0 || o.EvalEvery < 0 {
+		return errors.New("solver: EpochLen and EvalEvery must be non-negative")
+	}
+	return nil
+}
+
+// withDefaults returns a copy with zero-valued tunables resolved.
+func (o Options) withDefaults() Options {
+	if o.K < 1 {
+		o.K = 1
+	}
+	if o.S < 1 {
+		o.S = 1
+	}
+	if o.EpochLen == 0 {
+		// Default epoch: roughly 5 Hessian instances between
+		// variance-reduction snapshots, floored at 40 updates so the
+		// momentum sequence can develop. Too-long epochs let the
+		// switched-Hessian momentum dynamics resonate (S > 1 diverges);
+		// too-short epochs waste the acceleration.
+		o.EpochLen = 5 * o.S
+		if o.EpochLen < 40 {
+			o.EpochLen = 40
+		}
+	}
+	if o.EvalEvery == 0 {
+		o.EvalEvery = o.K * o.S
+	}
+	if o.Reg == nil {
+		o.Reg = prox.L1{Lambda: o.Lambda}
+	}
+	if o.FStar == 0 {
+		// A zero F* is almost surely an unset field rather than a true
+		// zero optimum; treat as unknown.
+		o.FStar = math.NaN()
+	}
+	return o
+}
+
+// GammaFromLipschitz returns the conventional FISTA step 1/L. Theorem 1
+// additionally requires gamma^-1 >= L/2 + sqrt(1/4 + 4L^2(m-mbar)/(mbar(m-1))),
+// which ThmStepSize enforces for the stochastic setting.
+func GammaFromLipschitz(l float64) float64 {
+	if l <= 0 {
+		panic("solver: non-positive Lipschitz constant")
+	}
+	return 1 / l
+}
+
+// ThmStepSize returns the largest step size allowed by the Theorem 1
+// lower bound (Eq. 10) for Lipschitz constant l, sample count m and
+// mini-batch size mbar.
+func ThmStepSize(l float64, m, mbar int) float64 {
+	if l <= 0 {
+		panic("solver: non-positive Lipschitz constant")
+	}
+	if mbar >= m {
+		return 1 / l
+	}
+	ratio := float64(m-mbar) / (float64(mbar) * float64(m-1))
+	inv := l/2 + math.Sqrt(0.25+4*l*l*ratio)
+	if inv < l {
+		inv = l
+	}
+	return 1 / inv
+}

@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	ok := Defaults()
+	ok.Gamma = 0.1
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(o *Options){
+		func(o *Options) { o.Gamma = 0 },
+		func(o *Options) { o.Gamma = -1 },
+		func(o *Options) { o.Lambda = -0.1 },
+		func(o *Options) { o.MaxIter = 0 },
+		func(o *Options) { o.B = 0 },
+		func(o *Options) { o.B = 1.5 },
+		func(o *Options) { o.K = 0 },
+		func(o *Options) { o.S = 0 },
+		func(o *Options) { o.EpochLen = -1 },
+		func(o *Options) { o.EvalEvery = -1 },
+	}
+	for i, mutate := range bad {
+		o := Defaults()
+		o.Gamma = 0.1
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Fatalf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	o := Options{Gamma: 1, MaxIter: 10, B: 0.5}
+	r := o.withDefaults()
+	if r.K != 1 || r.S != 1 {
+		t.Fatal("K/S defaults wrong")
+	}
+	if r.EpochLen != 40 {
+		t.Fatalf("EpochLen default = %d, want 40", r.EpochLen)
+	}
+	if r.EvalEvery != 1 {
+		t.Fatalf("EvalEvery default = %d", r.EvalEvery)
+	}
+	if !math.IsNaN(r.FStar) {
+		t.Fatal("zero FStar should resolve to NaN (unknown)")
+	}
+	// S-scaled epoch default.
+	o.S = 20
+	if r := o.withDefaults(); r.EpochLen != 100 {
+		t.Fatalf("EpochLen for S=20 = %d, want 100", r.EpochLen)
+	}
+	// Explicit values preserved.
+	o.EpochLen = 7
+	o.EvalEvery = 3
+	o.FStar = 0.5
+	if r := o.withDefaults(); r.EpochLen != 7 || r.EvalEvery != 3 || r.FStar != 0.5 {
+		t.Fatal("explicit values overwritten")
+	}
+}
+
+func TestGammaFromLipschitz(t *testing.T) {
+	if GammaFromLipschitz(4) != 0.25 {
+		t.Fatal("GammaFromLipschitz wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on L <= 0")
+		}
+	}()
+	GammaFromLipschitz(0)
+}
+
+func TestThmStepSize(t *testing.T) {
+	// Full batch: reduces to 1/L.
+	if ThmStepSize(2, 100, 100) != 0.5 {
+		t.Fatal("full batch step wrong")
+	}
+	if ThmStepSize(2, 100, 200) != 0.5 {
+		t.Fatal("mbar > m should clamp to 1/L")
+	}
+	// Subsampled: step must be smaller than 1/L (Eq. 10 tightens).
+	got := ThmStepSize(2, 1000, 10)
+	if got >= 0.5 || got <= 0 {
+		t.Fatalf("subsampled step = %g", got)
+	}
+}
+
+func TestThmStepSizeMonotoneInBatchProperty(t *testing.T) {
+	// Larger mini-batches allow larger steps.
+	f := func(l0 uint8, seed uint8) bool {
+		l := float64(l0%50)/10 + 0.1
+		m := 1000
+		prev := 0.0
+		for _, mbar := range []int{1, 10, 100, 500, 1000} {
+			g := ThmStepSize(l, m, mbar)
+			if g < prev {
+				return false
+			}
+			prev = g
+		}
+		return math.Abs(prev-1/l) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

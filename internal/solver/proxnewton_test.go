@@ -1,0 +1,235 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
+)
+
+func TestProxNewtonConverges(t *testing.T) {
+	p, _, fstar := testProblem(t, 20, 300, 0.6)
+	res, err := ProxNewton(p.X, p.Y, PNOptions{
+		Lambda: p.Lambda, OuterIter: 40, InnerIter: 20, B: 1,
+		Tol: 1e-4, FStar: fstar, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("PN did not converge: relerr=%g after %d outers", res.FinalRelErr, res.Iters)
+	}
+}
+
+func TestProxNewtonSampledHessian(t *testing.T) {
+	p, _, fstar := testProblem(t, 16, 400, 0.6)
+	res, err := ProxNewton(p.X, p.Y, PNOptions{
+		Lambda: p.Lambda, OuterIter: 60, InnerIter: 15, B: 0.3,
+		LineSearch: true, Tol: 1e-3, FStar: fstar, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("sampled-Hessian PN stalled: relerr=%g", res.FinalRelErr)
+	}
+}
+
+func TestProxNewtonLineSearchMonotone(t *testing.T) {
+	p, _, fstar := testProblem(t, 12, 200, 1.0)
+	res, err := ProxNewton(p.X, p.Y, PNOptions{
+		Lambda: p.Lambda, OuterIter: 15, InnerIter: 10, B: 1,
+		LineSearch: true, FStar: fstar, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Trace.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Obj > pts[i-1].Obj*(1+1e-9) {
+			t.Fatalf("objective increased at outer %d: %g -> %g", i, pts[i-1].Obj, pts[i].Obj)
+		}
+	}
+}
+
+func TestProxNewtonCDInner(t *testing.T) {
+	p, _, fstar := testProblem(t, 15, 250, 0.7)
+	res, err := ProxNewton(p.X, p.Y, PNOptions{
+		Lambda: p.Lambda, OuterIter: 30, InnerIter: 5, B: 1,
+		Inner: CDInner{Lambda: p.Lambda},
+		Tol:   1e-4, FStar: fstar, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("PN+CD stalled: relerr=%g", res.FinalRelErr)
+	}
+}
+
+func TestProxNewtonRejectsBadOptions(t *testing.T) {
+	p, _, _ := testProblem(t, 5, 20, 1.0)
+	if _, err := ProxNewton(p.X, p.Y, PNOptions{Lambda: 0.1, B: 2}); err == nil {
+		t.Fatal("B > 1 accepted")
+	}
+	if _, err := ProxNewton(p.X, p.Y, PNOptions{Lambda: -1}); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestDistProxNewtonConvergesAndScales(t *testing.T) {
+	p, gamma, fstar := testProblem(t, 24, 500, 0.5)
+	opts := DistPNOptions{
+		Lambda: p.Lambda, Gamma: gamma, B: 0.2,
+		Tol: 1e-2, FStar: fstar, Seed: 5,
+		OuterIter: 200, InnerIter: 5, K: 1,
+	}
+	w := dist.NewWorld(4, perf.Comet())
+	base, err := SolvePNDistributed(w, p.X, p.Y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Converged {
+		t.Fatalf("PN-FISTA baseline stalled: %g", base.FinalRelErr)
+	}
+	opts.K = 4
+	w2 := dist.NewWorld(4, perf.Comet())
+	rc, err := SolvePNDistributed(w2, p.X, p.Y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Converged {
+		t.Fatalf("PN-RC stalled: %g", rc.FinalRelErr)
+	}
+	if rc.Cost.Messages >= base.Cost.Messages {
+		t.Fatalf("k=4 did not reduce messages: %d vs %d", rc.Cost.Messages, base.Cost.Messages)
+	}
+}
+
+// --- Quad subproblem tests ---
+
+// smallQuad builds a well-conditioned random PSD quadratic.
+func smallQuad(d int, seed uint64) Quad {
+	p := data.Generate(data.GenSpec{D: d, M: 4 * d, Density: 1, Seed: seed})
+	h := mat.NewDense(d, d)
+	r := make([]float64, d)
+	cols := make([]int, p.X.Cols)
+	for i := range cols {
+		cols[i] = i
+	}
+	// H = (1/m) X X^T + small ridge for strict positive definiteness.
+	sampled(p, h, r, cols)
+	for i := 0; i < d; i++ {
+		h.Set(i, i, h.At(i, i)+0.1)
+	}
+	return Quad{H: h, R: r}
+}
+
+func sampled(p *data.Problem, h *mat.Dense, r []float64, cols []int) {
+	scale := 1.0 / float64(len(cols))
+	for _, j := range cols {
+		rows, vals := p.X.Col(j)
+		for a, ra := range rows {
+			for b, rb := range rows {
+				h.Set(ra, rb, h.At(ra, rb)+scale*vals[a]*vals[b])
+			}
+			r[ra] += scale * p.Y[j] * vals[a]
+		}
+	}
+}
+
+func TestFISTAInnerAndCDInnerAgree(t *testing.T) {
+	q := smallQuad(10, 7)
+	g := prox.L1{Lambda: 0.05}
+	l := EstimateQuadLipschitz(q.H, 50, nil)
+	z0 := make([]float64, 10)
+	zf := FISTAInner{Gamma: 1 / l}.Solve(q, g, z0, 2000, nil)
+	zc := CDInner{Lambda: 0.05}.Solve(q, g, z0, 500, nil)
+	var diff float64
+	for i := range zf {
+		diff = math.Max(diff, math.Abs(zf[i]-zc[i]))
+	}
+	if diff > 1e-6 {
+		t.Fatalf("inner solvers disagree: max |dz| = %g", diff)
+	}
+	// Both must satisfy the subgradient optimality condition of
+	// min (1/2) z^T H z - R^T z + lambda ||z||_1:
+	// |(Hz - R)_i| <= lambda where z_i = 0, = -lambda*sign(z_i) else.
+	grad := make([]float64, 10)
+	q.Grad(grad, zf, nil)
+	for i, zi := range zf {
+		switch {
+		case zi == 0:
+			if math.Abs(grad[i]) > 0.05+1e-6 {
+				t.Fatalf("KKT violated at zero coord %d: %g", i, grad[i])
+			}
+		default:
+			if math.Abs(grad[i]+0.05*sign(zi)) > 1e-6 {
+				t.Fatalf("KKT violated at coord %d: grad %g, z %g", i, grad[i], zi)
+			}
+		}
+	}
+}
+
+func sign(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	if x < 0 {
+		return -1
+	}
+	return 0
+}
+
+func TestQuadValueAndGrad(t *testing.T) {
+	h := mat.DenseOf(2, 2, []float64{2, 0, 0, 4})
+	q := Quad{H: h, R: []float64{2, 4}}
+	// Phi(z) = z1^2 + 2 z2^2 - 2 z1 - 4 z2; minimum at (1, 1/2)... wait:
+	// grad = (2 z1 - 2, 4 z2 - 4) -> minimizer (1, 1).
+	g := make([]float64, 2)
+	q.Grad(g, []float64{1, 1}, nil)
+	if g[0] != 0 || g[1] != 0 {
+		t.Fatalf("grad at minimizer = %v", g)
+	}
+	if v := q.Value([]float64{0, 0}, nil); v != 0 {
+		t.Fatalf("Phi(0) = %g", v)
+	}
+	if v := q.Value([]float64{1, 1}, nil); v != -3 {
+		t.Fatalf("Phi(min) = %g, want -3", v)
+	}
+}
+
+func TestNewSubproblemAnchoring(t *testing.T) {
+	// The subproblem gradient at the anchor w must equal grad f(w):
+	// Phi'(w) = H w - (H w - grad) = grad.
+	q := smallQuad(6, 8)
+	w := []float64{1, -1, 0.5, 0, 2, -0.3}
+	grad := []float64{0.1, -0.2, 0.3, 0, -0.1, 0.5}
+	sub := NewSubproblem(q.H, w, grad, nil)
+	got := make([]float64, 6)
+	sub.Grad(got, w, nil)
+	for i := range got {
+		if math.Abs(got[i]-grad[i]) > 1e-12 {
+			t.Fatalf("anchored grad[%d] = %g, want %g", i, got[i], grad[i])
+		}
+	}
+}
+
+func TestEstimateQuadLipschitzDiagonal(t *testing.T) {
+	h := mat.NewDense(3, 3)
+	h.Set(0, 0, 1)
+	h.Set(1, 1, 5)
+	h.Set(2, 2, 2)
+	l := EstimateQuadLipschitz(h, 100, nil)
+	if math.Abs(l-5) > 1e-6 {
+		t.Fatalf("lambda_max = %g, want 5", l)
+	}
+	zero := mat.NewDense(3, 3)
+	if EstimateQuadLipschitz(zero, 10, nil) != 0 {
+		t.Fatal("zero matrix should give 0")
+	}
+}

@@ -1,0 +1,367 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/prox"
+	"github.com/hpcgo/rcsfista/internal/rng"
+	"github.com/hpcgo/rcsfista/internal/sparse"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// LocalData is one rank's column (sample) block of the global problem,
+// the Figure 1 data distribution: X is partitioned column-wise, y
+// row-wise.
+type LocalData struct {
+	// X is the d x mLocal local block of the global d x m matrix.
+	X *sparse.CSC
+	// Y holds the mLocal local labels.
+	Y []float64
+	// ColOffset is the global index of the first local column.
+	ColOffset int
+	// MGlobal is the global sample count m.
+	MGlobal int
+}
+
+// Partition returns rank's contiguous column block of (x, y) for a
+// world of the given size.
+func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
+	lo, hi := dist.BlockRange(x.Cols, size, rank)
+	return LocalData{
+		X:         x.ColSlice(lo, hi),
+		Y:         y[lo:hi],
+		ColOffset: lo,
+		MGlobal:   x.Cols,
+	}
+}
+
+// RCSFISTA runs Algorithm 5 on communicator c with this rank's local
+// data. Every rank must call it with identical opts. The returned
+// Result carries this rank's cost; rank 0's Result carries the trace.
+//
+// Structure per communication round (Figure 1):
+//
+//	stage A: draw k sample index sets from the shared seed (no comm);
+//	stage B: compute k local partial (H_j, R_j) Gram instances;
+//	stage C: ONE allreduce of the k*(d^2+d)-word batch;
+//	stage D: k*S local solution updates, S per Hessian instance.
+//
+// SFISTA is the k=1, S=1 special case; deterministic distributed FISTA
+// is additionally b=1.
+func RCSFISTA(c dist.Comm, local LocalData, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.UseDeltaForm && opts.S != 1 {
+		return nil, fmt.Errorf("solver: delta-form updates are implemented for S=1 only (got S=%d)", opts.S)
+	}
+	if local.X == nil || local.X.Cols != len(local.Y) {
+		return nil, fmt.Errorf("solver: inconsistent local data")
+	}
+
+	e := newEngine(c, local, opts)
+	if opts.UseDeltaForm {
+		e.runDelta()
+	} else {
+		e.run()
+	}
+	return e.finish(), nil
+}
+
+// SFISTA runs the k=1, S=1 stochastic variance-reduced algorithm
+// (Algorithms 3/4) — RC-SFISTA without overlap or reuse.
+func SFISTA(c dist.Comm, local LocalData, opts Options) (*Result, error) {
+	opts.K, opts.S = 1, 1
+	if opts.TraceName == "" {
+		opts.TraceName = "sfista"
+	}
+	return RCSFISTA(c, local, opts)
+}
+
+// engine holds the run state of one rank.
+type engine struct {
+	c     dist.Comm
+	local LocalData
+	opts  Options
+
+	d, m, mbar int
+	gamma      float64
+	reg        prox.Operator
+	src        rng.Source
+
+	// Batched Gram buffer: k slots of (d^2 Hessian + d R), local
+	// partials before the allreduce.
+	batch   []float64
+	slotLen int
+
+	wPrev, wCurr, v, grad, tmp []float64
+	scratch                    []float64 // length mLocal
+	t                          float64
+	iter, rounds, hIdx         int
+
+	// Variance reduction state.
+	wSnap    []float64
+	fullGrad []float64
+
+	converged   bool
+	gradMapStop bool
+	finalObj    float64
+	finalRE     float64
+	series      *trace.Series
+	start       time.Time
+}
+
+func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
+	d := local.X.Rows
+	m := local.MGlobal
+	mbar := int(opts.B * float64(m))
+	if mbar < 1 {
+		mbar = 1
+	}
+	if mbar > m {
+		mbar = m
+	}
+	name := opts.TraceName
+	if name == "" {
+		name = fmt.Sprintf("rcsfista-k%d-s%d", opts.K, opts.S)
+	}
+	e := &engine{
+		c: c, local: local, opts: opts,
+		d: d, m: m, mbar: mbar,
+		gamma:   opts.Gamma,
+		reg:     opts.Reg,
+		src:     rng.NewSource(opts.Seed),
+		slotLen: d*d + d,
+		wPrev:   make([]float64, d),
+		wCurr:   make([]float64, d),
+		v:       make([]float64, d),
+		grad:    make([]float64, d),
+		tmp:     make([]float64, d),
+		scratch: make([]float64, local.X.Cols),
+		t:       1,
+		series:  &trace.Series{Name: name},
+		start:   time.Now(),
+	}
+	if opts.W0 != nil {
+		if len(opts.W0) != d {
+			panic("solver: W0 length mismatch")
+		}
+		copy(e.wCurr, opts.W0)
+		copy(e.wPrev, opts.W0)
+	}
+	e.batch = make([]float64, opts.K*e.slotLen)
+	if opts.VarianceReduced {
+		e.wSnap = make([]float64, d)
+		e.fullGrad = make([]float64, d)
+	}
+	return e
+}
+
+// sampleSlot returns the global sample index set of Hessian slot h.
+// Identical on every rank: a pure function of (seed, h).
+func (e *engine) sampleSlot(h int) []int {
+	if e.mbar >= e.m {
+		idx := make([]int, e.m)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return e.src.Stream(1, h).SampleWithoutReplacement(e.m, e.mbar)
+}
+
+// localCols maps a global sample index set to local column indices.
+func (e *engine) localCols(global []int) []int {
+	lo := e.local.ColOffset
+	hi := lo + e.local.X.Cols
+	out := make([]int, 0, len(global))
+	for _, j := range global {
+		if j >= lo && j < hi {
+			out = append(out, j-lo)
+		}
+	}
+	return out
+}
+
+// computeBatch fills the local partial (H_j, R_j) batch for slots
+// hIdx..hIdx+k-1 (stages A and B) and returns the allreduced result
+// (stage C).
+func (e *engine) computeBatch() []float64 {
+	k := e.opts.K
+	cost := e.c.Cost()
+	mat.Zero(e.batch)
+	for j := 0; j < k; j++ {
+		global := e.sampleSlot(e.hIdx + j)
+		cols := e.localCols(global)
+		slot := e.batch[j*e.slotLen : (j+1)*e.slotLen]
+		h := mat.DenseOf(e.d, e.d, slot[:e.d*e.d])
+		r := slot[e.d*e.d:]
+		sparse.SampledGram(e.local.X, h, r, e.local.Y, cols, 1/float64(e.mbar), cost)
+	}
+	e.hIdx += k
+	shared := e.c.AllreduceShared(e.batch)
+	e.rounds++
+	return shared
+}
+
+// refreshSnapshot re-centers the variance-reduction estimator at the
+// current iterate: w-hat = w, full gradient by one distributed pass
+// (Eq. 9 last term), momentum restart (Algorithm 3 epoch boundary).
+func (e *engine) refreshSnapshot() {
+	cost := e.c.Cost()
+	copy(e.wSnap, e.wCurr)
+	// Local partial of (1/m)(X X^T w - X y) over the local columns.
+	e.local.X.MulVecT(e.scratch, e.wSnap, cost)
+	mat.Axpy(-1, e.local.Y, e.scratch, cost)
+	mat.Zero(e.fullGrad)
+	e.local.X.MulVec(e.fullGrad, e.scratch, cost)
+	mat.Scal(1/float64(e.m), e.fullGrad, cost)
+	e.c.Allreduce(e.fullGrad, dist.OpSum)
+	// Reference-free stopping: the exact gradient is in hand, so the
+	// proximal gradient mapping norm comes for free (O(d) flops).
+	if e.opts.GradMapTol > 0 {
+		mat.AddScaled(e.tmp, e.wSnap, -e.gamma, e.fullGrad, cost)
+		e.reg.Apply(e.tmp, e.tmp, e.gamma, cost)
+		mat.Sub(e.tmp, e.wSnap, e.tmp, cost)
+		if mat.Nrm2(e.tmp, cost)/e.gamma <= e.opts.GradMapTol {
+			e.gradMapStop = true
+		}
+	}
+	// Momentum restart.
+	e.t = 1
+	copy(e.wPrev, e.wCurr)
+}
+
+// update performs one solution update (Algorithm 5 lines 9-15 for a
+// single s) with Hessian slot (h, r).
+func (e *engine) update(h *mat.Dense, r []float64) {
+	cost := e.c.Cost()
+	tNext := (1 + math.Sqrt(1+4*e.t*e.t)) / 2
+	mu := (e.t - 1) / tNext
+	e.t = tNext
+	cost.AddFlops(6)
+
+	// v = wCurr + mu*(wCurr - wPrev)
+	mat.Sub(e.v, e.wCurr, e.wPrev, cost)
+	mat.AddScaled(e.v, e.wCurr, mu, e.v, cost)
+
+	if e.opts.VarianceReduced {
+		// g = H (v - wSnap) + fullGrad  (Eq. 9 for least squares).
+		mat.Sub(e.tmp, e.v, e.wSnap, cost)
+		h.MulVec(e.grad, e.tmp, cost)
+		mat.Axpy(1, e.fullGrad, e.grad, cost)
+	} else {
+		// g = H v - R  (Algorithm 4 line 8).
+		h.MulVec(e.grad, e.v, cost)
+		mat.Axpy(-1, r, e.grad, cost)
+	}
+
+	// theta = v - gamma*g ; w = SoftThreshold(theta, lambda*gamma).
+	copy(e.wPrev, e.wCurr)
+	mat.AddScaled(e.wCurr, e.v, -e.gamma, e.grad, cost)
+	e.reg.Apply(e.wCurr, e.wCurr, e.gamma, cost)
+	e.iter++
+}
+
+// evaluate computes the global objective F(wCurr) as instrumentation:
+// the communication and flops are rolled back so cost accounting
+// reflects only the algorithm (Section 5.1 measures error offline).
+func (e *engine) evaluate() float64 {
+	cost := e.c.Cost()
+	saved := *cost
+	e.local.X.MulVecT(e.scratch, e.wCurr, nil)
+	var loss float64
+	for i, t := range e.scratch {
+		res := t - e.local.Y[i]
+		loss += res * res
+	}
+	loss = dist.AllreduceScalar(e.c, loss, dist.OpSum)
+	f := loss/(2*float64(e.m)) + e.reg.Value(e.wCurr, nil)
+	*cost = saved
+	return f
+}
+
+// checkpoint records a trace point and returns true when the stopping
+// criterion fires.
+func (e *engine) checkpoint() bool {
+	f := e.evaluate()
+	re := relErr(f, e.opts.FStar)
+	e.finalObj, e.finalRE = f, re
+	if e.c.Rank() == 0 {
+		e.series.Append(trace.Point{
+			Iter: e.iter, Round: e.rounds,
+			Obj: f, RelErr: re,
+			ModelSec: e.c.Machine().Seconds(*e.c.Cost()),
+			WallSec:  time.Since(e.start).Seconds(),
+		})
+	}
+	return e.opts.Tol > 0 && !math.IsNaN(re) && re <= e.opts.Tol
+}
+
+// run executes the direct-update main loop.
+func (e *engine) run() {
+	opts := e.opts
+	if opts.VarianceReduced {
+		e.refreshSnapshot()
+	}
+	e.checkpoint()
+	sinceSnap, sinceEval := 0, 0
+outer:
+	for e.iter < opts.MaxIter {
+		shared := e.computeBatch()
+		for j := 0; j < opts.K; j++ {
+			slot := shared[j*e.slotLen : (j+1)*e.slotLen]
+			h := mat.DenseOf(e.d, e.d, slot[:e.d*e.d])
+			r := slot[e.d*e.d:]
+			for s := 0; s < opts.S; s++ {
+				e.update(h, r)
+				sinceSnap++
+				sinceEval++
+				if opts.VarianceReduced && sinceSnap >= opts.EpochLen {
+					e.refreshSnapshot()
+					sinceSnap = 0
+					if e.gradMapStop {
+						e.checkpoint()
+						e.converged = true
+						break outer
+					}
+				}
+				if sinceEval >= opts.EvalEvery {
+					sinceEval = 0
+					if e.checkpoint() {
+						e.converged = true
+						break outer
+					}
+				}
+				if e.iter >= opts.MaxIter {
+					break outer
+				}
+			}
+		}
+	}
+	if !e.converged && sinceEval != 0 {
+		e.converged = e.checkpoint()
+	}
+}
+
+// finish packages the result.
+func (e *engine) finish() *Result {
+	res := &Result{
+		W:            mat.Clone(e.wCurr),
+		Iters:        e.iter,
+		Rounds:       e.rounds,
+		Converged:    e.converged,
+		FinalObj:     e.finalObj,
+		FinalRelErr:  e.finalRE,
+		Cost:         *e.c.Cost(),
+		ModelSeconds: e.c.Machine().Seconds(*e.c.Cost()),
+		WallSeconds:  time.Since(e.start).Seconds(),
+		Trace:        e.series,
+	}
+	return res
+}

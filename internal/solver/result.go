@@ -1,0 +1,44 @@
+package solver
+
+import (
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// Result reports the outcome of one solve.
+type Result struct {
+	// W is the final iterate.
+	W []float64
+	// Iters is the number of solution updates performed.
+	Iters int
+	// Rounds is the number of communication rounds (Hessian-batch
+	// allreduces) performed.
+	Rounds int
+	// Converged reports whether the Tol stopping criterion fired.
+	Converged bool
+	// FinalObj is F(W); FinalRelErr is |F(W)-F*|/|F*| (NaN when F* is
+	// unknown).
+	FinalObj, FinalRelErr float64
+	// Cost is the per-rank critical-path cost (max over ranks for
+	// distributed runs) of the algorithm, excluding instrumentation.
+	Cost perf.Cost
+	// ModelSeconds is the alpha-beta-gamma time of Cost on the run's
+	// machine; WallSeconds is measured wall-clock.
+	ModelSeconds, WallSeconds float64
+	// Trace is the recorded convergence history (rank 0 only).
+	Trace *trace.Series
+}
+
+// relErr returns the relative objective error of objective value f
+// against reference fstar, or NaN when the reference is unknown.
+func relErr(f, fstar float64) float64 {
+	if math.IsNaN(fstar) {
+		return math.NaN()
+	}
+	if fstar == 0 {
+		return math.Abs(f)
+	}
+	return math.Abs((f - fstar) / fstar)
+}

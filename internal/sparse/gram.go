@@ -1,0 +1,78 @@
+package sparse
+
+import (
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// SampledGram accumulates the sampled Gram contributions of Eq. 18 for
+// the sample (column) index set cols:
+//
+//	H += scale * sum_{j in cols} x_j x_j^T
+//	R += scale * sum_{j in cols} y_j x_j
+//
+// where x_j is column j of a and y_j the matching label. H must be
+// Rows x Rows and R of length Rows. This is stage B of Figure 1: each
+// processor calls it with its local column block and local sample set;
+// the partial results are then combined with one allreduce (stage C).
+//
+// The cost charged matches the actual sparse outer-product work:
+// roughly 2*nnz(x_j)^2 + 2*nnz(x_j) flops per sampled column, the
+// d^2*mbar*f-type term in Table 1.
+func SampledGram(a *CSC, h *mat.Dense, r []float64, y []float64, cols []int, scale float64, c *perf.Cost) {
+	if h.Rows != a.Rows || h.Cols != a.Rows || len(r) != a.Rows || len(y) != a.Cols {
+		panic("sparse: SampledGram dimension mismatch")
+	}
+	var flops int64
+	for _, j := range cols {
+		rows, vals := a.Col(j)
+		nz := len(rows)
+		// H += scale * x_j x_j^T over the sparsity pattern of x_j.
+		for p := 0; p < nz; p++ {
+			hi := h.Row(rows[p])
+			sv := scale * vals[p]
+			for q := 0; q < nz; q++ {
+				hi[rows[q]] += sv * vals[q]
+			}
+		}
+		// R += scale * y_j * x_j.
+		sy := scale * y[j]
+		for p := 0; p < nz; p++ {
+			r[rows[p]] += sy * vals[p]
+		}
+		flops += int64(2*nz*nz + 2*nz)
+	}
+	c.AddFlops(flops)
+}
+
+// FullGram computes H = scale * A A^T and R = scale * A y from scratch
+// (all columns). H must be Rows x Rows and is cleared first.
+func FullGram(a *CSC, h *mat.Dense, r []float64, y []float64, scale float64, c *perf.Cost) {
+	h.Zero()
+	mat.Zero(r)
+	all := make([]int, a.Cols)
+	for j := range all {
+		all[j] = j
+	}
+	SampledGram(a, h, r, y, all, scale, c)
+}
+
+// GramApply computes g = scale * A (A^T w) - shift without forming the
+// Gram matrix, i.e. the exact least-squares gradient direction when
+// scale = 1/m and shift = (1/m) A y. g, w have length Rows; shift may
+// be nil, meaning zero. scratch must have length Cols (reused across
+// calls to avoid allocation).
+func GramApply(a *CSC, g, w, shift, scratch []float64, scale float64, c *perf.Cost) {
+	if len(g) != a.Rows || len(w) != a.Rows || len(scratch) != a.Cols {
+		panic("sparse: GramApply dimension mismatch")
+	}
+	a.MulVecT(scratch, w, c)
+	mat.Zero(g)
+	a.MulVec(g, scratch, c)
+	if scale != 1 {
+		mat.Scal(scale, g, c)
+	}
+	if shift != nil {
+		mat.Axpy(-1, shift, g, c)
+	}
+}

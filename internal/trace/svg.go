@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SVG rendering of convergence figures. The visual spec follows the
+// repository's chart conventions (derived from a validated reference
+// palette): categorical hues assigned in fixed order (never cycled
+// beyond eight — callers split larger sets), 2px round-capped lines,
+// >=8px end markers with a 2px surface ring, hairline solid gridlines
+// one step off the surface, text in text tokens (never the series
+// color), a legend whenever two or more series are present, selective
+// direct labels at line ends only, and a single y axis
+// (log10 relative error).
+
+// Categorical palette, light mode, fixed assignment order. Validated:
+// worst adjacent CVD deltaE 24.2, all slots inside the lightness band;
+// aqua/yellow/magenta are below 3:1 contrast on the surface, which the
+// direct end-labels, the legend and the CSV table artifact relieve.
+var svgSeriesColors = [8]string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+const (
+	svgSurface   = "#fcfcfb"
+	svgGrid      = "#e8e7e3"
+	svgTextMain  = "#0b0b0b"
+	svgTextMuted = "#52514e"
+)
+
+// RenderSVG draws a log-y convergence chart (relative objective error
+// against the chosen axis) for up to eight series and returns a
+// standalone SVG document. Points with non-positive or non-finite
+// relative error are dropped. More than eight series is an error —
+// split into multiple figures rather than cycling hues.
+func RenderSVG(title string, set []*Series, axis Axis, width, height int) (string, error) {
+	if len(set) > len(svgSeriesColors) {
+		return "", fmt.Errorf("trace: %d series exceed the %d fixed categorical slots; split the figure",
+			len(set), len(svgSeriesColors))
+	}
+	if width < 320 {
+		width = 320
+	}
+	if height < 220 {
+		height = 220
+	}
+	const (
+		marginTop    = 56 // title + legend row
+		marginBottom = 44
+		marginLeft   = 64
+		marginRight  = 130 // direct end labels
+	)
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	// Collect finite points and ranges.
+	type xy struct{ x, y float64 }
+	pts := make([][]xy, len(set))
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for si, s := range set {
+		for _, p := range s.Points {
+			if math.IsNaN(p.RelErr) || p.RelErr <= 0 || math.IsInf(p.RelErr, 0) {
+				continue
+			}
+			x := axis.value(p)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			y := math.Log10(p.RelErr)
+			pts[si] = append(pts[si], xy{x, y})
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`,
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, width, height, svgSurface)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" font-weight="600" fill="%s">%s</text>`,
+		marginLeft, svgTextMain, xmlEscape(title))
+
+	if math.IsInf(xmin, 1) {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s">no positive relative-error samples</text>`,
+			marginLeft, height/2, svgTextMuted)
+		b.WriteString(`</svg>`)
+		return b.String(), nil
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	// y ticks at integer powers of ten covering the data.
+	yLo := math.Floor(ymin)
+	yHi := math.Ceil(ymax)
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	sx := func(x float64) float64 { return float64(marginLeft) + (x-xmin)/(xmax-xmin)*plotW }
+	sy := func(y float64) float64 { return float64(marginTop) + (yHi-y)/(yHi-yLo)*plotH }
+
+	// Gridlines + y tick labels (hairline, solid, recessive).
+	step := 1.0
+	for (yHi-yLo)/step > 8 {
+		step *= 2
+	}
+	for yv := yLo; yv <= yHi+1e-9; yv += step {
+		yy := sy(yv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			marginLeft, yy, float64(marginLeft)+plotW, yy, svgGrid)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">1e%g</text>`,
+			marginLeft-6, yy+4, svgTextMuted, yv)
+	}
+	// x ticks: 5 clean positions.
+	for i := 0; i <= 4; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/4
+		xx := sx(xv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			xx, float64(marginTop)+plotH, xx, float64(marginTop)+plotH+4, svgGrid)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			xx, float64(marginTop)+plotH+18, svgTextMuted, xmlEscape(fmtTick(xv)))
+	}
+	// Axis label.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+		float64(marginLeft)+plotW/2, height-8, svgTextMuted, xmlEscape(axis.label()))
+
+	// Legend row (always for >= 2 series; a single series is named by
+	// the title).
+	if len(set) >= 2 {
+		x := float64(marginLeft)
+		for si, s := range set {
+			color := svgSeriesColors[si]
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="36" x2="%.1f" y2="36" stroke="%s" stroke-width="2" stroke-linecap="round"/>`,
+				x, x+16, color)
+			label := xmlEscape(s.Name)
+			fmt.Fprintf(&b, `<text x="%.1f" y="40" font-size="11" fill="%s">%s</text>`,
+				x+20, svgTextMain, label)
+			x += 20 + float64(7*len(s.Name)) + 16
+		}
+	}
+
+	// Series: 2px round-capped polylines, end marker with surface ring,
+	// direct label at the line end (text token ink, color carried by
+	// the adjacent mark).
+	type endLabel struct {
+		si     int
+		ex, ey float64
+	}
+	var labels []endLabel
+	for si, sp := range pts {
+		if len(sp) == 0 {
+			continue
+		}
+		color := svgSeriesColors[si]
+		var poly strings.Builder
+		for i, p := range sp {
+			if i > 0 {
+				poly.WriteByte(' ')
+			}
+			fmt.Fprintf(&poly, "%.1f,%.1f", sx(p.x), sy(p.y))
+		}
+		if len(sp) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linecap="round" stroke-linejoin="round"/>`,
+				poly.String(), color)
+		}
+		last := sp[len(sp)-1]
+		ex, ey := sx(last.x), sy(last.y)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4.5" fill="%s" stroke="%s" stroke-width="2"/>`,
+			ex, ey, color, svgSurface)
+		if len(set) <= 4 || si < 4 {
+			labels = append(labels, endLabel{si: si, ex: ex, ey: ey + 4})
+		}
+	}
+	// Direct end labels, nudged apart so converging series stay legible.
+	sort.Slice(labels, func(i, j int) bool { return labels[i].ey < labels[j].ey })
+	const minGap = 13
+	for i := 1; i < len(labels); i++ {
+		if labels[i].ey-labels[i-1].ey < minGap {
+			labels[i].ey = labels[i-1].ey + minGap
+		}
+	}
+	for _, l := range labels {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`,
+			l.ex+8, l.ey, svgTextMain, xmlEscape(set[l.si].Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.3g", v)
+	case a == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

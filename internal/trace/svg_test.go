@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	set := []*Series{sampleSeries(30), sampleSeries(20)}
+	set[0].Name = "rc-sfista"
+	set[1].Name = "proxcocoa"
+	out, err := RenderSVG("Figure 6 (covtype)", set, ByModelTime, 640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+	// Two series: legend present, two polylines, two end markers.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 2 {
+		t.Fatalf("%d end markers, want 2", got)
+	}
+	for _, want := range []string{"rc-sfista", "proxcocoa", "modeled seconds", "1e"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in svg", want)
+		}
+	}
+	// Marks carry the fixed palette in order; text uses text tokens.
+	if !strings.Contains(out, svgSeriesColors[0]) || !strings.Contains(out, svgSeriesColors[1]) {
+		t.Fatal("categorical slots not assigned in order")
+	}
+	if strings.Contains(out, `<text`) && !strings.Contains(out, svgTextMain) {
+		t.Fatal("text tokens missing")
+	}
+}
+
+func TestRenderSVGSingleSeriesNoLegend(t *testing.T) {
+	s := sampleSeries(10)
+	s.Name = "only"
+	out, err := RenderSVG("t", []*Series{s}, ByIter, 400, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single series: no legend key line at y=36 (the legend row).
+	if strings.Contains(out, `y1="36"`) {
+		t.Fatalf("legend drawn for a single series:\n%s", out)
+	}
+	// But the end marker and line are there.
+	if !strings.Contains(out, "<polyline") || !strings.Contains(out, "<circle") {
+		t.Fatal("marks missing")
+	}
+}
+
+func TestRenderSVGRejectsTooManySeries(t *testing.T) {
+	set := make([]*Series, 9)
+	for i := range set {
+		set[i] = sampleSeries(3)
+	}
+	if _, err := RenderSVG("t", set, ByIter, 400, 240); err == nil {
+		t.Fatal("9 series accepted — hues must never cycle")
+	}
+}
+
+func TestRenderSVGEmptyAndDegenerate(t *testing.T) {
+	empty := &Series{Name: "e"}
+	out, err := RenderSVG("t", []*Series{empty}, ByIter, 400, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no positive relative-error samples") {
+		t.Fatalf("empty message missing:\n%s", out)
+	}
+	// NaN / Inf / negative relerr points are dropped without crashing.
+	bad := &Series{Name: "b"}
+	bad.Append(Point{Iter: 0, RelErr: math.NaN()})
+	bad.Append(Point{Iter: 1, RelErr: math.Inf(1)})
+	bad.Append(Point{Iter: 2, RelErr: -1})
+	bad.Append(Point{Iter: 3, RelErr: 0.1})
+	bad.Append(Point{Iter: 4, RelErr: 0.01})
+	if _, err := RenderSVG("t", []*Series{bad}, ByIter, 400, 240); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderSVGEscapesNames(t *testing.T) {
+	s := sampleSeries(5)
+	s.Name = `a<b&"c"`
+	out, err := RenderSVG(`ti<tle & "q"`, []*Series{s}, ByIter, 400, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `a<b`) || strings.Contains(out, `ti<tle`) {
+		t.Fatal("unescaped markup in output")
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML after escaping: %v", err)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		2500000:  "2.5M",
+		42000:    "42k",
+		512:      "512",
+		3.25:     "3.25",
+		0.004211: "0.0042",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
