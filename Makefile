@@ -1,0 +1,24 @@
+# Development entry points. `make check` is what CI runs: vet, build,
+# and the full test suite under the race detector (the parallel
+# stage-B worker pool in internal/solver must stay race-clean).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime=1x .

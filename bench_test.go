@@ -170,25 +170,88 @@ func BenchmarkKernelSampledGram(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelAllreduce measures one shared allreduce of a k=8
-// Hessian batch at P=16.
-func BenchmarkKernelAllreduce(b *testing.B) {
-	const d, k, procs = 54, 8, 16
-	payload := k * (d*d + d)
-	w := dist.NewWorld(procs, perf.Comet())
+// BenchmarkKernelSampledGramPacked measures the packed stage-B kernel:
+// the same sampled Gram accumulation into the upper triangle only
+// (~half the flops and writes of BenchmarkKernelSampledGram).
+func BenchmarkKernelSampledGramPacked(b *testing.B) {
+	p, _ := ablationProblem(b)
+	d := p.X.Rows
+	h := make([]float64, mat.PackedLen(d))
+	r := make([]float64, d)
+	cols := make([]int, 400)
+	for i := range cols {
+		cols[i] = i * 7 % p.X.Cols
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := w.Run(func(c dist.Comm) error {
-			local := make([]float64, payload)
-			for j := range local {
-				local[j] = float64(c.Rank() + j)
+		hm := mat.SymPackedOf(d, h)
+		sparse.SampledGramPacked(p.X, hm, r, p.Y, cols, 1.0/400, nil)
+	}
+}
+
+// BenchmarkKernelAllreduce measures one shared allreduce of a k=8
+// Hessian batch at P=16, in both wire formats. The packed payload is
+// k*(d(d+1)/2 + d) words against the dense k*(d^2 + d).
+func BenchmarkKernelAllreduce(b *testing.B) {
+	const d, k, procs = 54, 8, 16
+	for _, bc := range []struct {
+		name    string
+		payload int
+	}{
+		{"packed", k * (mat.PackedLen(d) + d)},
+		{"dense", k * (d*d + d)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w := dist.NewWorld(procs, perf.Comet())
+			for i := 0; i < b.N; i++ {
+				err := w.Run(func(c dist.Comm) error {
+					local := make([]float64, bc.payload)
+					for j := range local {
+						local[j] = float64(c.Rank() + j)
+					}
+					c.AllreduceShared(local)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
-			c.AllreduceShared(local)
-			return nil
+			b.ReportMetric(float64(bc.payload), "words/round")
 		})
-		if err != nil {
-			b.Fatal(err)
+	}
+}
+
+// BenchmarkRoundWords measures the engine's actual per-round allreduce
+// volume in both wire formats on the covtype shape (d=54, k=8, P=16):
+// words-per-round drops from k*(d^2+d) = 23760 dense to
+// k*(d(d+1)/2+d) = 12312 packed.
+func BenchmarkRoundWords(b *testing.B) {
+	p, o := ablationProblem(b)
+	const procs, k = 16, 8
+	for _, packed := range []bool{true, false} {
+		name := "dense"
+		if packed {
+			name = "packed"
 		}
+		b.Run(name, func(b *testing.B) {
+			var wordsPerRound float64
+			for i := 0; i < b.N; i++ {
+				oo := o
+				oo.K = k
+				oo.MaxIter = 32
+				oo.EvalEvery = 32
+				oo.VarianceReduced = false
+				oo.PackedHessian = packed
+				w := dist.NewWorld(procs, perf.Comet())
+				res, err := solver.SolveDistributed(w, p.X, p.Y, oo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lg := float64(perf.Log2Ceil(procs))
+				wordsPerRound = float64(res.Cost.Words) / float64(res.Rounds) / lg
+			}
+			b.ReportMetric(wordsPerRound, "words/round")
+		})
 	}
 }
 

@@ -247,8 +247,9 @@ func TestDistProxNewtonChargesHessianBandwidth(t *testing.T) {
 	}
 	d := p.X.Rows
 	lg := perf.Log2Ceil(procs)
-	// Per outer: grad (d words) + Hessian (d^2 words), each over lg levels.
-	wantWords := int64(outers * lg * (d + d*d))
+	// Per outer: grad (d words) + packed Hessian (d(d+1)/2 words), each
+	// over lg levels.
+	wantWords := int64(outers * lg * (d + d*(d+1)/2))
 	got := w.RankCost(0).Words
 	if got != wantWords {
 		t.Fatalf("words = %d, want %d", got, wantWords)

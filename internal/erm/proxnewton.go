@@ -112,7 +112,8 @@ func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
 
 // DistProxNewton runs Algorithm 1 for a general loss on communicator
 // c. Per outer iteration: one allreduce of the exact gradient (d
-// words) and one allreduce of the sampled Hessian (d^2 words). The
+// words) and one allreduce of the sampled Hessian in packed symmetric
+// form (d(d+1)/2 words). The
 // iteration-overlapping of RC-SFISTA does NOT apply here because
 // H(w_n) depends on the current iterate (see the package comment);
 // this solver is the baseline the least-squares specialization
@@ -138,7 +139,7 @@ func DistProxNewton(c dist.Comm, local LocalData, opts Options) (*solver.Result,
 
 	w := make([]float64, d)
 	grad := make([]float64, d)
-	h := mat.NewDense(d, d)
+	h := mat.NewSymPacked(d)
 	series := &trace.Series{Name: opts.TraceName}
 	res := &solver.Result{Trace: series, FinalRelErr: math.NaN()}
 
@@ -184,7 +185,8 @@ func DistProxNewton(c dist.Comm, local LocalData, opts Options) (*solver.Result,
 		c.Allreduce(grad, dist.OpSum)
 
 		// Sampled Hessian at w: shared global sample set, local
-		// contribution over owned columns, one d^2-word allreduce.
+		// contribution over owned columns, one packed d(d+1)/2-word
+		// allreduce.
 		h.Zero()
 		global := src.Stream(4, outer).SampleWithoutReplacement(m, mbar)
 		localCols := make([]int, 0, len(global))
@@ -196,7 +198,7 @@ func DistProxNewton(c dist.Comm, local LocalData, opts Options) (*solver.Result,
 		// Note: SampledHessian scales by 1/len(cols); rescale so the
 		// global sum is (1/mbar) * sum over the whole sample set.
 		if len(localCols) > 0 {
-			localObj.SampledHessian(h, w, localCols, cost)
+			localObj.SampledHessianPacked(h, w, localCols, cost)
 			mat.Scal(float64(len(localCols))/float64(mbar), h.Data, cost)
 		}
 		c.Allreduce(h.Data, dist.OpSum)

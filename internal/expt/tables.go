@@ -15,9 +15,9 @@ import (
 // RC-SFISTA is run for a fixed iteration budget at several (P, k) and
 // the per-rank message, word and flop counters of the simulated
 // runtime are compared with the closed forms. Latency must match
-// exactly; bandwidth matches up to the (d^2+d)/d^2 factor of shipping
-// R alongside H; flops match up to a constant factor (the formula is
-// big-O).
+// exactly; bandwidth matches up to the (d(d+1)/2+d)/(d(d+1)/2) factor
+// of shipping R alongside the packed symmetric H; flops match up to a
+// constant factor (the formula is big-O).
 func Table1(cfg Config) *Report {
 	in := prepare(cfg, "covtype")
 	d := in.prob.X.Rows
@@ -69,7 +69,7 @@ func Table1(cfg Config) *Report {
 	var b strings.Builder
 	b.WriteString(tbl.Render())
 	fmt.Fprintf(&b, "\nlatency counters match closed form exactly: %v\n", allOK)
-	b.WriteString("bandwidth ratio is (d^2+d)/d^2 (R ships with H); flop ratio is the big-O constant.\n")
+	b.WriteString("bandwidth ratio is (d(d+1)/2+d)/(d(d+1)/2) (R ships with the packed H); flop ratio is the big-O constant.\n")
 	return &Report{ID: "table1", Title: "Cost model verification (Table 1)", Text: b.String(), Tables: []*trace.Table{tbl}}
 }
 

@@ -30,6 +30,9 @@ func DenseOf(r, c int, data []float64) *Dense {
 	return &Dense{Rows: r, Cols: c, Data: data}
 }
 
+// Dim returns the row dimension, the operator size when a is square.
+func (a *Dense) Dim() int { return a.Rows }
+
 // At returns element (i, j).
 func (a *Dense) At(i, j int) float64 { return a.Data[i*a.Cols+j] }
 
@@ -82,6 +85,17 @@ func (a *Dense) MulVecT(y, x []float64, c *perf.Cost) {
 		}
 	}
 	c.AddFlops(int64(2 * a.Rows * a.Cols))
+}
+
+// AddScaledCol computes y += s * A[:, j].
+func (a *Dense) AddScaledCol(j int, s float64, y []float64, c *perf.Cost) {
+	if j < 0 || j >= a.Cols || len(y) != a.Rows {
+		panic("mat: AddScaledCol dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		y[i] += s * a.Data[i*a.Cols+j]
+	}
+	c.AddFlops(int64(2 * a.Rows))
 }
 
 // Mul computes C = A*B into dst. dst must be preallocated with shape

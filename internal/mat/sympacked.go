@@ -1,0 +1,259 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// SymPacked is a symmetric n x n matrix stored in row-major packed
+// upper-triangle form: element (i, j) with j >= i lives at
+// Data[i*n - i*(i-1)/2 + (j-i)], a total of n(n+1)/2 floats — half the
+// dense footprint. This is the wire format of the batched Hessian
+// allreduce: every subsampled Gram matrix H = (1/mbar) X I I^T X^T is
+// symmetric, so only the upper triangle carries information, and
+// shipping it packed halves the bandwidth term of the cost model.
+//
+// The storage keeps each row's tail (columns i..n-1) contiguous, so the
+// Gram accumulation over a CSC column's increasing row indices and the
+// row-sweep half of MulVec are both unit-stride.
+type SymPacked struct {
+	// N is the matrix dimension.
+	N int
+	// Data holds the packed upper triangle, len n(n+1)/2.
+	Data []float64
+}
+
+// PackedLen returns the packed storage size n(n+1)/2 of a symmetric
+// n x n matrix.
+func PackedLen(n int) int { return n * (n + 1) / 2 }
+
+// NewSymPacked allocates a zeroed n x n packed symmetric matrix.
+func NewSymPacked(n int) *SymPacked {
+	if n < 0 {
+		panic("mat: negative dimension")
+	}
+	return &SymPacked{N: n, Data: make([]float64, PackedLen(n))}
+}
+
+// SymPackedOf wraps data (not copied) as an n x n packed symmetric
+// matrix.
+func SymPackedOf(n int, data []float64) *SymPacked {
+	if len(data) != PackedLen(n) {
+		panic(fmt.Sprintf("mat: SymPackedOf got %d values for n=%d (want %d)", len(data), n, PackedLen(n)))
+	}
+	return &SymPacked{N: n, Data: data}
+}
+
+// rowStart returns the index of the diagonal element (i, i).
+func (a *SymPacked) rowStart(i int) int { return i*a.N - i*(i-1)/2 }
+
+// Dim returns the matrix dimension.
+func (a *SymPacked) Dim() int { return a.N }
+
+// At returns element (i, j) of the symmetric matrix.
+func (a *SymPacked) At(i, j int) float64 {
+	if j < i {
+		i, j = j, i
+	}
+	return a.Data[a.rowStart(i)+j-i]
+}
+
+// Set assigns element (i, j) (and, by symmetry, (j, i)).
+func (a *SymPacked) Set(i, j int, v float64) {
+	if j < i {
+		i, j = j, i
+	}
+	a.Data[a.rowStart(i)+j-i] = v
+}
+
+// RowTail returns a view of the stored part of row i: columns i..n-1,
+// contiguous in Data. Writing through it updates the matrix.
+func (a *SymPacked) RowTail(i int) []float64 {
+	return a.Data[a.rowStart(i) : a.rowStart(i)+a.N-i]
+}
+
+// Zero clears all entries.
+func (a *SymPacked) Zero() { Zero(a.Data) }
+
+// Clone returns a deep copy of a.
+func (a *SymPacked) Clone() *SymPacked {
+	out := NewSymPacked(a.N)
+	copy(out.Data, a.Data)
+	return out
+}
+
+// MulVec computes y = A*x for the full symmetric operator. The flop
+// count is the same 2n^2 as the dense kernel — packing halves storage
+// and bandwidth, not the matvec work — and the per-row summation order
+// (j = 0..n-1) matches Dense.MulVec exactly, so a packed matrix and its
+// dense expansion produce bit-identical products.
+func (a *SymPacked) MulVec(y, x []float64, c *perf.Cost) {
+	n := a.N
+	if len(x) != n || len(y) != n {
+		panic("mat: SymPacked MulVec dimension mismatch")
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		// Columns j < i live in earlier rows' tails: element (j, i).
+		for j := 0; j < i; j++ {
+			s += a.Data[a.rowStart(j)+i-j] * x[j]
+		}
+		// Columns j >= i are this row's contiguous tail.
+		tail := a.Data[a.rowStart(i) : a.rowStart(i)+n-i]
+		for jj, v := range tail {
+			s += v * x[i+jj]
+		}
+		y[i] = s
+	}
+	c.AddFlops(int64(2 * n * n))
+}
+
+// AddScaledCol computes y += s * A[:, j], the symmetric-column axpy the
+// coordinate-descent inner solver needs.
+func (a *SymPacked) AddScaledCol(j int, s float64, y []float64, c *perf.Cost) {
+	n := a.N
+	if j < 0 || j >= n || len(y) != n {
+		panic("mat: SymPacked AddScaledCol dimension mismatch")
+	}
+	for i := 0; i < j; i++ {
+		y[i] += s * a.Data[a.rowStart(i)+j-i]
+	}
+	tail := a.Data[a.rowStart(j) : a.rowStart(j)+n-j]
+	for ii, v := range tail {
+		y[j+ii] += s * v
+	}
+	c.AddFlops(int64(2 * n))
+}
+
+// AddOuter performs the symmetric rank-1 update A += s * x x^T on the
+// stored upper triangle only: n(n+1)/2 multiply-adds plus the n scaled
+// copies of x, against the 2n^2 of the dense SymOuterUpdate.
+func (a *SymPacked) AddOuter(s float64, x []float64, c *perf.Cost) {
+	n := a.N
+	if len(x) != n {
+		panic("mat: SymPacked AddOuter dimension mismatch")
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		sxi := s * xi
+		tail := a.Data[a.rowStart(i) : a.rowStart(i)+n-i]
+		for jj := range tail {
+			tail[jj] += sxi * x[i+jj]
+		}
+	}
+	c.AddFlops(int64(n*(n+1) + n))
+}
+
+// Dense expands a into a full n x n dense matrix.
+func (a *SymPacked) Dense() *Dense {
+	out := NewDense(a.N, a.N)
+	for i := 0; i < a.N; i++ {
+		tail := a.RowTail(i)
+		for jj, v := range tail {
+			out.Set(i, i+jj, v)
+			out.Set(i+jj, i, v)
+		}
+	}
+	return out
+}
+
+// SymPackedFromDense packs the upper triangle of a square dense matrix.
+// The lower triangle is ignored (assumed symmetric).
+func SymPackedFromDense(a *Dense) *SymPacked {
+	if a.Rows != a.Cols {
+		panic("mat: SymPackedFromDense needs a square matrix")
+	}
+	out := NewSymPacked(a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.RowTail(i), a.Row(i)[i:])
+	}
+	return out
+}
+
+// CholeskyPacked computes the packed upper-triangular factor U with
+// A = U^T U for a symmetric positive definite packed matrix. The factor
+// is returned in packed storage (the strict lower triangle of U is zero
+// by construction and not stored). Flops charged: n^3/3, as for the
+// dense factorization.
+func CholeskyPacked(a *SymPacked, c *perf.Cost) (*SymPacked, error) {
+	n := a.N
+	u := NewSymPacked(n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			s := a.At(i, j)
+			for k := 0; k < i; k++ {
+				s -= u.At(k, i) * u.At(k, j)
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrNotSPD
+				}
+				u.Set(j, j, math.Sqrt(s))
+			} else {
+				u.Set(i, j, s/u.At(i, i))
+			}
+		}
+	}
+	c.AddFlops(int64(n) * int64(n) * int64(n) / 3)
+	return u, nil
+}
+
+// CholeskySolvePacked solves A x = b given the packed Cholesky factor U
+// of A = U^T U, returning a fresh x (b is not modified).
+func CholeskySolvePacked(u *SymPacked, b []float64, c *perf.Cost) []float64 {
+	n := u.N
+	if len(b) != n {
+		panic("mat: CholeskySolvePacked dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward: U^T z = b (U^T is lower triangular).
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= u.At(k, i) * x[k]
+		}
+		x[i] = s / u.At(i, i)
+	}
+	// Backward: U x = z, sweeping each row's contiguous tail.
+	for i := n - 1; i >= 0; i-- {
+		tail := u.RowTail(i)
+		s := x[i]
+		for kk := 1; kk < len(tail); kk++ {
+			s -= tail[kk] * x[i+kk]
+		}
+		x[i] = s / tail[0]
+	}
+	c.AddFlops(int64(2 * n * n))
+	return x
+}
+
+// SolveSPDPacked solves A x = b for a symmetric positive definite
+// packed matrix.
+func SolveSPDPacked(a *SymPacked, b []float64, c *perf.Cost) ([]float64, error) {
+	u, err := CholeskyPacked(a, c)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolvePacked(u, b, c), nil
+}
+
+// MaxAbsDiffPacked returns the maximum absolute element-wise difference
+// between two equally sized packed matrices.
+func MaxAbsDiffPacked(a, b *SymPacked) float64 {
+	if a.N != b.N {
+		panic("mat: MaxAbsDiffPacked dimension mismatch")
+	}
+	var m float64
+	for i, v := range a.Data {
+		d := math.Abs(v - b.Data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,248 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// symTestMatrix builds a deterministic symmetric n x n matrix with
+// distinct off-diagonal entries and a dominant diagonal (so it is also
+// SPD for the Cholesky tests).
+func symTestMatrix(n int) *Dense {
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := math.Sin(float64(3*i+7*j+1)) / 4
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Set(i, i, float64(n)+math.Cos(float64(i)))
+	}
+	return a
+}
+
+func testVector(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(2*i + 1))
+	}
+	return x
+}
+
+func TestPackedLen(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 1, 2: 3, 5: 15, 54: 1485} {
+		if got := PackedLen(n); got != want {
+			t.Fatalf("PackedLen(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSymPackedLayoutAndAccessors(t *testing.T) {
+	const n = 7
+	a := NewSymPacked(n)
+	// Fill through Set with a value encoding (min, max) of the index
+	// pair, writing sometimes below and sometimes above the diagonal.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64(100*min(i, j)+max(i, j)))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := float64(100*min(i, j) + max(i, j))
+			if got := a.At(i, j); got != want {
+				t.Fatalf("At(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	// RowTail is a writable view of columns i..n-1.
+	for i := 0; i < n; i++ {
+		tail := a.RowTail(i)
+		if len(tail) != n-i {
+			t.Fatalf("RowTail(%d) length %d, want %d", i, len(tail), n-i)
+		}
+		for jj := range tail {
+			if tail[jj] != a.At(i, i+jj) {
+				t.Fatalf("RowTail(%d)[%d] != At(%d,%d)", i, jj, i, i+jj)
+			}
+		}
+	}
+	a.RowTail(2)[3] = -1
+	if a.At(2, 5) != -1 || a.At(5, 2) != -1 {
+		t.Fatal("RowTail write did not land in the matrix")
+	}
+	// Dense expansion and re-packing round-trip.
+	b := SymPackedFromDense(a.Dense())
+	if MaxAbsDiffPacked(a, b) != 0 {
+		t.Fatal("Dense/SymPackedFromDense round-trip changed values")
+	}
+	// SymPackedOf wraps without copying.
+	c := SymPackedOf(a.N, a.Data)
+	c.Set(0, 0, 42)
+	if a.At(0, 0) != 42 {
+		t.Fatal("SymPackedOf copied instead of wrapping")
+	}
+}
+
+func TestSymPackedMulVecBitIdenticalToDense(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 13} {
+		dense := symTestMatrix(n)
+		packed := SymPackedFromDense(dense)
+		x := testVector(n)
+		yd := make([]float64, n)
+		yp := make([]float64, n)
+		dense.MulVec(yd, x, nil)
+		packed.MulVec(yp, x, nil)
+		for i := range yd {
+			if yd[i] != yp[i] {
+				t.Fatalf("n=%d: MulVec differs at %d: dense %v packed %v (not bitwise equal)",
+					n, i, yd[i], yp[i])
+			}
+		}
+	}
+}
+
+func TestSymPackedAddScaledColMatchesDense(t *testing.T) {
+	const n = 9
+	dense := symTestMatrix(n)
+	packed := SymPackedFromDense(dense)
+	for j := 0; j < n; j++ {
+		yd := testVector(n)
+		yp := testVector(n)
+		dense.AddScaledCol(j, 1.5, yd, nil)
+		packed.AddScaledCol(j, 1.5, yp, nil)
+		for i := range yd {
+			if yd[i] != yp[i] {
+				t.Fatalf("col %d differs at %d: %v vs %v", j, i, yd[i], yp[i])
+			}
+		}
+	}
+}
+
+func TestSymPackedAddOuterMatchesSymOuterUpdate(t *testing.T) {
+	const n = 8
+	x := testVector(n)
+	x[3] = 0 // exercise the zero-skip branch
+	dense := NewDense(n, n)
+	packed := NewSymPacked(n)
+	SymOuterUpdate(dense, 0.7, x, nil)
+	packed.AddOuter(0.7, x, nil)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if dense.At(i, j) != packed.At(i, j) {
+				t.Fatalf("(%d,%d): dense %v packed %v", i, j, dense.At(i, j), packed.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSymPackedFlopCharges(t *testing.T) {
+	const n = 6
+	a := SymPackedFromDense(symTestMatrix(n))
+	x := testVector(n)
+	y := make([]float64, n)
+
+	var c perf.Cost
+	a.MulVec(y, x, &c)
+	if c.Flops != 2*n*n {
+		t.Fatalf("MulVec flops = %d, want %d", c.Flops, 2*n*n)
+	}
+	c = perf.Cost{}
+	a.AddScaledCol(2, 1, y, &c)
+	if c.Flops != 2*n {
+		t.Fatalf("AddScaledCol flops = %d, want %d", c.Flops, 2*n)
+	}
+	c = perf.Cost{}
+	a.AddOuter(1, x, &c)
+	if c.Flops != n*(n+1)+n {
+		t.Fatalf("AddOuter flops = %d, want %d", c.Flops, n*(n+1)+n)
+	}
+	c = perf.Cost{}
+	if _, err := CholeskyPacked(a, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Flops != int64(n*n*n/3) {
+		t.Fatalf("CholeskyPacked flops = %d, want %d", c.Flops, n*n*n/3)
+	}
+}
+
+func TestCholeskyPackedSolvesSPD(t *testing.T) {
+	for _, n := range []int{1, 3, 10} {
+		dense := symTestMatrix(n)
+		packed := SymPackedFromDense(dense)
+		b := testVector(n)
+
+		xp, err := SolveSPDPacked(packed, b, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		xd, err := SolveSPD(dense, b, nil)
+		if err != nil {
+			t.Fatalf("n=%d dense: %v", n, err)
+		}
+		for i := range xp {
+			if math.Abs(xp[i]-xd[i]) > 1e-12 {
+				t.Fatalf("n=%d: packed/dense solutions differ at %d: %g vs %g", n, i, xp[i], xd[i])
+			}
+		}
+		// Residual check: A x = b.
+		ax := make([]float64, n)
+		packed.MulVec(ax, xp, nil)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-10 {
+				t.Fatalf("n=%d: residual at %d: %g", n, i, ax[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyPackedFactorIsUpperTriangular(t *testing.T) {
+	const n = 5
+	a := SymPackedFromDense(symTestMatrix(n))
+	u, err := CholeskyPacked(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct U^T U and compare to A.
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			for k := 0; k <= i; k++ {
+				s += u.At(k, i) * u.At(k, j)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-12 {
+				t.Fatalf("(U^T U)[%d,%d] = %g, want %g", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyPackedRejectsIndefinite(t *testing.T) {
+	a := NewSymPacked(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, -1: indefinite
+	if _, err := CholeskyPacked(a, nil); err != ErrNotSPD {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+	if _, err := SolveSPDPacked(a, []float64{1, 1}, nil); err != ErrNotSPD {
+		t.Fatalf("SolveSPDPacked err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestSymPackedCloneAndZero(t *testing.T) {
+	a := SymPackedFromDense(symTestMatrix(4))
+	b := a.Clone()
+	b.Set(1, 2, 99)
+	if a.At(1, 2) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero left a non-zero entry")
+		}
+	}
+}

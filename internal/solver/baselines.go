@@ -53,7 +53,7 @@ func ProxSVRG(x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 	fullGrad := make([]float64, d)
 	grad := make([]float64, d)
 	tmp := make([]float64, d)
-	h := mat.NewDense(d, d)
+	h := mat.NewSymPacked(d)
 	r := make([]float64, d)
 
 	name := opts.TraceName
@@ -86,7 +86,7 @@ func ProxSVRG(x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 		cols := src.Stream(1, n).SampleWithoutReplacement(m, mbar)
 		h.Zero()
 		mat.Zero(r)
-		sparse.SampledGram(x, h, r, y, cols, 1/float64(mbar), cost)
+		sparse.SampledGramPacked(x, h, r, y, cols, 1/float64(mbar), cost)
 
 		// VR gradient at w (no momentum point): H (w - wSnap) + fullGrad.
 		mat.Sub(tmp, w, wSnap, cost)

@@ -46,9 +46,7 @@ outer:
 	for e.iter < opts.MaxIter {
 		shared := e.computeBatch()
 		for j := 0; j < opts.K; j++ {
-			slot := shared[j*e.slotLen : (j+1)*e.slotLen]
-			h := mat.DenseOf(d, d, slot[:d*d])
-			r := slot[d*d:]
+			h, r := e.slotView(shared, j)
 
 			// Momentum coefficients mu_n and the lookahead mu_{n+1}.
 			tn := (1 + math.Sqrt(1+4*t*t)) / 2

@@ -33,14 +33,14 @@ func SampledLipschitz(x *sparse.CSC, y []float64, b float64, trials int, seed ui
 		trials = 8
 	}
 	src := rng.NewSource(seed ^ 0x5eed_11b5)
-	h := mat.NewDense(d, d)
+	h := mat.NewSymPacked(d)
 	r := make([]float64, d)
 	var lmax float64
 	for trial := 0; trial < trials; trial++ {
 		cols := src.Stream(3, trial).SampleWithoutReplacement(m, mbar)
 		h.Zero()
 		mat.Zero(r)
-		sparse.SampledGram(x, h, r, y, cols, 1/float64(mbar), nil)
+		sparse.SampledGramPacked(x, h, r, y, cols, 1/float64(mbar), nil)
 		if l := EstimateQuadLipschitz(h, 30, nil); l > lmax {
 			lmax = l
 		}

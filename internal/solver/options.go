@@ -99,10 +99,19 @@ type Options struct {
 	// updates. The two differ only by floating-point round-off; the
 	// option exists for the equivalence ablation.
 	UseDeltaForm bool
+	// PackedHessian selects the packed symmetric wire format for the
+	// batched Hessian allreduce: each slot ships d(d+1)/2 + d words (the
+	// upper triangle of H plus R) instead of the dense d^2 + d. Packed
+	// and dense runs produce bit-identical iterates — the Gram kernels
+	// compute each symmetric element once and the per-element reduction
+	// order is unchanged — so the dense path exists only as the
+	// equivalence ablation. Defaults() turns it on; a zero-valued
+	// Options (which is not runnable anyway) selects the dense format.
+	PackedHessian bool
 }
 
 // Defaults returns options with sensible experiment defaults: k = S = 1,
-// b = 0.1, variance reduction on.
+// b = 0.1, variance reduction on, packed symmetric Hessian wire format.
 func Defaults() Options {
 	return Options{
 		Lambda:          0.1,
@@ -114,6 +123,7 @@ func Defaults() Options {
 		S:               1,
 		VarianceReduced: true,
 		Seed:            42,
+		PackedHessian:   true,
 	}
 }
 

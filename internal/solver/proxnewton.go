@@ -90,7 +90,7 @@ func ProxNewton(x *sparse.CSC, y []float64, opts PNOptions) (*Result, error) {
 
 	w := make([]float64, d)
 	grad := make([]float64, d)
-	h := mat.NewDense(d, d)
+	h := mat.NewSymPacked(d)
 	r := make([]float64, d) // sampled R, discarded (exact gradient used)
 	res := &Result{Trace: &trace.Series{Name: opts.TraceName}, FinalRelErr: math.NaN()}
 
@@ -122,7 +122,7 @@ func ProxNewton(x *sparse.CSC, y []float64, opts PNOptions) (*Result, error) {
 		} else {
 			cols = src.Stream(2, outer).SampleWithoutReplacement(m, mbar)
 		}
-		sparse.SampledGram(x, h, r, y, cols, 1/float64(mbar), cost)
+		sparse.SampledGramPacked(x, h, r, y, cols, 1/float64(mbar), cost)
 
 		// Line 4: solve the subproblem from the exact gradient anchor.
 		obj.Gradient(grad, w, cost)
@@ -211,8 +211,9 @@ type DistPNOptions struct {
 //     i.e. one exact-gradient refresh per communication round;
 //   - K outer iterations' Hessians batched per allreduce -> K = K.
 //
-// With K = 1 this is "PN with FISTA as inner solver" (one d^2-word
-// allreduce and one d-word gradient allreduce per outer iteration);
+// With K = 1 this is "PN with FISTA as inner solver" (one packed
+// d(d+1)/2-word Hessian allreduce and one d-word gradient allreduce per
+// outer iteration);
 // with K > 1 it is "PN with RC-SFISTA as inner solver", cutting
 // latency by O(K) (Figure 7).
 func DistProxNewton(c dist.Comm, local LocalData, opts DistPNOptions) (*Result, error) {
@@ -247,6 +248,7 @@ func DistProxNewton(c dist.Comm, local LocalData, opts DistPNOptions) (*Result, 
 		Seed:            opts.Seed,
 		EvalEvery:       opts.InnerIter,
 		TraceName:       name,
+		PackedHessian:   true,
 	}
 	return RCSFISTA(c, local, inner)
 }

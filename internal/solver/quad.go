@@ -8,6 +8,21 @@ import (
 	"github.com/hpcgo/rcsfista/internal/prox"
 )
 
+// Hessian is the symmetric-operator interface the subproblem machinery
+// and the engine consume. Both *mat.Dense (full storage) and
+// *mat.SymPacked (upper-triangle packed, half the footprint and the
+// engine's default wire format) satisfy it.
+type Hessian interface {
+	// Dim returns the operator dimension d.
+	Dim() int
+	// At returns element (i, j).
+	At(i, j int) float64
+	// MulVec computes y = H x.
+	MulVec(y, x []float64, c *perf.Cost)
+	// AddScaledCol computes y += s * H[:, j].
+	AddScaledCol(j int, s float64, y []float64, c *perf.Cost)
+}
+
 // Quad is the Proximal Newton subproblem of Eq. 19 in normalized form:
 //
 //	minimize  Phi(z) + g(z),  Phi(z) = (1/2) z^T H z - R^T z
@@ -16,7 +31,7 @@ import (
 // squares gradient, Eq. 5 — the observation Section 3.2 builds
 // Hessian-reuse on). H must be symmetric positive semidefinite.
 type Quad struct {
-	H *mat.Dense
+	H Hessian
 	R []float64
 }
 
@@ -24,7 +39,7 @@ type Quad struct {
 // grad = grad f(w), the smooth part (1/2)(z-w)^T H (z-w) + grad^T (z-w)
 // equals (1/2) z^T H z - (H w - grad)^T z up to a constant, so
 // R = H w - grad.
-func NewSubproblem(h *mat.Dense, w, grad []float64, c *perf.Cost) Quad {
+func NewSubproblem(h Hessian, w, grad []float64, c *perf.Cost) Quad {
 	r := make([]float64, len(w))
 	h.MulVec(r, w, c)
 	mat.Axpy(-1, grad, r, c)
@@ -115,9 +130,7 @@ func (cd CDInner) Solve(q Quad, _ prox.Operator, z0 []float64, iters int, c *per
 			delta := zi - z[i]
 			if delta != 0 {
 				z[i] = zi
-				row := q.H.Row(i)
-				// H is symmetric: column i equals row i.
-				mat.Axpy(delta, row, hz, c)
+				q.H.AddScaledCol(i, delta, hz, c)
 			}
 			c.AddFlops(6)
 		}
@@ -125,9 +138,52 @@ func (cd CDInner) Solve(q Quad, _ prox.Operator, z0 []float64, iters int, c *per
 	return z
 }
 
+// CholInner solves the subproblem exactly with one packed Cholesky
+// factorization. Valid when the composite term is smooth-quadratic —
+// prox.Zero (plain Newton step) or prox.L2Squared with penalty Ridge,
+// where the minimizer solves (H + Ridge I) z = R in closed form. The
+// iters budget is ignored; if H + Ridge I is not positive definite the
+// starting point is returned unchanged.
+type CholInner struct {
+	// Ridge is added to the diagonal before factoring (the L2Squared
+	// penalty, or a small damping for plain Newton). Zero is allowed.
+	Ridge float64
+}
+
+// Name identifies the inner solver.
+func (ci CholInner) Name() string { return "chol" }
+
+// Solve factors H (+ Ridge I) in packed form and back-substitutes.
+func (ci CholInner) Solve(q Quad, _ prox.Operator, z0 []float64, _ int, c *perf.Cost) []float64 {
+	d := q.H.Dim()
+	a, ok := q.H.(*mat.SymPacked)
+	if ok && ci.Ridge != 0 {
+		a = a.Clone()
+	} else if !ok {
+		a = mat.NewSymPacked(d)
+		for i := 0; i < d; i++ {
+			tail := a.RowTail(i)
+			for jj := range tail {
+				tail[jj] = q.H.At(i, i+jj)
+			}
+		}
+	}
+	if ci.Ridge != 0 {
+		for i := 0; i < d; i++ {
+			a.Set(i, i, a.At(i, i)+ci.Ridge)
+		}
+		c.AddFlops(int64(d))
+	}
+	x, err := mat.SolveSPDPacked(a, q.R, c)
+	if err != nil {
+		return mat.Clone(z0)
+	}
+	return x
+}
+
 // EstimateQuadLipschitz estimates lambda_max(H) by power iteration.
-func EstimateQuadLipschitz(h *mat.Dense, iters int, c *perf.Cost) float64 {
-	d := h.Rows
+func EstimateQuadLipschitz(h Hessian, iters int, c *perf.Cost) float64 {
+	d := h.Dim()
 	v := make([]float64, d)
 	for i := range v {
 		v[i] = 1 / math.Sqrt(float64(d))

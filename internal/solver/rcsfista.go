@@ -3,10 +3,13 @@ package solver
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/rng"
 	"github.com/hpcgo/rcsfista/internal/sparse"
@@ -46,8 +49,10 @@ func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
 // Structure per communication round (Figure 1):
 //
 //	stage A: draw k sample index sets from the shared seed (no comm);
-//	stage B: compute k local partial (H_j, R_j) Gram instances;
-//	stage C: ONE allreduce of the k*(d^2+d)-word batch;
+//	stage B: compute k local partial (H_j, R_j) Gram instances,
+//	         concurrently across slots (disjoint buffer regions);
+//	stage C: ONE allreduce of the batch — k*(d(d+1)/2 + d) words in the
+//	         default packed symmetric format, k*(d^2 + d) dense;
 //	stage D: k*S local solution updates, S per Hessian instance.
 //
 // SFISTA is the k=1, S=1 special case; deterministic distributed FISTA
@@ -94,10 +99,13 @@ type engine struct {
 	reg        prox.Operator
 	src        rng.Source
 
-	// Batched Gram buffer: k slots of (d^2 Hessian + d R), local
-	// partials before the allreduce.
+	// Batched Gram buffer: k slots of (hLen Hessian + d R), local
+	// partials before the allreduce. hLen is d(d+1)/2 in the default
+	// packed symmetric format, d^2 dense.
 	batch   []float64
+	hLen    int
 	slotLen int
+	packed  bool
 
 	wPrev, wCurr, v, grad, tmp []float64
 	scratch                    []float64 // length mLocal
@@ -130,13 +138,19 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 	if name == "" {
 		name = fmt.Sprintf("rcsfista-k%d-s%d", opts.K, opts.S)
 	}
+	hLen := d * d
+	if opts.PackedHessian {
+		hLen = mat.PackedLen(d)
+	}
 	e := &engine{
 		c: c, local: local, opts: opts,
 		d: d, m: m, mbar: mbar,
 		gamma:   opts.Gamma,
 		reg:     opts.Reg,
 		src:     rng.NewSource(opts.Seed),
-		slotLen: d*d + d,
+		hLen:    hLen,
+		slotLen: hLen + d,
+		packed:  opts.PackedHessian,
 		wPrev:   make([]float64, d),
 		wCurr:   make([]float64, d),
 		v:       make([]float64, d),
@@ -188,25 +202,75 @@ func (e *engine) localCols(global []int) []int {
 	return out
 }
 
+// fillSlot computes the local partial (H, R) Gram instance of batch
+// slot j (global Hessian index hIdx+j), charging flops to cost. Stage A
+// (sampling) is a pure function of (seed, hIdx+j) and stage B writes
+// only slot j's region of the batch buffer, so distinct slots are safe
+// to fill concurrently.
+func (e *engine) fillSlot(j int, cost *perf.Cost) {
+	global := e.sampleSlot(e.hIdx + j)
+	cols := e.localCols(global)
+	slot := e.batch[j*e.slotLen : (j+1)*e.slotLen]
+	scale := 1 / float64(e.mbar)
+	if e.packed {
+		h := mat.SymPackedOf(e.d, slot[:e.hLen])
+		sparse.SampledGramPacked(e.local.X, h, slot[e.hLen:], e.local.Y, cols, scale, cost)
+	} else {
+		h := mat.DenseOf(e.d, e.d, slot[:e.hLen])
+		sparse.SampledGram(e.local.X, h, slot[e.hLen:], e.local.Y, cols, scale, cost)
+	}
+}
+
 // computeBatch fills the local partial (H_j, R_j) batch for slots
 // hIdx..hIdx+k-1 (stages A and B) and returns the allreduced result
-// (stage C).
+// (stage C). The k slots are computed by a bounded worker pool; each
+// worker charges a private perf.Cost that is merged in slot order after
+// the join, so accounting is deterministic regardless of scheduling.
 func (e *engine) computeBatch() []float64 {
 	k := e.opts.K
 	cost := e.c.Cost()
 	mat.Zero(e.batch)
-	for j := 0; j < k; j++ {
-		global := e.sampleSlot(e.hIdx + j)
-		cols := e.localCols(global)
-		slot := e.batch[j*e.slotLen : (j+1)*e.slotLen]
-		h := mat.DenseOf(e.d, e.d, slot[:e.d*e.d])
-		r := slot[e.d*e.d:]
-		sparse.SampledGram(e.local.X, h, r, e.local.Y, cols, 1/float64(e.mbar), cost)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for j := 0; j < k; j++ {
+			e.fillSlot(j, cost)
+		}
+	} else {
+		costs := make([]perf.Cost, k)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for j := 0; j < k; j++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j int) {
+				defer wg.Done()
+				e.fillSlot(j, &costs[j])
+				<-sem
+			}(j)
+		}
+		wg.Wait()
+		for j := 0; j < k; j++ {
+			cost.Add(costs[j])
+		}
 	}
 	e.hIdx += k
 	shared := e.c.AllreduceShared(e.batch)
 	e.rounds++
 	return shared
+}
+
+// slotView interprets slot j of an (allreduced) batch buffer as its
+// Hessian operator and R vector, in whichever wire format the engine is
+// configured for.
+func (e *engine) slotView(batch []float64, j int) (Hessian, []float64) {
+	slot := batch[j*e.slotLen : (j+1)*e.slotLen]
+	if e.packed {
+		return mat.SymPackedOf(e.d, slot[:e.hLen]), slot[e.hLen:]
+	}
+	return mat.DenseOf(e.d, e.d, slot[:e.hLen]), slot[e.hLen:]
 }
 
 // refreshSnapshot re-centers the variance-reduction estimator at the
@@ -239,7 +303,7 @@ func (e *engine) refreshSnapshot() {
 
 // update performs one solution update (Algorithm 5 lines 9-15 for a
 // single s) with Hessian slot (h, r).
-func (e *engine) update(h *mat.Dense, r []float64) {
+func (e *engine) update(h Hessian, r []float64) {
 	cost := e.c.Cost()
 	tNext := (1 + math.Sqrt(1+4*e.t*e.t)) / 2
 	mu := (e.t - 1) / tNext
@@ -315,9 +379,7 @@ outer:
 	for e.iter < opts.MaxIter {
 		shared := e.computeBatch()
 		for j := 0; j < opts.K; j++ {
-			slot := shared[j*e.slotLen : (j+1)*e.slotLen]
-			h := mat.DenseOf(e.d, e.d, slot[:e.d*e.d])
-			r := slot[e.d*e.d:]
+			h, r := e.slotView(shared, j)
 			for s := 0; s < opts.S; s++ {
 				e.update(h, r)
 				sinceSnap++
