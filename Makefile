@@ -1,12 +1,17 @@
 # Development entry points. `make check` is what CI runs: vet, build,
-# and the full test suite under the race detector (the parallel
-# stage-B worker pool in internal/solver must stay race-clean).
+# the full test suite under the race detector (the parallel stage-B
+# worker pool in internal/solver must stay race-clean), the coverage
+# ratchet on the fault-critical packages, and a short smoke run of
+# every native fuzz target.
 
 GO ?= go
+FUZZTIME ?= 30s
+COVER_FLOOR ?= 90.0
+COVER_PKGS = ./internal/dist ./internal/solver
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench cover fuzz-smoke
 
-check: vet build race
+check: vet build race cover fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +24,23 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage ratchet: the packages holding the fault-injection layer and
+# the solver's degradation logic must stay at or above COVER_FLOOR.
+# Raise the floor when coverage rises; never lower it.
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	  { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor" >&2; exit 1; }
+
+# Each native fuzz target runs for FUZZTIME; any crasher fails the build.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run NONE -fuzz '^FuzzPackedCholesky$$' -fuzztime $(FUZZTIME) ./internal/mat
+	$(GO) test -run NONE -fuzz '^FuzzReadLIBSVM$$' -fuzztime $(FUZZTIME) ./internal/data
+	$(GO) test -run NONE -fuzz '^FuzzLIBSVMIndices$$' -fuzztime $(FUZZTIME) ./internal/data
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime=1x .

@@ -6,8 +6,9 @@
 //	experiments [-scale bench|full] [-only id[,id...]] [-out DIR] [-seed N]
 //
 // With -out, each report's text is written to DIR/<id>.txt and its
-// structured data to DIR/<id>.csv (tables) and DIR/<id>_series.csv
-// (convergence series). Run `experiments -list` for the ids.
+// structured data to DIR/<id>.csv (tables), DIR/<id>_series.csv
+// (convergence series) and DIR/<id>_events.csv (fault/recovery events,
+// when a report records any). Run `experiments -list` for the ids.
 package main
 
 import (
@@ -101,6 +102,20 @@ func writeReport(dir string, rep *expt.Report) error {
 		csv := trace.SeriesCSV(rep.Series)
 		if err := os.WriteFile(filepath.Join(dir, rep.ID+"_series.csv"), []byte(csv), 0o644); err != nil {
 			return err
+		}
+		// Discrete fault/recovery events, when any series recorded them.
+		hasEvents := false
+		for _, s := range rep.Series {
+			if len(s.Events) > 0 {
+				hasEvents = true
+				break
+			}
+		}
+		if hasEvents {
+			ecsv := trace.EventsCSV(rep.Series)
+			if err := os.WriteFile(filepath.Join(dir, rep.ID+"_events.csv"), []byte(ecsv), 0o644); err != nil {
+				return err
+			}
 		}
 	}
 	for i, fig := range rep.Figures {

@@ -1,0 +1,463 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/rng"
+)
+
+// Fault injection for the simulated network. A FaultPlan is a
+// deterministic, seeded schedule of communication faults — straggler
+// delays, dropped (timed-out) allreduce rounds, corrupted payload
+// words, and a rank crash with an outage window — that a FaultyComm
+// injects into the round-indexed batched allreduce of RC-SFISTA.
+//
+// The central design constraint mirrors the paper's zero-communication
+// sampling consensus (Sections 5.2/5.5): every rank must agree on the
+// outcome of a round without extra coordination, or the SPMD control
+// flow diverges and the collective contract deadlocks. The plan is
+// therefore evaluated as a pure function of (Seed, round, attempt),
+// shared by all ranks the same way the sample index sets are. Costs of
+// failed attempts — the tree traffic that was sent before the loss, the
+// timeout spent waiting, and the detection vote for corruption — are
+// charged into the usual perf.Cost so faults show up in modeled time.
+
+// FaultKind identifies the class of an injected fault.
+type FaultKind int
+
+// Fault kinds, in verdict priority order (a crash outage preempts a
+// scheduled drop, which preempts corruption, which preempts a mere
+// straggler).
+const (
+	FaultNone FaultKind = iota
+	FaultCrash
+	FaultDrop
+	FaultCorrupt
+	FaultStraggler
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultStraggler:
+		return "straggler"
+	default:
+		return fmt.Sprintf("faultkind(%d)", int(k))
+	}
+}
+
+// FaultEvent records one injected fault, as observed by a rank. Because
+// the plan is shared and deterministic, every rank records the same
+// global sequence of events.
+type FaultEvent struct {
+	// Round is the fallible communication round the fault hit.
+	Round int
+	// Attempt is the zero-based attempt within the round.
+	Attempt int
+	// Kind is the fault class.
+	Kind FaultKind
+	// Rank is the victim rank (straggler, corruption target, crashed
+	// rank); -1 when the fault has no specific victim.
+	Rank int
+	// StallSec is the waiting time this fault charged to every rank.
+	StallSec float64
+	// Failed reports whether the attempt was lost (drop/corrupt/crash)
+	// as opposed to merely delayed (straggler).
+	Failed bool
+}
+
+// ScheduledFault pins a specific fault to a specific round, on top of
+// (and with priority over) the plan's probabilistic knobs.
+type ScheduledFault struct {
+	// Round is the fallible round index the fault applies to.
+	Round int
+	// Kind selects the fault class: FaultDrop, FaultCorrupt or
+	// FaultStraggler. (Crashes are scheduled via FaultPlan.Crash.)
+	Kind FaultKind
+	// Rank is the victim for straggler/corrupt faults. Values outside
+	// [0, P) are folded into range deterministically.
+	Rank int
+	// Attempts is the number of leading attempts the fault hits; <= 0
+	// means every attempt (a hard failure that exhausts all retries and
+	// forces the solver into stale-Hessian degradation).
+	Attempts int
+	// DelaySec overrides the plan's straggler delay for this event.
+	DelaySec float64
+	// Words overrides the plan's corrupted word count for this event.
+	Words int
+}
+
+// Crash schedules a rank failure: the rank becomes unreachable for
+// Outage consecutive fallible rounds starting at Round, so those rounds
+// cannot complete for anyone. The replacement rank pays RestartSec once
+// on top of the per-attempt timeouts.
+type Crash struct {
+	// Rank is the crashing rank (folded into [0, P)).
+	Rank int
+	// Round is the first fallible round of the outage.
+	Round int
+	// Outage is the number of rounds the rank stays down; <= 0 means 1.
+	Outage int
+	// RestartSec is the one-time recovery stall charged to the crashed
+	// rank at the start of the outage.
+	RestartSec float64
+}
+
+// FaultPlan is a deterministic, seeded fault schedule. The zero value
+// injects nothing: wrapping a Comm with an empty plan is bit-identical
+// (iterates, costs, traces) to not wrapping it at all.
+//
+// Probabilistic knobs are evaluated per (round, attempt) from Seed via
+// the same splittable stream construction the solvers use for sample
+// sets, so all ranks — and repeated runs — see identical faults.
+type FaultPlan struct {
+	// Seed drives the probabilistic fault draws and the corrupted-word
+	// positions.
+	Seed uint64
+
+	// DropProb is the per-attempt probability that the allreduce
+	// payload is lost in transit (detected by timeout).
+	DropProb float64
+	// CorruptProb is the per-attempt probability that one rank receives
+	// a corrupted payload (detected by checksum + 1-word vote).
+	CorruptProb float64
+	// StragglerProb is the per-round probability that one rank lags,
+	// stalling everyone at the next synchronization.
+	StragglerProb float64
+
+	// StragglerDelaySec is the wait charged per straggler event; 0
+	// selects DefaultStragglerDelaySec.
+	StragglerDelaySec float64
+	// CorruptWords is how many payload words a corruption event flips;
+	// 0 selects 1.
+	CorruptWords int
+
+	// Schedule pins specific faults to specific rounds (checked before
+	// the probabilistic knobs).
+	Schedule []ScheduledFault
+	// Crash optionally schedules a rank failure with an outage window.
+	Crash *Crash
+}
+
+// DefaultStragglerDelaySec is the straggler wait used when the plan
+// does not set one: half a millisecond, a few hundred allreduce
+// latencies on the Comet model.
+const DefaultStragglerDelaySec = 5e-4
+
+// Validate checks plan consistency.
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"DropProb", p.DropProb}, {"CorruptProb", p.CorruptProb}, {"StragglerProb", p.StragglerProb}} {
+		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
+			return fmt.Errorf("dist: FaultPlan.%s = %g out of [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.StragglerDelaySec < 0 || math.IsNaN(p.StragglerDelaySec) {
+		return fmt.Errorf("dist: FaultPlan.StragglerDelaySec = %g negative", p.StragglerDelaySec)
+	}
+	if p.CorruptWords < 0 {
+		return fmt.Errorf("dist: FaultPlan.CorruptWords = %d negative", p.CorruptWords)
+	}
+	for i, s := range p.Schedule {
+		switch s.Kind {
+		case FaultDrop, FaultCorrupt, FaultStraggler:
+		default:
+			return fmt.Errorf("dist: Schedule[%d] kind %v not schedulable", i, s.Kind)
+		}
+		if s.Round < 0 {
+			return fmt.Errorf("dist: Schedule[%d] round %d negative", i, s.Round)
+		}
+		if s.DelaySec < 0 || math.IsNaN(s.DelaySec) {
+			return fmt.Errorf("dist: Schedule[%d] delay %g negative", i, s.DelaySec)
+		}
+	}
+	if c := p.Crash; c != nil {
+		if c.Round < 0 || c.RestartSec < 0 || math.IsNaN(c.RestartSec) {
+			return fmt.Errorf("dist: Crash round/restart invalid (%d, %g)", c.Round, c.RestartSec)
+		}
+	}
+	return nil
+}
+
+// empty reports whether the plan can never inject a fault.
+func (p *FaultPlan) empty() bool {
+	return p == nil || (p.DropProb == 0 && p.CorruptProb == 0 && p.StragglerProb == 0 &&
+		len(p.Schedule) == 0 && p.Crash == nil)
+}
+
+// Verdict is the plan's decision for one attempt of one round — a pure
+// function of (Seed, round, attempt), identical on every rank.
+type Verdict struct {
+	// Kind is FaultNone when the attempt succeeds cleanly.
+	Kind FaultKind
+	// Failed reports that the attempt's payload is lost.
+	Failed bool
+	// Rank is the victim rank, or -1.
+	Rank int
+	// StallSec is the extra waiting the fault injects (straggler delay;
+	// timeouts are charged separately by the communicator).
+	StallSec float64
+	// Words is the corrupted word count (corrupt verdicts only).
+	Words int
+}
+
+func (p *FaultPlan) stragglerDelay() float64 {
+	if p.StragglerDelaySec > 0 {
+		return p.StragglerDelaySec
+	}
+	return DefaultStragglerDelaySec
+}
+
+func (p *FaultPlan) corruptWords() int {
+	if p.CorruptWords > 0 {
+		return p.CorruptWords
+	}
+	return 1
+}
+
+// foldRank maps an arbitrary rank spec into [0, size).
+func foldRank(r, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	r %= size
+	if r < 0 {
+		r += size
+	}
+	return r
+}
+
+// Verdict evaluates the plan for attempt a of round r in a world of
+// size ranks. Priority: crash outage, then the scheduled faults in
+// order, then the probabilistic draws (drop, corrupt, straggler — at
+// most one per attempt).
+func (p *FaultPlan) Verdict(round, attempt, size int) Verdict {
+	none := Verdict{Kind: FaultNone, Rank: -1}
+	if p.empty() {
+		return none
+	}
+	if c := p.Crash; c != nil {
+		outage := c.Outage
+		if outage <= 0 {
+			outage = 1
+		}
+		if round >= c.Round && round < c.Round+outage {
+			return Verdict{Kind: FaultCrash, Failed: true, Rank: foldRank(c.Rank, size)}
+		}
+	}
+	for _, s := range p.Schedule {
+		if s.Round != round {
+			continue
+		}
+		if s.Attempts > 0 && attempt >= s.Attempts {
+			continue
+		}
+		switch s.Kind {
+		case FaultDrop:
+			return Verdict{Kind: FaultDrop, Failed: true, Rank: -1}
+		case FaultCorrupt:
+			w := s.Words
+			if w <= 0 {
+				w = p.corruptWords()
+			}
+			return Verdict{Kind: FaultCorrupt, Failed: true, Rank: foldRank(s.Rank, size), Words: w}
+		case FaultStraggler:
+			d := s.DelaySec
+			if d <= 0 {
+				d = p.stragglerDelay()
+			}
+			return Verdict{Kind: FaultStraggler, Rank: foldRank(s.Rank, size), StallSec: d}
+		}
+	}
+	if p.DropProb == 0 && p.CorruptProb == 0 && p.StragglerProb == 0 {
+		return none
+	}
+	// One shared stream per (round, attempt); draws in fixed order so
+	// the verdict is reproducible regardless of which knobs are set.
+	r := rng.NewSource(p.Seed).Stream(round, attempt)
+	uDrop, uCorrupt, uStraggle := r.Float64(), r.Float64(), r.Float64()
+	victim := 0
+	if size > 0 {
+		victim = r.Intn(size)
+	}
+	switch {
+	case uDrop < p.DropProb:
+		return Verdict{Kind: FaultDrop, Failed: true, Rank: -1}
+	case uCorrupt < p.CorruptProb:
+		return Verdict{Kind: FaultCorrupt, Failed: true, Rank: victim, Words: p.corruptWords()}
+	case uStraggle < p.StragglerProb && attempt == 0:
+		return Verdict{Kind: FaultStraggler, Rank: victim, StallSec: p.stragglerDelay()}
+	}
+	return none
+}
+
+// PayloadChecksum is the FNV-1a hash of the payload bit patterns, the
+// integrity check the corruption path verifies received batches with.
+func PayloadChecksum(buf []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range buf {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// FaultyComm wraps a Comm and injects the plan's faults into the
+// round-indexed fallible collective (AttemptAllreduceShared). All other
+// operations pass through to the wrapped communicator unchanged, so
+// instrumentation collectives (objective evaluation, variance-reduction
+// snapshots) stay reliable — the plan models data-plane loss on the
+// dominant Hessian-batch transfer, which is exactly where the solver
+// can degrade gracefully via Hessian reuse.
+type FaultyComm struct {
+	Comm
+	plan       *FaultPlan
+	timeoutSec float64
+	round      int
+	events     []FaultEvent
+}
+
+// DefaultRoundTimeoutSec is the declared-lost timeout used when the
+// caller passes 0: one millisecond, three orders of magnitude above the
+// Comet allreduce latency.
+const DefaultRoundTimeoutSec = 1e-3
+
+// NewFaultyComm wraps inner with the plan. timeoutSec is the modeled
+// waiting charged per failed attempt before it is declared lost; 0
+// selects DefaultRoundTimeoutSec. A nil plan is valid and injects
+// nothing.
+func NewFaultyComm(inner Comm, plan *FaultPlan, timeoutSec float64) *FaultyComm {
+	if timeoutSec <= 0 {
+		timeoutSec = DefaultRoundTimeoutSec
+	}
+	return &FaultyComm{Comm: inner, plan: plan, timeoutSec: timeoutSec}
+}
+
+var _ Comm = (*FaultyComm)(nil)
+
+// Round returns the index of the current fallible round.
+func (f *FaultyComm) Round() int { return f.round }
+
+// TimeoutSec returns the per-attempt timeout.
+func (f *FaultyComm) TimeoutSec() float64 { return f.timeoutSec }
+
+// Events returns the fault events recorded so far (this rank's view;
+// identical across ranks because the plan is shared). The slice is the
+// live log — callers must not mutate it.
+func (f *FaultyComm) Events() []FaultEvent { return f.events }
+
+// EndRound closes the current fallible round and advances the counter.
+// Every rank must call it exactly once per round, after its attempts.
+func (f *FaultyComm) EndRound() { f.round++ }
+
+// AttemptAllreduceShared executes attempt number attempt of the current
+// fallible round. On a clean or merely-straggling attempt it returns
+// (result, true); on a lost attempt (drop, corruption, crash outage) it
+// charges the realistic failure cost — the tree traffic already sent,
+// the timeout spent waiting, the corruption-detection vote — and
+// returns (nil, false) on every rank, so the SPMD retry loops stay in
+// lockstep without any extra coordination.
+func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]float64, bool) {
+	v := f.plan.Verdict(f.round, attempt, f.Size())
+	cost := f.Cost()
+	switch v.Kind {
+	case FaultNone:
+		return f.Comm.AllreduceShared(local), true
+
+	case FaultStraggler:
+		// The collective completes, but everyone waits on the lagging
+		// rank at the synchronization point.
+		res := f.Comm.AllreduceShared(local)
+		cost.AddStall(v.StallSec)
+		f.record(FaultEvent{Round: f.round, Attempt: attempt, Kind: FaultStraggler,
+			Rank: v.Rank, StallSec: v.StallSec})
+		return res, true
+
+	case FaultDrop, FaultCrash:
+		// The payload is lost in transit (or a peer is down): ranks
+		// still paid the reduction-tree traffic, then wait out the
+		// timeout before declaring the attempt dead. No rank receives
+		// data, and — because the verdict is shared — no rank enters
+		// the underlying collective, so nobody deadlocks.
+		chargeTree(cost, f.Size(), int64(len(local)), true)
+		cost.AddStall(f.timeoutSec)
+		stall := f.timeoutSec
+		if v.Kind == FaultCrash && f.plan.Crash != nil &&
+			f.round == f.plan.Crash.Round && attempt == 0 && f.Rank() == v.Rank {
+			// One-time restart cost for the replacement rank.
+			cost.AddStall(f.plan.Crash.RestartSec)
+			stall += f.plan.Crash.RestartSec
+		}
+		f.record(FaultEvent{Round: f.round, Attempt: attempt, Kind: v.Kind,
+			Rank: v.Rank, StallSec: stall, Failed: true})
+		return nil, false
+
+	case FaultCorrupt:
+		// The collective completes but the victim receives flipped
+		// bits. Detection is checksum + a one-word agreement vote (a
+		// real collective, charged at its real cost), after which every
+		// rank discards the round.
+		res := f.Comm.AllreduceShared(local)
+		sum := PayloadChecksum(res)
+		payload := res
+		var bad float64
+		if f.Rank() == v.Rank && len(res) > 0 {
+			corrupted := make([]float64, len(res))
+			copy(corrupted, res)
+			corruptPayload(corrupted, f.plan.Seed, f.round, attempt, v.Words)
+			if PayloadChecksum(corrupted) != sum {
+				bad = 1
+			}
+			payload = corrupted
+		}
+		vote := [1]float64{bad}
+		f.Comm.Allreduce(vote[:], OpMax)
+		if vote[0] != 0 {
+			f.record(FaultEvent{Round: f.round, Attempt: attempt, Kind: FaultCorrupt,
+				Rank: v.Rank, Failed: true})
+			return nil, false
+		}
+		// Checksum collision (astronomically rare): the corruption goes
+		// undetected and propagates, exactly as a real silent error
+		// would. Control flow stays in lockstep — the vote is shared.
+		return payload, true
+	}
+	panic(fmt.Sprintf("dist: unhandled fault verdict %v", v.Kind))
+}
+
+func (f *FaultyComm) record(ev FaultEvent) { f.events = append(f.events, ev) }
+
+// corruptPayload flips one random bit in each of words distinct-ish
+// positions of buf, deterministically in (seed, round, attempt).
+func corruptPayload(buf []float64, seed uint64, round, attempt, words int) {
+	if len(buf) == 0 {
+		return
+	}
+	r := rng.NewSource(seed^0xbadc0ffee).Stream(round, attempt)
+	for i := 0; i < words; i++ {
+		pos := r.Intn(len(buf))
+		bit := uint(r.Intn(64))
+		buf[pos] = math.Float64frombits(math.Float64bits(buf[pos]) ^ (1 << bit))
+	}
+}

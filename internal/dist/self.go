@@ -78,10 +78,3 @@ func BlockRange(n, size, rank int) (lo, hi int) {
 	}
 	return lo, hi
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

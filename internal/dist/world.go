@@ -338,10 +338,3 @@ func (c *worldComm) Recv(from int) []float64 {
 		panic(errAborted)
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

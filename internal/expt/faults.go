@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// faultScenario names one injected-fault configuration of the sweep.
+type faultScenario struct {
+	name string
+	plan *dist.FaultPlan
+}
+
+// faultScenarios returns the sweep: a clean baseline, the zero-plan
+// transparency check, and one scenario per fault class plus a mixed
+// stress case. Exactly eight, matching the figure's categorical slots.
+func faultScenarios() []faultScenario {
+	return []faultScenario{
+		{"clean", nil},
+		{"zero-plan", &dist.FaultPlan{}},
+		{"stragglers", &dist.FaultPlan{Seed: 101, StragglerProb: 0.25}},
+		{"transient-drop", &dist.FaultPlan{Seed: 102, Schedule: []dist.ScheduledFault{
+			{Round: 3, Kind: dist.FaultDrop, Attempts: 1},
+			{Round: 8, Kind: dist.FaultDrop, Attempts: 1},
+			{Round: 15, Kind: dist.FaultDrop, Attempts: 1},
+		}}},
+		{"hard-drop", &dist.FaultPlan{Seed: 103, Schedule: []dist.ScheduledFault{
+			{Round: 4, Kind: dist.FaultDrop},
+			{Round: 10, Kind: dist.FaultDrop},
+		}}},
+		{"corrupt", &dist.FaultPlan{Seed: 104, CorruptProb: 0.1, CorruptWords: 3}},
+		{"crash", &dist.FaultPlan{Seed: 105,
+			Crash: &dist.Crash{Rank: 2, Round: 6, Outage: 3, RestartSec: 0.01}}},
+		{"mixed", &dist.FaultPlan{Seed: 106,
+			DropProb: 0.05, CorruptProb: 0.05, StragglerProb: 0.15}},
+	}
+}
+
+// FaultSweep exercises the fault-injection layer end to end: RC-SFISTA
+// on P = 8 under each fault scenario, reporting how the retry and
+// stale-Hessian degradation paths absorb the faults. A failed round
+// costs no extra communication beyond the lost attempt — every rank
+// falls back to extra reuse passes on its last good batch, which is
+// exactly a dynamic raise of the paper's Hessian-reuse parameter S —
+// so the objective trajectory stays within noise of the clean run
+// while the modeled time absorbs the stalls.
+func FaultSweep(cfg Config) *Report {
+	const p = 8
+	maxIter := 400
+	if cfg.Scale == Full {
+		maxIter = 1200
+	}
+	in := prepare(cfg, "susy")
+
+	tbl := &trace.Table{
+		Title: fmt.Sprintf("Fault sweep: RC-SFISTA resilience (susy, P=%d, k=2, S=2)", p),
+		Headers: []string{"scenario", "rounds", "failed", "degraded", "skipped",
+			"retries", "stall s", "model s", "relerr", "dObj vs clean"},
+	}
+
+	var series []*trace.Series
+	var cleanObj float64
+	var bld strings.Builder
+	for _, sc := range faultScenarios() {
+		o := in.optionsForB(cfg, 0.1)
+		o.Tol = 0
+		o.MaxIter = maxIter
+		o.K = 2
+		o.S = 2
+		o.EvalEvery = 20
+		o.TraceName = sc.name
+		o.Faults = sc.plan
+		w := dist.NewWorld(p, cfg.Machine)
+		res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
+		if err != nil {
+			panic("expt: faults: " + err.Error())
+		}
+		if sc.name == "clean" {
+			cleanObj = res.FinalObj
+		}
+		dObj := "0"
+		if sc.name != "clean" && cleanObj != 0 {
+			dObj = fmt.Sprintf("%.3g", math.Abs(res.FinalObj-cleanObj)/math.Abs(cleanObj))
+		}
+		tbl.AddRow(sc.name,
+			fmt.Sprintf("%d", res.Rounds),
+			fmt.Sprintf("%d", res.Faults.FailedRounds),
+			fmt.Sprintf("%d", res.Faults.DegradedRounds),
+			fmt.Sprintf("%d", res.Faults.SkippedRounds),
+			fmt.Sprintf("%d", res.Faults.Retries),
+			fmt.Sprintf("%.3g", res.Faults.StallSec),
+			fmt.Sprintf("%.3g", res.ModelSeconds),
+			fmtF(res.FinalRelErr),
+			dObj)
+		series = append(series, res.Trace)
+		if n := len(res.Trace.Events); n > 0 {
+			fmt.Fprintf(&bld, "%s: %d trace events (first: %s at round %d)\n",
+				sc.name, n, res.Trace.Events[0].Kind, res.Trace.Events[0].Round)
+		}
+	}
+
+	var text strings.Builder
+	text.WriteString(tbl.Render())
+	text.WriteByte('\n')
+	text.WriteString(trace.PlotRelErr("fault sweep: relative error by round",
+		series, trace.ByRound, 72, 18))
+	text.WriteByte('\n')
+	text.WriteString(bld.String())
+	text.WriteString("\nfailed rounds are absorbed by stale-Hessian reuse (S raised dynamically); stalls show up in modeled time, not in the iterate trajectory.\n")
+
+	return &Report{
+		ID:     "faults",
+		Title:  "Fault-injection sweep: retry + stale-Hessian degradation",
+		Text:   text.String(),
+		Tables: []*trace.Table{tbl},
+		Series: series,
+		Figures: []Figure{{
+			Title:  "RC-SFISTA under injected communication faults (P=8)",
+			Series: series,
+			Axis:   trace.ByRound,
+		}},
+	}
+}

@@ -1,0 +1,49 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep := FaultSweep(DefaultConfig())
+	if rep.ID != "faults" || len(rep.Tables) != 1 || len(rep.Figures) != 1 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	tbl := rep.Tables[0]
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("%d scenarios, want 8", len(tbl.Rows))
+	}
+	if len(rep.Figures[0].Series) > 8 {
+		t.Fatalf("%d series exceed the categorical palette", len(rep.Figures[0].Series))
+	}
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	// The transparency check: the empty plan matches the clean run on
+	// every counter and on the objective.
+	zp, ok := byName["zero-plan"]
+	if !ok {
+		t.Fatalf("zero-plan row missing:\n%s", rep.Text)
+	}
+	for _, idx := range []int{2, 3, 4, 5} { // failed, degraded, skipped, retries
+		if zp[idx] != "0" {
+			t.Fatalf("zero-plan column %d = %q, want 0", idx, zp[idx])
+		}
+	}
+	if zp[9] != "0" {
+		t.Fatalf("zero-plan objective deviates from clean: %q", zp[9])
+	}
+	// The hard-drop scenario must have engaged degradation.
+	hd := byName["hard-drop"]
+	if hd[2] == "0" || hd[3] == "0" {
+		t.Fatalf("hard-drop did not degrade: %v", hd)
+	}
+	if !strings.Contains(rep.Text, "stale-Hessian reuse") {
+		t.Fatalf("narrative missing:\n%s", rep.Text)
+	}
+}

@@ -93,6 +93,7 @@ func All(cfg Config) []*Report {
 		Figure7(cfg),
 		Scaling(cfg),
 		Machines(cfg),
+		FaultSweep(cfg),
 	}
 }
 
@@ -112,6 +113,7 @@ func ByID(id string) func(Config) *Report {
 		"figure7":  Figure7,
 		"scaling":  Scaling,
 		"machines": Machines,
+		"faults":   FaultSweep,
 	}
 	return m[id]
 }
@@ -120,7 +122,7 @@ func ByID(id string) func(Config) *Report {
 func IDs() []string {
 	return []string{"table1", "table2", "bounds", "figure2a", "figure2b",
 		"figure3", "figure4", "figure5", "figure6", "table3", "figure7",
-		"scaling", "machines"}
+		"scaling", "machines", "faults"}
 }
 
 var _ = trace.ByModelTime // keep trace linked for plot axes used above

@@ -6,8 +6,10 @@ import (
 )
 
 // Cost accumulates the three components of the alpha-beta-gamma model
-// for one processor: flops executed, messages sent and words moved.
-// The zero value is an empty cost, ready to use.
+// for one processor — flops executed, messages sent and words moved —
+// plus injected stall time (timeouts, straggler waits, retry backoff)
+// charged by the fault-injection layer. The zero value is an empty
+// cost, ready to use.
 type Cost struct {
 	// Flops is the number of floating point operations (F in Eq. 7).
 	Flops int64
@@ -15,6 +17,12 @@ type Cost struct {
 	Messages int64
 	// Words is the number of 8-byte words moved (W in Eq. 7).
 	Words int64
+	// StallSec is wall-clock waiting that corresponds to no data
+	// movement or compute: communication timeouts, straggler delays and
+	// retry backoff injected by a dist.FaultPlan. It enters the modeled
+	// time (Machine.Seconds) additively, outside the alpha-beta-gamma
+	// terms. Zero on fault-free runs.
+	StallSec float64
 }
 
 // AddFlops charges n floating point operations. Safe to call on a nil
@@ -35,6 +43,15 @@ func (c *Cost) AddMessages(n, words int64) {
 	c.Words += n * words
 }
 
+// AddStall charges sec seconds of injected waiting (timeout, straggler
+// delay, retry backoff). Safe on a nil receiver.
+func (c *Cost) AddStall(sec float64) {
+	if c == nil {
+		return
+	}
+	c.StallSec += sec
+}
+
 // Add accumulates other into c.
 func (c *Cost) Add(other Cost) {
 	if c == nil {
@@ -43,6 +60,7 @@ func (c *Cost) Add(other Cost) {
 	c.Flops += other.Flops
 	c.Messages += other.Messages
 	c.Words += other.Words
+	c.StallSec += other.StallSec
 }
 
 // Sub returns c minus other, used to isolate the cost of a region.
@@ -51,6 +69,7 @@ func (c Cost) Sub(other Cost) Cost {
 		Flops:    c.Flops - other.Flops,
 		Messages: c.Messages - other.Messages,
 		Words:    c.Words - other.Words,
+		StallSec: c.StallSec - other.StallSec,
 	}
 }
 
@@ -60,6 +79,7 @@ func (c Cost) Plus(other Cost) Cost {
 		Flops:    c.Flops + other.Flops,
 		Messages: c.Messages + other.Messages,
 		Words:    c.Words + other.Words,
+		StallSec: c.StallSec + other.StallSec,
 	}
 }
 
@@ -76,11 +96,18 @@ func (c Cost) Max(other Cost) Cost {
 	if other.Words > out.Words {
 		out.Words = other.Words
 	}
+	if other.StallSec > out.StallSec {
+		out.StallSec = other.StallSec
+	}
 	return out
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The stall term is printed only when
+// present, so fault-free costs render exactly as before.
 func (c Cost) String() string {
+	if c.StallSec != 0 {
+		return fmt.Sprintf("F=%d L=%d W=%d stall=%.3gs", c.Flops, c.Messages, c.Words, c.StallSec)
+	}
 	return fmt.Sprintf("F=%d L=%d W=%d", c.Flops, c.Messages, c.Words)
 }
 

@@ -46,9 +46,11 @@ func HighLatency() Machine {
 	return Machine{Name: "high-latency", Alpha: 5e-5, Beta: 2e-10, Gamma: 4e-10}
 }
 
-// Seconds evaluates the model (Eq. 7) for an accumulated cost.
+// Seconds evaluates the model (Eq. 7) for an accumulated cost. Injected
+// stall time (fault timeouts, straggler waits) adds directly: it is
+// already in seconds and independent of the machine parameters.
 func (m Machine) Seconds(c Cost) float64 {
-	return m.Gamma*float64(c.Flops) + m.Alpha*float64(c.Messages) + m.Beta*float64(c.Words)
+	return m.Gamma*float64(c.Flops) + m.Alpha*float64(c.Messages) + m.Beta*float64(c.Words) + c.StallSec
 }
 
 // String implements fmt.Stringer.

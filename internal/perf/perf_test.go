@@ -64,6 +64,34 @@ func TestCostAccumulation(t *testing.T) {
 	}
 }
 
+func TestCostStallAccounting(t *testing.T) {
+	var c Cost
+	c.AddStall(0.25)
+	c.AddStall(0.5)
+	if c.StallSec != 0.75 {
+		t.Fatalf("StallSec = %g", c.StallSec)
+	}
+	var nilC *Cost
+	nilC.AddStall(1) // nil-safe like the other chargers
+
+	m := Machine{Name: "unit", Alpha: 2, Beta: 3, Gamma: 5}
+	base := Cost{Flops: 1, Messages: 1, Words: 1}
+	if diff := m.Seconds(base.Plus(Cost{StallSec: 0.75})) - m.Seconds(base); diff != 0.75 {
+		t.Fatalf("stall did not add linearly to modeled time: %g", diff)
+	}
+	mx := (Cost{StallSec: 1}).Max(Cost{StallSec: 2, Flops: 1})
+	if mx.StallSec != 2 || mx.Flops != 1 {
+		t.Fatalf("Max ignored stall: %+v", mx)
+	}
+	sub := (Cost{StallSec: 2}).Sub(Cost{StallSec: 0.5})
+	if sub.StallSec != 1.5 {
+		t.Fatalf("Sub ignored stall: %+v", sub)
+	}
+	if s := (Cost{Flops: 1, StallSec: 0.5}).String(); s != "F=1 L=0 W=0 stall=0.5s" {
+		t.Fatalf("String with stall: %q", s)
+	}
+}
+
 func TestCostPlusMaxProperties(t *testing.T) {
 	f := func(a, b [3]int32) bool {
 		x := Cost{Flops: int64(a[0]), Messages: int64(a[1]), Words: int64(a[2])}
@@ -209,7 +237,7 @@ func TestMachineString(t *testing.T) {
 	if s := Comet().String(); s == "" {
 		t.Fatal("empty String()")
 	}
-	if s := (Cost{1, 2, 3}).String(); s != "F=1 L=2 W=3" {
+	if s := (Cost{Flops: 1, Messages: 2, Words: 3}).String(); s != "F=1 L=2 W=3" {
 		t.Fatalf("Cost.String = %q", s)
 	}
 }

@@ -1,0 +1,145 @@
+package prox
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/rng"
+)
+
+// Seeded property tests for the proximal operators: the invariants the
+// solvers lean on (the shrinkage arithmetic of Eq. 14 and the firm
+// nonexpansiveness that makes the FISTA iteration stable), checked on
+// deterministic random draws from the repository's own rng so failures
+// reproduce exactly.
+
+func TestSoftThresholdClosedFormProperty(t *testing.T) {
+	r := rng.New(41)
+	for i := 0; i < 5000; i++ {
+		b := (r.Float64() - 0.5) * 20
+		a := r.Float64() * 5
+		want := 0.0
+		if math.Abs(b) > a {
+			want = math.Copysign(math.Abs(b)-a, b)
+		}
+		if got := SoftThreshold(b, a); got != want {
+			t.Fatalf("S_%g(%g) = %g, want the closed form %g", a, b, got, want)
+		}
+	}
+}
+
+func TestSoftThresholdResidualBoundProperty(t *testing.T) {
+	// The shrinkage moves a point by at most the threshold:
+	// |b - S_a(b)| <= a, with equality exactly on |b| >= a.
+	r := rng.New(42)
+	for i := 0; i < 5000; i++ {
+		b := r.NormFloat64() * 3
+		a := math.Abs(r.NormFloat64())
+		res := math.Abs(b - SoftThreshold(b, a))
+		eps := 1e-15 * math.Max(1, math.Abs(b)) // b-(b-a) rounds within an ulp of b
+		if res > a+eps {
+			t.Fatalf("|%g - S_%g(%g)| = %g exceeds the threshold", b, a, b, res)
+		}
+		if math.Abs(b) >= a && math.Abs(res-a) > eps {
+			t.Fatalf("outside the dead zone the move must equal a: |res-a| = %g", math.Abs(res-a))
+		}
+	}
+}
+
+func TestSoftThresholdMonotoneProperty(t *testing.T) {
+	r := rng.New(43)
+	for i := 0; i < 5000; i++ {
+		x := (r.Float64() - 0.5) * 10
+		y := (r.Float64() - 0.5) * 10
+		if x > y {
+			x, y = y, x
+		}
+		a := r.Float64() * 3
+		if SoftThreshold(x, a) > SoftThreshold(y, a) {
+			t.Fatalf("S_%g not monotone at (%g, %g)", a, x, y)
+		}
+	}
+}
+
+func nrm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func randVec(r *rng.Rng, n int, scale float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64() * scale
+	}
+	return v
+}
+
+// TestProxVectorNonexpansiveProperty: every proximal mapping of a
+// convex g is (firmly) nonexpansive, ||Prox(u) - Prox(v)|| <= ||u - v||.
+// Checked for the operators the solvers actually instantiate.
+func TestProxVectorNonexpansiveProperty(t *testing.T) {
+	ops := map[string]Operator{
+		"l1":         L1{Lambda: 0.7},
+		"ridge":      L2Squared{Lambda: 1.3},
+		"elasticnet": ElasticNet{Lambda1: 0.4, Lambda2: 0.9},
+		"zero":       Zero{},
+	}
+	r := rng.New(44)
+	for name, op := range ops {
+		for i := 0; i < 500; i++ {
+			n := 1 + r.Intn(12)
+			u := randVec(r, n, 4)
+			v := randVec(r, n, 4)
+			gamma := 0.01 + r.Float64()*2
+			pu := make([]float64, n)
+			pv := make([]float64, n)
+			op.Apply(pu, u, gamma, nil)
+			op.Apply(pv, v, gamma, nil)
+			diff := make([]float64, n)
+			for j := range diff {
+				diff[j] = pu[j] - pv[j]
+			}
+			in := make([]float64, n)
+			for j := range in {
+				in[j] = u[j] - v[j]
+			}
+			if nrm2(diff) > nrm2(in)*(1+1e-12)+1e-15 {
+				t.Fatalf("%s: expansive at n=%d gamma=%g: %g > %g",
+					name, n, gamma, nrm2(diff), nrm2(in))
+			}
+		}
+	}
+}
+
+// TestL1ProxMinimizesObjectiveProperty: Prox_gamma(v) minimizes
+// x -> (1/2gamma)||x-v||^2 + g(x); no random competitor may do better.
+func TestL1ProxMinimizesObjectiveProperty(t *testing.T) {
+	g := L1{Lambda: 0.6}
+	obj := func(x, v []float64, gamma float64) float64 {
+		var q float64
+		for i := range x {
+			d := x[i] - v[i]
+			q += d * d
+		}
+		return q/(2*gamma) + g.Value(x, nil)
+	}
+	r := rng.New(45)
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(10)
+		v := randVec(r, n, 3)
+		gamma := 0.05 + r.Float64()
+		p := make([]float64, n)
+		g.Apply(p, v, gamma, nil)
+		fp := obj(p, v, gamma)
+		for c := 0; c < 10; c++ {
+			x := randVec(r, n, 3)
+			if fx := obj(x, v, gamma); fx < fp-1e-12 {
+				t.Fatalf("competitor beats the prox point: %g < %g (n=%d gamma=%g)",
+					fx, fp, n, gamma)
+			}
+		}
+	}
+}

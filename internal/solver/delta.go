@@ -45,6 +45,14 @@ func (e *engine) runDelta() {
 outer:
 	for e.iter < opts.MaxIter {
 		shared := e.computeBatch()
+		if shared == nil {
+			// Round lost with no last-good batch to degrade to; cap
+			// skips so a never-healing network still terminates.
+			if e.fstats.SkippedRounds > opts.MaxIter {
+				break
+			}
+			continue
+		}
 		for j := 0; j < opts.K; j++ {
 			h, r := e.slotView(shared, j)
 

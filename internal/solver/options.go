@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/prox"
 )
 
@@ -99,6 +100,27 @@ type Options struct {
 	// updates. The two differ only by floating-point round-off; the
 	// option exists for the equivalence ablation.
 	UseDeltaForm bool
+	// Faults optionally injects communication faults into the batched
+	// Hessian allreduce via a dist.FaultyComm wrapper. Nil runs the
+	// reliable network. A non-nil but empty plan is bit-identical to
+	// nil: same iterates, costs and trace. When faults are enabled the
+	// solver retries lost rounds (MaxRetries, RetryBackoff) and, when a
+	// round fails outright, degrades to extra reuse passes on the last
+	// successfully allreduced batch — dynamically raising the paper's
+	// Hessian-reuse parameter S instead of stalling the whole SPMD run.
+	Faults *dist.FaultPlan
+	// RoundTimeout is the modeled seconds a rank waits before declaring
+	// an allreduce attempt lost; 0 selects dist.DefaultRoundTimeoutSec.
+	// Only meaningful with Faults.
+	RoundTimeout float64
+	// MaxRetries is the number of extra attempts after a failed
+	// allreduce before the solver gives up on the round and degrades;
+	// 0 selects 1. Negative disables retries (first failure degrades).
+	MaxRetries int
+	// RetryBackoff is the modeled wait before retry attempt a, doubled
+	// each attempt (RetryBackoff * 2^(a-1)); 0 selects RoundTimeout/4.
+	// Only meaningful with Faults.
+	RetryBackoff float64
 	// PackedHessian selects the packed symmetric wire format for the
 	// batched Hessian allreduce: each slot ships d(d+1)/2 + d words (the
 	// upper triangle of H plus R) instead of the dense d^2 + d. Packed
@@ -150,6 +172,15 @@ func (o *Options) Validate() error {
 	if o.EpochLen < 0 || o.EvalEvery < 0 {
 		return errors.New("solver: EpochLen and EvalEvery must be non-negative")
 	}
+	if o.RoundTimeout < 0 || math.IsNaN(o.RoundTimeout) {
+		return errors.New("solver: RoundTimeout must be non-negative")
+	}
+	if o.RetryBackoff < 0 || math.IsNaN(o.RetryBackoff) {
+		return errors.New("solver: RetryBackoff must be non-negative")
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -182,6 +213,18 @@ func (o Options) withDefaults() Options {
 		// A zero F* is almost surely an unset field rather than a true
 		// zero optimum; treat as unknown.
 		o.FStar = math.NaN()
+	}
+	if o.RoundTimeout == 0 {
+		o.RoundTimeout = dist.DefaultRoundTimeoutSec
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 1
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = o.RoundTimeout / 4
 	}
 	return o
 }

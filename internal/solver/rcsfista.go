@@ -116,6 +116,17 @@ type engine struct {
 	wSnap    []float64
 	fullGrad []float64
 
+	// Fault-injection state (nil/zero on the reliable path). lastGood
+	// is the most recent successfully allreduced batch, the stale
+	// Hessian source the degradation path falls back to; staleDepth
+	// counts consecutive reuse rounds; evDrained marks how many
+	// communicator fault events have been copied into the trace.
+	fc         *dist.FaultyComm
+	lastGood   []float64
+	staleDepth int
+	evDrained  int
+	fstats     FaultStats
+
 	converged   bool
 	gradMapStop bool
 	finalObj    float64
@@ -172,6 +183,13 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 	if opts.VarianceReduced {
 		e.wSnap = make([]float64, d)
 		e.fullGrad = make([]float64, d)
+	}
+	if opts.Faults != nil {
+		// Route everything through the fault-injecting wrapper; only the
+		// round-indexed batch allreduce (AttemptAllreduceShared) is
+		// fallible, the rest passes through.
+		e.fc = dist.NewFaultyComm(c, opts.Faults, opts.RoundTimeout)
+		e.c = e.fc
 	}
 	return e
 }
@@ -257,9 +275,83 @@ func (e *engine) computeBatch() []float64 {
 		}
 	}
 	e.hIdx += k
-	shared := e.c.AllreduceShared(e.batch)
+	shared := e.allreduceBatch()
 	e.rounds++
 	return shared
+}
+
+// allreduceBatch performs stage C. On the reliable path it is a plain
+// AllreduceShared. Under a FaultPlan it retries lost attempts with
+// exponential backoff and, when the round fails outright, degrades to
+// the last good batch — the solver keeps updating on the stale Hessian
+// instances, dynamically raising the paper's reuse parameter S — or,
+// before any batch has ever arrived, returns nil to skip the round.
+// Every branch is driven by the shared fault verdicts, so all ranks
+// take identical control flow without extra coordination.
+func (e *engine) allreduceBatch() []float64 {
+	if e.fc == nil {
+		return e.c.AllreduceShared(e.batch)
+	}
+	cost := e.c.Cost()
+	round := e.fc.Round()
+	for a := 0; a <= e.opts.MaxRetries; a++ {
+		if a > 0 {
+			// Exponential backoff before each retry, charged as waiting.
+			cost.AddStall(e.opts.RetryBackoff * float64(int64(1)<<uint(a-1)))
+			e.fstats.Retries++
+		}
+		res, ok := e.fc.AttemptAllreduceShared(e.batch, a)
+		if !ok {
+			continue
+		}
+		e.drainFaultEvents()
+		e.fc.EndRound()
+		if a > 0 {
+			e.recordRecovery("retry-ok", round, fmt.Sprintf("attempt %d succeeded", a))
+		}
+		e.lastGood = res
+		e.staleDepth = 0
+		return res
+	}
+	e.fstats.FailedRounds++
+	e.drainFaultEvents()
+	e.fc.EndRound()
+	if e.lastGood != nil {
+		e.fstats.DegradedRounds++
+		e.staleDepth++
+		e.recordRecovery("degrade", round,
+			fmt.Sprintf("stale batch reuse x%d (S raised)", e.staleDepth))
+		return e.lastGood
+	}
+	e.fstats.SkippedRounds++
+	e.recordRecovery("skip", round, "no last-good batch yet")
+	return nil
+}
+
+// drainFaultEvents copies communicator fault events recorded since the
+// last drain into rank 0's trace. The event log is identical on every
+// rank (shared verdicts), so recording on rank 0 loses nothing.
+func (e *engine) drainFaultEvents() {
+	evs := e.fc.Events()
+	if e.c.Rank() == 0 {
+		for _, ev := range evs[e.evDrained:] {
+			e.series.AppendEvent(trace.Event{
+				Round: ev.Round, Iter: e.iter, Kind: ev.Kind.String(),
+				Rank: ev.Rank, Attempt: ev.Attempt, StallSec: ev.StallSec,
+			})
+		}
+	}
+	e.evDrained = len(evs)
+}
+
+// recordRecovery logs the solver's per-round recovery decision.
+func (e *engine) recordRecovery(kind string, round int, detail string) {
+	if e.c.Rank() != 0 {
+		return
+	}
+	e.series.AppendEvent(trace.Event{
+		Round: round, Iter: e.iter, Kind: kind, Rank: -1, Detail: detail,
+	})
 }
 
 // slotView interprets slot j of an (allreduced) batch buffer as its
@@ -378,6 +470,15 @@ func (e *engine) run() {
 outer:
 	for e.iter < opts.MaxIter {
 		shared := e.computeBatch()
+		if shared == nil {
+			// Round lost before any batch ever arrived: nothing to
+			// update with. Cap skips so a never-healing network still
+			// terminates.
+			if e.fstats.SkippedRounds > opts.MaxIter {
+				break
+			}
+			continue
+		}
 		for j := 0; j < opts.K; j++ {
 			h, r := e.slotView(shared, j)
 			for s := 0; s < opts.S; s++ {
@@ -424,6 +525,8 @@ func (e *engine) finish() *Result {
 		ModelSeconds: e.c.Machine().Seconds(*e.c.Cost()),
 		WallSeconds:  time.Since(e.start).Seconds(),
 		Trace:        e.series,
+		Faults:       e.fstats,
 	}
+	res.Faults.StallSec = e.c.Cost().StallSec
 	return res
 }

@@ -29,6 +29,28 @@ type Result struct {
 	ModelSeconds, WallSeconds float64
 	// Trace is the recorded convergence history (rank 0 only).
 	Trace *trace.Series
+	// Faults summarizes the injected-fault resilience activity; the
+	// zero value means the run saw no faults (or ran without a plan).
+	Faults FaultStats
+}
+
+// FaultStats counts the solver's resilience activity under an injected
+// dist.FaultPlan. All counters are identical across ranks because the
+// fault verdicts are a shared pure function of (seed, round, attempt).
+type FaultStats struct {
+	// Retries is the number of extra allreduce attempts issued.
+	Retries int
+	// FailedRounds is the number of rounds lost after all retries.
+	FailedRounds int
+	// DegradedRounds counts failed rounds absorbed by reusing the last
+	// good Hessian batch (stale-H updates: S raised dynamically).
+	DegradedRounds int
+	// SkippedRounds counts failed rounds before any batch had ever
+	// arrived, where no stale Hessian existed to fall back on.
+	SkippedRounds int
+	// StallSec is the total modeled waiting (timeouts, backoff,
+	// straggler delays, restart) charged to this rank.
+	StallSec float64
 }
 
 // relErr returns the relative objective error of objective value f

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func eventSeries() *Series {
+	s := &Series{Name: "faulty"}
+	s.Append(Point{Iter: 0, Round: 0, Obj: 10, RelErr: 1})
+	s.Append(Point{Iter: 20, Round: 10, Obj: 1, RelErr: 0.01})
+	s.AppendEvent(Event{Round: 3, Iter: 6, Kind: "drop", Rank: -1, Attempt: 0, StallSec: 1e-3})
+	s.AppendEvent(Event{Round: 3, Iter: 6, Kind: "degrade", Rank: -1, Detail: "stale batch reuse x1 (S raised)"})
+	s.AppendEvent(Event{Round: 7, Iter: 14, Kind: "straggler", Rank: 2, StallSec: 5e-4})
+	return s
+}
+
+func TestAppendEvent(t *testing.T) {
+	s := eventSeries()
+	if len(s.Events) != 3 {
+		t.Fatalf("%d events", len(s.Events))
+	}
+	if s.Events[0].Kind != "drop" || s.Events[1].Detail == "" {
+		t.Fatalf("events: %+v", s.Events)
+	}
+}
+
+func TestEventsCSV(t *testing.T) {
+	out := EventsCSV([]*Series{eventSeries(), {Name: "clean"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 events; the clean series adds none
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "series,round,iter,kind,rank,attempt,stall_sec,detail" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "faulty,3,6,drop,-1,0,0.001,") {
+		t.Fatalf("row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "stale batch reuse") {
+		t.Fatalf("detail lost: %q", lines[2])
+	}
+}
+
+func TestRenderSVGEventMarkers(t *testing.T) {
+	s := eventSeries()
+	svg, err := RenderSVG("faults", []*Series{s}, ByRound, 480, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One triangle path per in-range event, tagged with its kind.
+	if got := strings.Count(svg, "<title>"); got != 3 {
+		t.Fatalf("%d event markers, want 3:\n%s", got, svg)
+	}
+	for _, kind := range []string{"drop", "degrade", "straggler"} {
+		if !strings.Contains(svg, "<title>"+kind+"</title>") {
+			t.Fatalf("marker for %q missing", kind)
+		}
+	}
+	// Time axes carry no event coordinates: markers are omitted.
+	svgT, err := RenderSVG("faults", []*Series{s}, ByModelTime, 480, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svgT, "<title>") {
+		t.Fatal("event markers rendered on a time axis")
+	}
+}

@@ -181,6 +181,30 @@ func RenderSVG(title string, set []*Series, axis Axis, width, height int) (strin
 			labels = append(labels, endLabel{si: si, ex: ex, ey: ey + 4})
 		}
 	}
+	// Event markers: small triangles on the baseline at each event's
+	// position, in the owning series' hue. Only the count axes carry
+	// event coordinates (events record round/iter, not timestamps).
+	if axis == ByIter || axis == ByRound {
+		baseY := float64(marginTop) + plotH
+		for si, s := range set {
+			color := svgSeriesColors[si]
+			for _, e := range s.Events {
+				var x float64
+				if axis == ByRound {
+					x = float64(e.Round)
+				} else {
+					x = float64(e.Iter)
+				}
+				if x < xmin || x > xmax {
+					continue
+				}
+				xx := sx(x)
+				fmt.Fprintf(&b, `<path d="M%.1f %.1f l4 7 h-8 z" fill="%s" stroke="%s" stroke-width="1"><title>%s</title></path>`,
+					xx, baseY-8, color, svgSurface, xmlEscape(e.Kind))
+			}
+		}
+	}
+
 	// Direct end labels, nudged apart so converging series stay legible.
 	sort.Slice(labels, func(i, j int) bool { return labels[i].ey < labels[j].ey })
 	const minGap = 13

@@ -28,14 +28,39 @@ type Point struct {
 	WallSec float64
 }
 
-// Series is a named sequence of convergence samples.
+// Event records one discrete incident along a run — an injected
+// communication fault or the solver's recovery decision — anchored to
+// the same axes as Points. Kind is a short tag: the dist.FaultKind
+// string for faults ("drop", "corrupt", "crash", "straggler") or a
+// recovery tag ("retry-ok", "degrade", "skip").
+type Event struct {
+	// Round and Iter locate the event on the convergence axes.
+	Round, Iter int
+	// Kind tags the event class.
+	Kind string
+	// Rank is the victim/actor rank, or -1 when global.
+	Rank int
+	// Attempt is the zero-based attempt within the round (faults only).
+	Attempt int
+	// StallSec is the modeled waiting the event charged.
+	StallSec float64
+	// Detail carries free-form context (e.g. the stale-reuse depth).
+	Detail string
+}
+
+// Series is a named sequence of convergence samples plus the discrete
+// events that occurred along the run.
 type Series struct {
 	Name   string
 	Points []Point
+	Events []Event
 }
 
 // Append adds a sample.
 func (s *Series) Append(p Point) { s.Points = append(s.Points, p) }
+
+// AppendEvent adds a discrete event.
+func (s *Series) AppendEvent(e Event) { s.Events = append(s.Events, e) }
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }
@@ -149,6 +174,20 @@ func SeriesCSV(set []*Series) string {
 		for _, p := range s.Points {
 			fmt.Fprintf(&b, "%s,%d,%d,%.10g,%.10g,%.10g,%.10g\n",
 				s.Name, p.Iter, p.Round, p.Obj, p.RelErr, p.ModelSec, p.WallSec)
+		}
+	}
+	return b.String()
+}
+
+// EventsCSV renders the events of a set of series as long-format CSV
+// (series,round,iter,kind,rank,attempt,stall_sec,detail).
+func EventsCSV(set []*Series) string {
+	var b strings.Builder
+	b.WriteString("series,round,iter,kind,rank,attempt,stall_sec,detail\n")
+	for _, s := range set {
+		for _, e := range s.Events {
+			fmt.Fprintf(&b, "%s,%d,%d,%s,%d,%d,%.10g,%s\n",
+				s.Name, e.Round, e.Iter, e.Kind, e.Rank, e.Attempt, e.StallSec, e.Detail)
 		}
 	}
 	return b.String()
