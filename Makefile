@@ -9,9 +9,9 @@ FUZZTIME ?= 30s
 COVER_FLOOR ?= 90.0
 COVER_PKGS = ./internal/dist ./internal/solver
 
-.PHONY: check vet build test race bench cover fuzz-smoke
+.PHONY: check vet build test race bench bench-smoke cover fuzz-smoke
 
-check: vet build race cover fuzz-smoke
+check: vet build race cover bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,3 +44,9 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime=1x .
+
+# One iteration of every dist/solver benchmark: a cheap end-to-end
+# smoke of both round loops (blocking and pipelined) and the
+# nonblocking collectives, without the noise of a timed run.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime=1x ./internal/dist ./internal/solver

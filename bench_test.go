@@ -305,6 +305,11 @@ func BenchmarkExtensionScaling(b *testing.B) { runExperiment(b, "scaling") }
 // (extension artifact).
 func BenchmarkExtensionMachines(b *testing.B) { runExperiment(b, "machines") }
 
+// BenchmarkExtensionPipeline regenerates the nonblocking pipelined-round
+// sweep: blocking vs overlapped stage-C allreduce across k (extension
+// artifact).
+func BenchmarkExtensionPipeline(b *testing.B) { runExperiment(b, "pipeline") }
+
 // BenchmarkAblationEpochLen sweeps the variance-reduction epoch length
 // at S = 5: too-long epochs let the switched-Hessian momentum dynamics
 // resonate (DESIGN.md Section 6), too-short epochs waste acceleration.

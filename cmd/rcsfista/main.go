@@ -56,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		lambda   = flag.Float64("lambda", -1, "l1 penalty (negative: dataset default)")
 		maxIter  = flag.Int("maxiter", 2000, "maximum updates")
 		tol      = flag.Float64("tol", 1e-2, "relative objective error tolerance (0: run to maxiter)")
+		pipeline = flag.Bool("pipeline", false, "overlap Gram fill with the in-flight Hessian allreduce (rcsfista/sfista only)")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		machine  = flag.String("machine", "comet", "cost model: comet|low-latency|high-latency")
 		refIters = flag.Int("refiters", 8000, "reference solve iterations for F*")
@@ -92,6 +93,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *procs < 1 {
 		return fmt.Errorf("-procs must be >= 1 (got %d)", *procs)
+	}
+	if *pipeline && *algo != "rcsfista" && *algo != "sfista" {
+		return fmt.Errorf("-pipeline applies to rcsfista/sfista only (got -algo %s)", *algo)
 	}
 	d, m := prob.Dim()
 	fmt.Fprintf(out, "problem %s: d=%d features, m=%d samples, nnz=%d (f=%.3f), lambda=%g\n",
@@ -238,6 +242,7 @@ func run(args []string, out io.Writer) error {
 		opts.K = *k
 		opts.S = *s
 		opts.Seed = *seed
+		opts.Pipeline = *pipeline
 		if *algo == "sfista" {
 			opts.K, opts.S = 1, 1
 		}

@@ -50,6 +50,31 @@ func TestCLILogistic(t *testing.T) {
 	}
 }
 
+func TestCLIPipeline(t *testing.T) {
+	args := fastArgs("-procs", "4", "-k", "4", "-tol", "0")
+	blocking := runCLI(t, args...)
+	pipelined := runCLI(t, append(args, "-pipeline")...)
+	if !strings.Contains(pipelined, "algorithm rcsfista on P=4") {
+		t.Fatalf("missing summary:\n%s", pipelined)
+	}
+	// Same fixed budget, same seed: the objective line must match
+	// bit for bit — pipelining moves modeled time only.
+	want := "F(w) = "
+	i, j := strings.Index(blocking, want), strings.Index(pipelined, want)
+	if i < 0 || j < 0 {
+		t.Fatalf("objective line missing:\n%s", pipelined)
+	}
+	lineOf := func(s string, at int) string { return s[at : at+strings.IndexByte(s[at:], '\n')] }
+	if lineOf(blocking, i) != lineOf(pipelined, j) {
+		t.Fatalf("objectives diverged:\n%s\nvs\n%s", lineOf(blocking, i), lineOf(pipelined, j))
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "fista", "-pipeline", "-tol", "0"}, &out); err == nil {
+		t.Fatal("-pipeline with -algo fista accepted")
+	}
+}
+
 func TestCLIAutoTune(t *testing.T) {
 	out := runCLI(t, fastArgs("-k", "0", "-procs", "8")...)
 	if !strings.Contains(out, "auto-tuned k=") {

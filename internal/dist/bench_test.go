@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The collective benchmarks back `make bench-smoke`: one -benchtime=1x
+// pass catches regressions that only show up under the race-free
+// goroutine schedule (deadlocks, leaked rounds) without the cost of a
+// full benchmark run.
+
+func benchWords(words int) []float64 {
+	local := make([]float64, words)
+	for i := range local {
+		local[i] = float64(i%7) + 0.5
+	}
+	return local
+}
+
+func BenchmarkAllreduceShared(b *testing.B) {
+	for _, p := range []int{4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			local := benchWords(4096)
+			for i := 0; i < b.N; i++ {
+				w := NewWorld(p, unitMachine())
+				if err := w.Run(func(c Comm) error {
+					for r := 0; r < 8; r++ {
+						c.AllreduceShared(local)
+					}
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIAllreduceShared(b *testing.B) {
+	for _, p := range []int{4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			local := benchWords(4096)
+			next := benchWords(4096)
+			for i := 0; i < b.N; i++ {
+				w := NewWorld(p, unitMachine())
+				if err := w.Run(func(c Comm) error {
+					// The pipelined shape: keep one round in flight
+					// while "computing" the next buffer.
+					req := c.IAllreduceShared(local)
+					for r := 0; r < 8; r++ {
+						nextReq := c.IAllreduceShared(next)
+						req.Wait()
+						req = nextReq
+					}
+					req.Wait()
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -76,6 +76,16 @@ type Comm interface {
 	// physical copies in this in-process simulation, which matters
 	// when the payload is the k*d^2-word Hessian batch of RC-SFISTA.
 	AllreduceShared(local []float64) []float64
+	// IAllreduceShared posts the same sum-allreduce nonblocking (the
+	// MPI_Iallreduce counterpart) and returns immediately with a
+	// request handle. The caller may compute while the collective is
+	// in flight and must eventually call Wait, which returns the same
+	// shared read-only slice AllreduceShared would — bit-identical,
+	// because the reduction runs in rank order either way. The
+	// communication cost is charged at Wait. Every rank must post
+	// nonblocking collectives in the same order, and local must stay
+	// unmodified until Wait returns.
+	IAllreduceShared(local []float64) *Request
 	// Bcast copies root's buf into every rank's buf.
 	Bcast(buf []float64, root int)
 	// Reduce combines buf across ranks with op; the result lands in
@@ -93,6 +103,43 @@ type Comm interface {
 	Cost() *perf.Cost
 	// Machine returns the machine model used for cost accounting.
 	Machine() perf.Machine
+}
+
+// Request is the handle of an in-flight nonblocking collective posted
+// with IAllreduceShared. It is owned by the posting rank and is not
+// safe for concurrent use by multiple goroutines.
+type Request struct {
+	wait   func() []float64
+	result []float64
+	done   bool
+}
+
+// Wait blocks until the collective completes and returns the shared,
+// read-only result slice. Costs are charged on the first call; calling
+// Wait again returns the same slice without re-charging.
+func (r *Request) Wait() []float64 {
+	if !r.done {
+		r.result = r.wait()
+		r.wait = nil
+		r.done = true
+	}
+	return r.result
+}
+
+// completedRequest wraps an already-available result, used where the
+// collective resolves at post time (single rank).
+func completedRequest(res []float64) *Request {
+	return &Request{result: res, done: true}
+}
+
+// AllreduceCost returns the alpha-beta-gamma cost one rank is charged
+// for a tree allreduce of words payload words on p ranks. This is the
+// quantity Request.Wait charges and the communication segment the
+// overlap cost model (perf.Machine.Overlap) compares compute against.
+func AllreduceCost(p, words int) perf.Cost {
+	var c perf.Cost
+	chargeTree(&c, p, int64(words), true)
+	return c
 }
 
 // AllreduceScalar is a convenience wrapper reducing a single value.

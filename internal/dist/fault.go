@@ -380,17 +380,33 @@ func (f *FaultyComm) EndRound() { f.round++ }
 // lockstep without any extra coordination.
 func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]float64, bool) {
 	v := f.plan.Verdict(f.round, attempt, f.Size())
+	var res []float64
+	switch v.Kind {
+	case FaultNone, FaultStraggler, FaultCorrupt:
+		// The collective itself completes under these verdicts.
+		res = f.Comm.AllreduceShared(local)
+	}
+	return f.resolveAttempt(v, f.round, attempt, res, len(local))
+}
+
+// resolveAttempt applies a verdict to a completed (or never-started)
+// collective: it charges the failure costs, records the fault event and
+// returns the attempt outcome. Shared by the blocking
+// AttemptAllreduceShared and the pipelined PendingAttempt.Wait, so both
+// paths observe identical costs and events for identical verdicts. res
+// is the collective's result for verdicts that complete it, nil for
+// drop/crash (where no rank enters the collective).
+func (f *FaultyComm) resolveAttempt(v Verdict, round, attempt int, res []float64, words int) ([]float64, bool) {
 	cost := f.Cost()
 	switch v.Kind {
 	case FaultNone:
-		return f.Comm.AllreduceShared(local), true
+		return res, true
 
 	case FaultStraggler:
 		// The collective completes, but everyone waits on the lagging
 		// rank at the synchronization point.
-		res := f.Comm.AllreduceShared(local)
 		cost.AddStall(v.StallSec)
-		f.record(FaultEvent{Round: f.round, Attempt: attempt, Kind: FaultStraggler,
+		f.record(FaultEvent{Round: round, Attempt: attempt, Kind: FaultStraggler,
 			Rank: v.Rank, StallSec: v.StallSec})
 		return res, true
 
@@ -400,16 +416,16 @@ func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]flo
 		// timeout before declaring the attempt dead. No rank receives
 		// data, and — because the verdict is shared — no rank enters
 		// the underlying collective, so nobody deadlocks.
-		chargeTree(cost, f.Size(), int64(len(local)), true)
+		chargeTree(cost, f.Size(), int64(words), true)
 		cost.AddStall(f.timeoutSec)
 		stall := f.timeoutSec
 		if v.Kind == FaultCrash && f.plan.Crash != nil &&
-			f.round == f.plan.Crash.Round && attempt == 0 && f.Rank() == v.Rank {
+			round == f.plan.Crash.Round && attempt == 0 && f.Rank() == v.Rank {
 			// One-time restart cost for the replacement rank.
 			cost.AddStall(f.plan.Crash.RestartSec)
 			stall += f.plan.Crash.RestartSec
 		}
-		f.record(FaultEvent{Round: f.round, Attempt: attempt, Kind: v.Kind,
+		f.record(FaultEvent{Round: round, Attempt: attempt, Kind: v.Kind,
 			Rank: v.Rank, StallSec: stall, Failed: true})
 		return nil, false
 
@@ -418,14 +434,13 @@ func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]flo
 		// bits. Detection is checksum + a one-word agreement vote (a
 		// real collective, charged at its real cost), after which every
 		// rank discards the round.
-		res := f.Comm.AllreduceShared(local)
 		sum := PayloadChecksum(res)
 		payload := res
 		var bad float64
 		if f.Rank() == v.Rank && len(res) > 0 {
 			corrupted := make([]float64, len(res))
 			copy(corrupted, res)
-			corruptPayload(corrupted, f.plan.Seed, f.round, attempt, v.Words)
+			corruptPayload(corrupted, f.plan.Seed, round, attempt, v.Words)
 			if PayloadChecksum(corrupted) != sum {
 				bad = 1
 			}
@@ -434,7 +449,7 @@ func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]flo
 		vote := [1]float64{bad}
 		f.Comm.Allreduce(vote[:], OpMax)
 		if vote[0] != 0 {
-			f.record(FaultEvent{Round: f.round, Attempt: attempt, Kind: FaultCorrupt,
+			f.record(FaultEvent{Round: round, Attempt: attempt, Kind: FaultCorrupt,
 				Rank: v.Rank, Failed: true})
 			return nil, false
 		}
@@ -444,6 +459,55 @@ func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]flo
 		return payload, true
 	}
 	panic(fmt.Sprintf("dist: unhandled fault verdict %v", v.Kind))
+}
+
+// PendingAttempt is an in-flight fallible allreduce attempt posted with
+// IAttemptAllreduceShared. The fault verdict — a pure function of
+// (seed, round, attempt), identical on every rank — is applied when
+// Wait is called, so pipelined rounds observe exactly the faults,
+// costs and events the blocking AttemptAllreduceShared would produce.
+type PendingAttempt struct {
+	f       *FaultyComm
+	verdict Verdict
+	round   int
+	attempt int
+	words   int
+	req     *Request // nil when the verdict loses the payload in transit
+	done    bool
+	res     []float64
+	ok      bool
+}
+
+// IAttemptAllreduceShared posts attempt number attempt of the current
+// fallible round without blocking. For verdicts under which the
+// collective completes (clean, straggler, corrupt) the payload is
+// posted through the nonblocking substrate; for drop/crash verdicts no
+// rank posts anything — the shared verdict keeps the SPMD ranks in
+// lockstep — and the loss is charged when Wait resolves the attempt.
+func (f *FaultyComm) IAttemptAllreduceShared(local []float64, attempt int) *PendingAttempt {
+	v := f.plan.Verdict(f.round, attempt, f.Size())
+	p := &PendingAttempt{f: f, verdict: v, round: f.round, attempt: attempt, words: len(local)}
+	switch v.Kind {
+	case FaultNone, FaultStraggler, FaultCorrupt:
+		p.req = f.Comm.IAllreduceShared(local)
+	}
+	return p
+}
+
+// Wait resolves the pending attempt: it completes the in-flight
+// collective (when the verdict lets it complete) and applies the
+// verdict exactly as the blocking attempt path does. Idempotent.
+func (p *PendingAttempt) Wait() ([]float64, bool) {
+	if p.done {
+		return p.res, p.ok
+	}
+	p.done = true
+	var res []float64
+	if p.req != nil {
+		res = p.req.Wait()
+	}
+	p.res, p.ok = p.f.resolveAttempt(p.verdict, p.round, p.attempt, res, p.words)
+	return p.res, p.ok
 }
 
 func (f *FaultyComm) record(ev FaultEvent) { f.events = append(f.events, ev) }

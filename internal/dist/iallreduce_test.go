@@ -1,0 +1,302 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// TestIAllreduceSharedMatchesBlocking pins the nonblocking collective's
+// contract: same result bits and same charged cost as AllreduceShared,
+// at every world size.
+func TestIAllreduceSharedMatchesBlocking(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		local := func(rank int) []float64 {
+			return []float64{0.1 * float64(rank+1), 1e-17, float64(rank) * 1e16, -3}
+		}
+
+		blocking := make([][]float64, p)
+		wb := NewWorld(p, unitMachine())
+		if err := wb.Run(func(c Comm) error {
+			blocking[c.Rank()] = c.AllreduceShared(local(c.Rank()))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		nonblocking := make([][]float64, p)
+		wn := NewWorld(p, unitMachine())
+		if err := wn.Run(func(c Comm) error {
+			req := c.IAllreduceShared(local(c.Rank()))
+			nonblocking[c.Rank()] = req.Wait()
+			// Wait is idempotent: same slice, no double charge.
+			if &req.Wait()[0] != &nonblocking[c.Rank()][0] {
+				return errors.New("second Wait returned a different slice")
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		for r := 0; r < p; r++ {
+			for i := range blocking[r] {
+				if blocking[r][i] != nonblocking[r][i] {
+					t.Fatalf("P=%d rank %d word %d: blocking %v vs nonblocking %v",
+						p, r, i, blocking[r][i], nonblocking[r][i])
+				}
+			}
+			if wb.RankCost(r) != wn.RankCost(r) {
+				t.Fatalf("P=%d rank %d cost: blocking %v vs nonblocking %v",
+					p, r, wb.RankCost(r), wn.RankCost(r))
+			}
+			// And both match the published closed-form AllreduceCost.
+			if want := AllreduceCost(p, len(blocking[r])); wn.RankCost(r) != want {
+				t.Fatalf("P=%d rank %d: charged %v, AllreduceCost says %v",
+					p, r, wn.RankCost(r), want)
+			}
+		}
+	}
+}
+
+// TestIAllreduceSharedOverlapsCompute drives the intended use: post,
+// compute locally while the collective is in flight, then Wait.
+// Several requests may be in flight at once; they resolve by per-rank
+// post order regardless of Wait interleaving with local work.
+func TestIAllreduceSharedMultipleInFlight(t *testing.T) {
+	const p = 4
+	const rounds = 3
+	w := NewWorld(p, unitMachine())
+	err := w.Run(func(c Comm) error {
+		reqs := make([]*Request, rounds)
+		locals := make([][]float64, rounds)
+		for i := 0; i < rounds; i++ {
+			locals[i] = []float64{float64(c.Rank()), float64(i)}
+			reqs[i] = c.IAllreduceShared(locals[i])
+		}
+		// Local compute while all three are in flight.
+		acc := 0.0
+		for i := 0; i < 100; i++ {
+			acc += float64(i)
+		}
+		_ = acc
+		for i := 0; i < rounds; i++ {
+			res := reqs[i].Wait()
+			wantSum := float64(p*(p-1)) / 2
+			if res[0] != wantSum || res[1] != float64(i*p) {
+				return fmt.Errorf("round %d: got %v", i, res)
+			}
+			// The posted buffer must be untouched.
+			if locals[i][0] != float64(c.Rank()) {
+				return errors.New("local buffer modified")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All in-flight state must be drained once every rank has waited.
+	w.iarMu.Lock()
+	pending := len(w.iar)
+	w.iarMu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d nonblocking rounds still registered after Run", pending)
+	}
+}
+
+// TestIAllreduceSharedAbortReleasesWaiters: a rank failing while others
+// are parked in Wait must release them instead of deadlocking, exactly
+// like the blocking collectives.
+func TestIAllreduceSharedAbortReleasesWaiters(t *testing.T) {
+	const p = 4
+	w := NewWorld(p, unitMachine())
+	bang := errors.New("bang")
+	err := w.Run(func(c Comm) error {
+		if c.Rank() == 2 {
+			return bang // never posts: the round can't complete
+		}
+		req := c.IAllreduceShared([]float64{1})
+		req.Wait()
+		return errors.New("Wait returned despite missing rank")
+	})
+	if !errors.Is(err, bang) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+}
+
+// TestIAllreduceSharedLengthMismatch: mismatched payload lengths are a
+// programming error and must surface as a Run error, not a hang.
+func TestIAllreduceSharedLengthMismatch(t *testing.T) {
+	const p = 3
+	w := NewWorld(p, unitMachine())
+	err := w.Run(func(c Comm) error {
+		req := c.IAllreduceShared(make([]float64, 2+c.Rank()%2))
+		req.Wait()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("length mismatch went undetected")
+	}
+}
+
+// TestIAllreduceSharedSelfComm: the single-rank communicator resolves at
+// post time with a copy and zero cost.
+func TestIAllreduceSharedSelfComm(t *testing.T) {
+	c := NewSelfComm(unitMachine())
+	local := []float64{3, 4}
+	res := c.IAllreduceShared(local).Wait()
+	if res[0] != 3 || res[1] != 4 {
+		t.Fatalf("got %v", res)
+	}
+	res[0] = 99
+	if local[0] != 3 {
+		t.Fatal("result aliases the local buffer")
+	}
+	if *c.Cost() != (perf.Cost{}) {
+		t.Fatalf("SelfComm charged %v for a local collective", *c.Cost())
+	}
+}
+
+// TestFailedRunReleasesCollectiveState is the regression test for the
+// abort leak: a failed Run used to re-arm the barrier and clear p2p but
+// left contrib/shared/lens populated, pinning the last k*d^2-word batch
+// of every rank until the World itself was collected.
+func TestFailedRunReleasesCollectiveState(t *testing.T) {
+	const p = 4
+	w := NewWorld(p, unitMachine())
+	bang := errors.New("bang")
+	err := w.Run(func(c Comm) error {
+		// A successful collective populates contrib/shared/scratch and
+		// lens; a posted-but-unwaited nonblocking round populates iar.
+		buf := make([]float64, 1024)
+		c.Allreduce(buf, OpSum)
+		c.AllreduceShared(buf)
+		c.Allgather(buf[:c.Rank()+1])
+		c.IAllreduceShared(buf)
+		c.Barrier()
+		if c.Rank() == 1 {
+			return bang
+		}
+		// Park the surviving ranks so the abort has waiters to release.
+		c.Barrier()
+		return nil
+	})
+	if !errors.Is(err, bang) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	for r, s := range w.contrib {
+		if s != nil {
+			t.Fatalf("contrib[%d] still pinned after failed Run", r)
+		}
+	}
+	if w.shared != nil || w.scratch != nil {
+		t.Fatal("shared/scratch still pinned after failed Run")
+	}
+	for r, n := range w.lens {
+		if n != 0 {
+			t.Fatalf("lens[%d] = %d after failed Run", r, n)
+		}
+	}
+	w.iarMu.Lock()
+	pending := len(w.iar)
+	w.iarMu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d nonblocking rounds still registered after failed Run", pending)
+	}
+
+	// The world must stay usable for a subsequent clean Run.
+	if err := w.Run(func(c Comm) error {
+		res := c.AllreduceShared([]float64{1})
+		if res[0] != p {
+			return fmt.Errorf("sum = %g", res[0])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPendingAttemptMatchesBlockingAttempt: for every verdict kind the
+// pipelined IAttemptAllreduceShared+Wait path must produce the same
+// payload, outcome, cost and event log as the blocking attempt.
+func TestPendingAttemptMatchesBlockingAttempt(t *testing.T) {
+	const p = 4
+	plan := &FaultPlan{
+		Seed: 5,
+		Schedule: []ScheduledFault{
+			{Round: 1, Kind: FaultDrop, Attempts: 1},
+			{Round: 2, Kind: FaultStraggler, Rank: 1, DelaySec: 2.5},
+			{Round: 3, Kind: FaultCorrupt, Rank: 2, Words: 3},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+
+	type outcome struct {
+		res []float64
+		ok  bool
+	}
+	run := func(pending bool) ([][]outcome, *World, []FaultEvent) {
+		w := NewWorld(p, unitMachine())
+		out := make([][]outcome, p)
+		var events []FaultEvent
+		err := w.Run(func(c Comm) error {
+			fc := NewFaultyComm(c, plan, 1.0)
+			for r := 0; r < rounds; r++ {
+				local := []float64{float64(c.Rank()), float64(r), 1, -1, 0.5}
+				var res []float64
+				var ok bool
+				if pending {
+					res, ok = fc.IAttemptAllreduceShared(local, 0).Wait()
+				} else {
+					res, ok = fc.AttemptAllreduceShared(local, 0)
+				}
+				out[c.Rank()] = append(out[c.Rank()], outcome{res: res, ok: ok})
+				fc.EndRound()
+			}
+			if c.Rank() == 0 {
+				events = fc.Events()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, w, events
+	}
+
+	ob, wb, eb := run(false)
+	op, wp, ep := run(true)
+	for r := 0; r < p; r++ {
+		for round := 0; round < rounds; round++ {
+			b, q := ob[r][round], op[r][round]
+			if b.ok != q.ok || len(b.res) != len(q.res) {
+				t.Fatalf("rank %d round %d: blocking (ok=%v) vs pending (ok=%v)", r, round, b.ok, q.ok)
+			}
+			for i := range b.res {
+				if b.res[i] != q.res[i] {
+					t.Fatalf("rank %d round %d word %d: %v vs %v", r, round, i, b.res[i], q.res[i])
+				}
+			}
+		}
+		if wb.RankCost(r) != wp.RankCost(r) {
+			t.Fatalf("rank %d cost: blocking %v vs pending %v", r, wb.RankCost(r), wp.RankCost(r))
+		}
+	}
+	if len(eb) != len(ep) {
+		t.Fatalf("event logs differ: %d vs %d", len(eb), len(ep))
+	}
+	for i := range eb {
+		if eb[i] != ep[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, eb[i], ep[i])
+		}
+	}
+	// Sanity: the schedule actually exercised failure and success paths.
+	if ob[0][1].ok || !ob[0][0].ok || !ob[0][2].ok {
+		t.Fatalf("schedule not exercised as intended: %+v", ob[0])
+	}
+}

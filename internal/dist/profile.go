@@ -12,6 +12,7 @@ const (
 	kindBarrier = iota
 	kindAllreduce
 	kindAllreduceShared
+	kindIAllreduceShared
 	kindBcast
 	kindReduce
 	kindAllgather
@@ -21,8 +22,8 @@ const (
 )
 
 var kindNames = [kindCount]string{
-	"barrier", "allreduce", "allreduce_shared", "bcast", "reduce",
-	"allgather", "send", "recv",
+	"barrier", "allreduce", "allreduce_shared", "iallreduce_shared",
+	"bcast", "reduce", "allgather", "send", "recv",
 }
 
 // profile counts collective invocations (per world, all ranks; one

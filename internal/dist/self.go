@@ -37,6 +37,14 @@ func (c *SelfComm) AllreduceShared(local []float64) []float64 {
 	return out
 }
 
+// IAllreduceShared returns an already-completed request holding a copy
+// of local: with a single rank there is no communication to overlap.
+func (c *SelfComm) IAllreduceShared(local []float64) *Request {
+	out := make([]float64, len(local))
+	copy(out, local)
+	return completedRequest(out)
+}
+
 // Bcast is a no-op.
 func (c *SelfComm) Bcast(buf []float64, root int) {}
 

@@ -22,6 +22,11 @@ type World struct {
 	costs []perf.Cost
 	prof  profile
 
+	// In-flight nonblocking allreduce rounds, keyed by per-rank post
+	// order (every rank posts the same sequence, the MPI contract).
+	iarMu sync.Mutex
+	iar   map[int]*iarRound
+
 	p2pMu sync.Mutex
 	p2p   map[[2]int]chan []float64
 }
@@ -38,6 +43,7 @@ func NewWorld(p int, machine perf.Machine) *World {
 		contrib: make([][]float64, p),
 		lens:    make([]int, p),
 		costs:   make([]perf.Cost, p),
+		iar:     make(map[int]*iarRound),
 		p2p:     make(map[[2]int]chan []float64),
 	}
 }
@@ -84,6 +90,22 @@ func (w *World) Run(fn func(c Comm) error) error {
 			w.p2pMu.Lock()
 			w.p2p = make(map[[2]int]chan []float64)
 			w.p2pMu.Unlock()
+			// Release the collective registration state too: an abort
+			// can strand every rank's last contribution (a k-slot
+			// Hessian batch in RC-SFISTA) in contrib/shared/scratch,
+			// pinning it in memory and leaving stale slices visible to
+			// a subsequent Run.
+			for i := range w.contrib {
+				w.contrib[i] = nil
+			}
+			w.shared = nil
+			w.scratch = nil
+			for i := range w.lens {
+				w.lens[i] = 0
+			}
+			w.iarMu.Lock()
+			w.iar = make(map[int]*iarRound)
+			w.iarMu.Unlock()
 			return err
 		}
 	}
@@ -142,8 +164,9 @@ func (w *World) channel(from, to int) chan []float64 {
 
 // worldComm is the per-rank communicator handle.
 type worldComm struct {
-	w    *World
-	rank int
+	w      *World
+	rank   int
+	iarSeq int // next nonblocking-collective sequence number
 }
 
 var _ Comm = (*worldComm)(nil)
@@ -226,6 +249,101 @@ func (c *worldComm) AllreduceShared(local []float64) []float64 {
 	w.prof.record(kindAllreduceShared, len(local))
 	chargeTree(c.Cost(), w.size, int64(len(local)), true)
 	return out
+}
+
+// iarRound is the shared state of one in-flight nonblocking allreduce:
+// the per-rank contributions, the combined result, and a done channel
+// the background combiner closes when the result is published.
+type iarRound struct {
+	contrib [][]float64
+	posted  int
+	waited  int
+	res     []float64
+	errMsg  string
+	done    chan struct{}
+}
+
+// combine reduces the round's contributions in rank order on a fresh
+// slice — the exact arithmetic sequence of AllreduceShared, so the
+// nonblocking result is bit-identical to the blocking collective. It
+// runs after every rank has posted, so contrib is read without a lock.
+func (rd *iarRound) combine() {
+	defer close(rd.done)
+	n := len(rd.contrib[0])
+	for r, c := range rd.contrib {
+		if len(c) != n {
+			rd.errMsg = fmt.Sprintf("dist: IAllreduceShared length mismatch: rank 0 has %d, rank %d has %d",
+				n, r, len(c))
+			return
+		}
+	}
+	res := make([]float64, n)
+	copy(res, rd.contrib[0])
+	for r := 1; r < len(rd.contrib); r++ {
+		OpSum.combine(res, rd.contrib[r])
+	}
+	rd.res = res
+}
+
+// iarGet returns (creating if needed) the in-flight round with the
+// given sequence number.
+func (w *World) iarGet(seq int) *iarRound {
+	w.iarMu.Lock()
+	defer w.iarMu.Unlock()
+	rd, ok := w.iar[seq]
+	if !ok {
+		rd = &iarRound{contrib: make([][]float64, w.size), done: make(chan struct{})}
+		w.iar[seq] = rd
+	}
+	return rd
+}
+
+// IAllreduceShared posts the nonblocking sum-allreduce. The last rank
+// to post hands the round to a background combiner goroutine; Wait
+// parks on the round's done channel (or unwinds if the world aborts),
+// charges the same recursive-doubling tree cost AllreduceShared
+// charges, and returns the shared read-only result. Requests resolve
+// in post order per rank; every posted request must be waited before
+// the rank's Run function returns.
+func (c *worldComm) IAllreduceShared(local []float64) *Request {
+	w := c.w
+	if w.size == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return completedRequest(out)
+	}
+	seq := c.iarSeq
+	c.iarSeq++
+	rd := w.iarGet(seq)
+	w.iarMu.Lock()
+	rd.contrib[c.rank] = local
+	rd.posted++
+	ready := rd.posted == w.size
+	w.iarMu.Unlock()
+	if ready {
+		go rd.combine()
+	}
+	rank := c.rank
+	n := len(local)
+	return &Request{wait: func() []float64 {
+		select {
+		case <-rd.done:
+		case <-w.bar.aborting():
+			panic(errAborted)
+		}
+		if rd.errMsg != "" {
+			panic(rd.errMsg)
+		}
+		w.prof.record(kindIAllreduceShared, n)
+		chargeTree(&w.costs[rank], w.size, int64(n), true)
+		w.iarMu.Lock()
+		rd.waited++
+		if rd.waited == w.size {
+			delete(w.iar, seq)
+		}
+		w.iarMu.Unlock()
+		return rd.res
+	}}
 }
 
 // Bcast copies root's buffer into every rank's buf. Cost: binomial

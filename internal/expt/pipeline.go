@@ -1,0 +1,113 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// Pipeline measures the nonblocking pipelined engine: RC-SFISTA on
+// covtype at P = 8, sweeping the iteration-overlap k with and without
+// Options.Pipeline. The pipelined runs post each round's stage-C batch
+// allreduce with IAllreduceShared and fill the next round's Gram batch
+// while it is in flight, so a round's modeled time drops from
+// fill + comm to max(fill, comm) (+ the never-overlapped stage-D
+// updates). The iterates are bit-identical by construction — the sweep
+// reports the identical final objectives as evidence — and only the
+// modeled time moves.
+func Pipeline(cfg Config) *Report {
+	const p = 8
+	maxIter := 320
+	if cfg.Scale == Full {
+		maxIter = 960
+	}
+	in := prepare(cfg, "covtype")
+	d := in.prob.X.Rows
+	slotWords := d*(d+1)/2 + d // packed (H, R) slot, the default wire format
+	ks := []int{1, 2, 4, 8}
+
+	tbl := &trace.Table{
+		Title: fmt.Sprintf("Pipelined rounds: blocking vs nonblocking stage-C allreduce (covtype, P=%d, S=1, b=0.1)", p),
+		Headers: []string{"k", "rounds", "block model s", "pipe model s", "hidden s",
+			"block s/round", "pipe s/round", "comm s/round", "speedup", "dObj"},
+	}
+
+	var series []*trace.Series
+	var notes strings.Builder
+	for _, k := range ks {
+		run := func(pipeline bool) *solver.Result {
+			o := in.optionsForB(cfg, 0.1)
+			o.Tol = 0 // fixed budget: compare equal-work runs
+			o.MaxIter = maxIter
+			o.K = k
+			o.EvalEvery = 20
+			o.Pipeline = pipeline
+			if pipeline {
+				o.TraceName = fmt.Sprintf("k=%d pipelined", k)
+			} else {
+				o.TraceName = fmt.Sprintf("k=%d blocking", k)
+			}
+			w := dist.NewWorld(p, cfg.Machine)
+			res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
+			if err != nil {
+				panic("expt: pipeline: " + err.Error())
+			}
+			return res
+		}
+		blocking := run(false)
+		pipelined := run(true)
+		if pipelined.FinalObj != blocking.FinalObj {
+			// The bit-identity contract is load-bearing for the whole
+			// comparison; a mismatch is a bug, not a data point.
+			panic(fmt.Sprintf("expt: pipeline: k=%d final objectives diverged: %v vs %v",
+				k, blocking.FinalObj, pipelined.FinalObj))
+		}
+		rounds := float64(pipelined.Rounds)
+		commSec := cfg.Machine.Seconds(dist.AllreduceCost(p, k*slotWords))
+		tbl.AddRow(
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%d", pipelined.Rounds),
+			fmt.Sprintf("%.3g", blocking.ModelSeconds),
+			fmt.Sprintf("%.3g", pipelined.ModelSeconds),
+			fmt.Sprintf("%.3g", pipelined.Cost.OverlapSec),
+			fmt.Sprintf("%.3g", blocking.ModelSeconds/rounds),
+			fmt.Sprintf("%.3g", pipelined.ModelSeconds/rounds),
+			fmt.Sprintf("%.3g", commSec),
+			fmt.Sprintf("%.2fx", perf.Speedup(blocking.ModelSeconds, pipelined.ModelSeconds)),
+			"0")
+		series = append(series, blocking.Trace, pipelined.Trace)
+		fmt.Fprintf(&notes, "k=%d: hid %.3g s over %d rounds (%.0f%% of the blocking comm share)\n",
+			k, pipelined.Cost.OverlapSec, pipelined.Rounds,
+			100*pipelined.Cost.OverlapSec/(rounds*commSec))
+	}
+
+	var text strings.Builder
+	text.WriteString(tbl.Render())
+	text.WriteByte('\n')
+	text.WriteString(trace.PlotRelErr("pipelined vs blocking: relative error by modeled time",
+		series, trace.ByModelTime, 72, 18))
+	text.WriteByte('\n')
+	text.WriteString(notes.String())
+	text.WriteString("\ndObj = 0 on every row: pipelining moves modeled time only, never the iterates. " +
+		"Each overlapped round contributes max(fill, comm) instead of fill + comm — here fill " +
+		"dominates, so nearly the whole comm share is hidden. The relative gain is largest at " +
+		"small k, where per-round latency still matters; iteration-overlapping (k) and " +
+		"pipelining attack the same communication term and compose diminishingly.\n")
+
+	return &Report{
+		ID:     "pipeline",
+		Title:  "Nonblocking pipelined rounds: overlap Gram fill with the in-flight allreduce",
+		Text:   text.String(),
+		Tables: []*trace.Table{tbl},
+		Series: series,
+		Figures: []Figure{{
+			Title:  fmt.Sprintf("RC-SFISTA pipelined vs blocking rounds (covtype, P=%d)", p),
+			Series: series,
+			Axis:   trace.ByModelTime,
+		}},
+	}
+}

@@ -94,6 +94,7 @@ func All(cfg Config) []*Report {
 		Scaling(cfg),
 		Machines(cfg),
 		FaultSweep(cfg),
+		Pipeline(cfg),
 	}
 }
 
@@ -114,6 +115,7 @@ func ByID(id string) func(Config) *Report {
 		"scaling":  Scaling,
 		"machines": Machines,
 		"faults":   FaultSweep,
+		"pipeline": Pipeline,
 	}
 	return m[id]
 }
@@ -122,7 +124,7 @@ func ByID(id string) func(Config) *Report {
 func IDs() []string {
 	return []string{"table1", "table2", "bounds", "figure2a", "figure2b",
 		"figure3", "figure4", "figure5", "figure6", "table3", "figure7",
-		"scaling", "machines", "faults"}
+		"scaling", "machines", "faults", "pipeline"}
 }
 
 var _ = trace.ByModelTime // keep trace linked for plot axes used above

@@ -84,6 +84,49 @@ func Runtime(m Machine, p AlgoParams) float64 {
 	return m.Seconds(RCSFISTACost(p))
 }
 
+// RCSFISTARoundCosts splits one RC-SFISTA round (k inner iterations)
+// into its local-compute segment — the k Gram fills of stage B, the
+// part a pipelined engine can run under an in-flight collective — and
+// its communication segment, the stage C allreduce of the k-Hessian
+// batch (one tree collective: log P messages moving k d(d+1)/2 log P
+// words; Table 1 counts no reduction flops). Summed over the N/k
+// rounds these recover the RCSFISTACost totals, except the S d^2
+// reuse-loop flops of stage D, which overlap with neither segment.
+func RCSFISTARoundCosts(p AlgoParams) (compute, comm Cost) {
+	k := p.K
+	if k < 1 {
+		k = 1
+	}
+	lg := float64(Log2Ceil(p.P))
+	dpk := packedLen(p.D)
+	compute.Flops = int64(float64(k) * dpk * float64(p.MBar) * p.Fill / float64(p.P))
+	comm.Messages = int64(lg)
+	comm.Words = int64(float64(k) * dpk * lg)
+	return compute, comm
+}
+
+// PipelinedRuntime evaluates the Table-1/Eq. 24 runtime with round
+// pipelining: while round r's batch allreduce is in flight, round r+1's
+// Gram fill runs locally, so each of the N/k - 1 interior rounds hides
+// min(compute, comm) seconds and the overlapped segment contributes
+// max(compute, comm) instead of the sum. The first round has nothing to
+// overlap with (its fill happens before the first post), hence the -1.
+// Never larger than Runtime; equal when either segment is zero (P = 1)
+// or there is a single round.
+func PipelinedRuntime(m Machine, p AlgoParams) float64 {
+	k := p.K
+	if k < 1 {
+		k = 1
+	}
+	rounds := (p.N + k - 1) / k
+	if rounds < 1 {
+		rounds = 1
+	}
+	compute, comm := RCSFISTARoundCosts(p)
+	hidden := float64(rounds-1) * m.Overlap(compute, comm)
+	return Runtime(m, p) - hidden
+}
+
 // Bounds groups the theoretical upper bounds of Section 4.2 for a given
 // machine and problem. A zero field means the bound is unbounded or not
 // applicable for the supplied parameters.

@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOverlapHidesSmallerSegment(t *testing.T) {
+	m := Machine{Name: "m", Alpha: 1, Beta: 1, Gamma: 1}
+	compute := Cost{Flops: 100}
+	comm := Cost{Messages: 3, Words: 40}
+
+	hidden := m.Overlap(compute, comm)
+	if want := m.Seconds(comm); hidden != want { // comm (43s) < compute (100s)
+		t.Fatalf("Overlap = %g, want the smaller segment %g", hidden, want)
+	}
+
+	// Charging the overlap turns the pair's contribution into
+	// max(compute, comm).
+	var total Cost
+	total.Add(compute)
+	total.Add(comm)
+	total.AddOverlap(hidden)
+	if got, want := m.Seconds(total), math.Max(m.Seconds(compute), m.Seconds(comm)); got != want {
+		t.Fatalf("overlapped seconds = %g, want max(compute, comm) = %g", got, want)
+	}
+
+	// Symmetric and zero when either segment is empty (the P = 1 case:
+	// AllreduceCost is the zero Cost).
+	if m.Overlap(comm, compute) != hidden {
+		t.Fatal("Overlap not symmetric")
+	}
+	if m.Overlap(compute, Cost{}) != 0 {
+		t.Fatal("empty comm segment must hide nothing")
+	}
+}
+
+func TestOverlapSecArithmetic(t *testing.T) {
+	a := Cost{Flops: 10, OverlapSec: 1.5}
+	b := Cost{Flops: 4, OverlapSec: 0.5}
+	if got := a.Plus(b).OverlapSec; got != 2 {
+		t.Fatalf("Plus: %g", got)
+	}
+	if got := a.Sub(b).OverlapSec; got != 1 {
+		t.Fatalf("Sub: %g", got)
+	}
+	var acc Cost
+	acc.Add(a)
+	acc.Add(b)
+	if acc.OverlapSec != 2 {
+		t.Fatalf("Add: %g", acc.OverlapSec)
+	}
+	if got := a.Max(b).OverlapSec; got != 1.5 {
+		t.Fatalf("Max: %g", got)
+	}
+	var nilCost *Cost
+	nilCost.AddOverlap(3) // must not panic
+
+	if s := (Cost{Flops: 1, OverlapSec: 0.5}).String(); s != "F=1 L=0 W=0 overlap=0.5s" {
+		t.Fatalf("String: %q", s)
+	}
+	if s := (Cost{Flops: 1}).String(); s != "F=1 L=0 W=0" {
+		t.Fatalf("blocking costs must render unchanged: %q", s)
+	}
+}
+
+func TestSecondsNeverBelowStallFloor(t *testing.T) {
+	// Over-credited overlap (a modeling bug, not a legal charge) must
+	// clamp at the stall floor rather than produce negative time.
+	m := Comet()
+	c := Cost{Flops: 1000, StallSec: 2, OverlapSec: 1e9}
+	if got := m.Seconds(c); got != 2 {
+		t.Fatalf("Seconds = %g, want the 2s stall floor", got)
+	}
+}
+
+func TestRCSFISTARoundCostsConsistentWithTotal(t *testing.T) {
+	p := AlgoParams{N: 96, P: 8, D: 20, MBar: 50, Fill: 0.5, K: 4, S: 2}
+	compute, comm := RCSFISTARoundCosts(p)
+	rounds := p.N / p.K
+
+	total := RCSFISTACost(p)
+	// Summed over rounds, the two segments recover the Table 1 totals
+	// up to the S d^2 stage-D flops (in neither segment) and integer
+	// truncation of the per-round flop count.
+	if got, want := int64(rounds)*comm.Messages, total.Messages; got != want {
+		t.Fatalf("messages: rounds*round = %d, total = %d", got, want)
+	}
+	if got, want := int64(rounds)*comm.Words, total.Words; got != want {
+		t.Fatalf("words: rounds*round = %d, total = %d", got, want)
+	}
+	gram := int64(rounds) * compute.Flops
+	d2 := int64(p.D) * int64(p.D)
+	reuse := int64(p.S) * d2
+	if diff := total.Flops - gram - reuse; diff < 0 || diff > int64(rounds) {
+		t.Fatalf("flops: rounds*gram+S*d^2 = %d, total = %d", gram+reuse, total.Flops)
+	}
+}
+
+func TestPipelinedRuntimeBounds(t *testing.T) {
+	m := Comet()
+	p := AlgoParams{N: 128, P: 16, D: 54, MBar: 580, Fill: 0.2, K: 4, S: 1}
+
+	blocking := Runtime(m, p)
+	pipelined := PipelinedRuntime(m, p)
+	if pipelined >= blocking {
+		t.Fatalf("pipelining must help when both segments are nonzero: %g vs %g", pipelined, blocking)
+	}
+
+	// Lower bound: hiding can at best remove the smaller segment of
+	// every interior round.
+	compute, comm := RCSFISTARoundCosts(p)
+	rounds := p.N / p.K
+	if want := blocking - float64(rounds-1)*math.Min(m.Seconds(compute), m.Seconds(comm)); math.Abs(pipelined-want) > 1e-12*blocking {
+		t.Fatalf("PipelinedRuntime = %g, want %g", pipelined, want)
+	}
+
+	// P = 1: no communication, nothing to hide.
+	seq := p
+	seq.P = 1
+	if PipelinedRuntime(m, seq) != Runtime(m, seq) {
+		t.Fatal("P=1 must have zero overlap credit")
+	}
+
+	// Single round: nothing in flight during the only fill.
+	one := p
+	one.N = p.K
+	if PipelinedRuntime(m, one) != Runtime(m, one) {
+		t.Fatal("single-round run must have zero overlap credit")
+	}
+}
+
+func TestRecommendReportsPipelinedSpeedup(t *testing.T) {
+	m := HighLatency()
+	p := AlgoParams{N: 1000, P: 64, D: 54, MBar: 580, Fill: 0.22}
+	rec := Recommend(m, p)
+	if rec.PipelinedSpeedup < rec.PredictedSpeedup {
+		t.Fatalf("pipelined speedup %g below blocking %g", rec.PipelinedSpeedup, rec.PredictedSpeedup)
+	}
+	if rec.PipelinedSpeedup <= 0 || math.IsNaN(rec.PipelinedSpeedup) {
+		t.Fatalf("bad pipelined speedup %g", rec.PipelinedSpeedup)
+	}
+}

@@ -176,6 +176,7 @@ func TestEngineVarianceReductionHelps(t *testing.T) {
 func TestEngineRejectsInconsistentLocalData(t *testing.T) {
 	p, gamma, _ := testProblem(t, 4, 10, 1.0)
 	o := baseOpts(p, gamma, math.NaN())
+	o.Tol = 0 // NaN FStar: the relative-error stop would be rejected
 	c := dist.NewSelfComm(perf.Comet())
 	bad := Partition(p.X, p.Y, 1, 0)
 	bad.Y = bad.Y[:5]
@@ -282,6 +283,7 @@ func TestWarmStartAccelerates(t *testing.T) {
 func TestWarmStartLengthPanic(t *testing.T) {
 	p, gamma, _ := testProblem(t, 6, 40, 1.0)
 	o := baseOpts(p, gamma, math.NaN())
+	o.Tol = 0 // NaN FStar: the relative-error stop would be rejected
 	o.W0 = make([]float64, 3)
 	defer func() {
 		if recover() == nil {

@@ -121,6 +121,19 @@ type Options struct {
 	// each attempt (RetryBackoff * 2^(a-1)); 0 selects RoundTimeout/4.
 	// Only meaningful with Faults.
 	RetryBackoff float64
+	// Pipeline enables nonblocking pipelined rounds: the batched
+	// Hessian allreduce of round r is posted with
+	// dist.Comm.IAllreduceShared and, while it is in flight, round
+	// r+1's local Gram batch is filled into a second buffer; the
+	// solver then waits on the collective before running the postponed
+	// updates. The iterates are bit-identical to the blocking engine —
+	// the sample sequence is a pure function of (Seed, instance index)
+	// and the reduction order is unchanged — only the modeled cost
+	// differs: each overlapped round contributes
+	// max(compute, communication) instead of their sum
+	// (perf.Machine.Overlap). Default off, so existing runs are
+	// untouched; incompatible with UseDeltaForm.
+	Pipeline bool
 	// PackedHessian selects the packed symmetric wire format for the
 	// batched Hessian allreduce: each slot ships d(d+1)/2 + d words (the
 	// upper triangle of H plus R) instead of the dense d^2 + d. Packed
@@ -177,6 +190,23 @@ func (o *Options) Validate() error {
 	}
 	if o.RetryBackoff < 0 || math.IsNaN(o.RetryBackoff) {
 		return errors.New("solver: RetryBackoff must be non-negative")
+	}
+	if o.Tol > 0 && (math.IsNaN(o.FStar) || o.FStar == 0) {
+		// Without a reference optimum the relative-error stop
+		// |F(w)-F*|/|F*| <= Tol can never fire and the solve silently
+		// runs to MaxIter.
+		return errors.New("solver: Tol > 0 requires a known reference optimum FStar " +
+			"(compute one with Reference, or use the reference-free GradMapTol stop)")
+	}
+	if o.GradMapTol > 0 && !o.VarianceReduced {
+		// The gradient-mapping stop is only evaluated at
+		// variance-reduction snapshots, where the exact full gradient
+		// is available; without them it can never fire.
+		return errors.New("solver: GradMapTol requires VarianceReduced " +
+			"(the gradient-mapping stop is checked at snapshot refreshes only)")
+	}
+	if o.Pipeline && o.UseDeltaForm {
+		return errors.New("solver: Pipeline is not implemented for the UseDeltaForm ablation")
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err

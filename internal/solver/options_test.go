@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -31,6 +32,71 @@ func TestOptionsValidate(t *testing.T) {
 		if err := o.Validate(); err == nil {
 			t.Fatalf("case %d: invalid options accepted", i)
 		}
+	}
+}
+
+// TestValidateStopCriterionDependencies pins the two silent-stop bugs:
+// a relative-error tolerance without a reference optimum, and a
+// gradient-mapping tolerance without variance reduction, each leave the
+// stopping test permanently false — the solve runs to MaxIter with no
+// hint. Both must be rejected up front with an error naming the
+// missing dependency.
+func TestValidateStopCriterionDependencies(t *testing.T) {
+	base := func() Options {
+		o := Defaults()
+		o.Gamma = 0.1
+		return o
+	}
+
+	// Tol without FStar: rejected whether FStar is NaN (explicit
+	// unknown) or zero (the unset sentinel withDefaults maps to NaN).
+	for _, fstar := range []float64{math.NaN(), 0} {
+		o := base()
+		o.Tol = 1e-3
+		o.FStar = fstar
+		err := o.Validate()
+		if err == nil {
+			t.Fatalf("Tol with FStar=%v accepted", fstar)
+		}
+		if !strings.Contains(err.Error(), "FStar") {
+			t.Fatalf("error does not name FStar: %v", err)
+		}
+	}
+	// The same pair is fine once FStar is known, end to end.
+	o := base()
+	o.Tol = 1e-3
+	o.FStar = 1.25
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// GradMapTol without VarianceReduced: the gradient-mapping check
+	// runs at snapshot refreshes only.
+	o = base()
+	o.GradMapTol = 1e-6
+	o.VarianceReduced = false
+	err := o.Validate()
+	if err == nil {
+		t.Fatal("GradMapTol without VarianceReduced accepted")
+	}
+	if !strings.Contains(err.Error(), "VarianceReduced") {
+		t.Fatalf("error does not name VarianceReduced: %v", err)
+	}
+	o.VarianceReduced = true
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full solver path must surface the same errors (regression:
+	// these used to slip through Validate and run to MaxIter).
+	if _, err := RCSFISTA(nil, LocalData{}, Options{Gamma: 0.1, MaxIter: 10, B: 0.5, Tol: 1e-3}); err == nil ||
+		!strings.Contains(err.Error(), "FStar") {
+		t.Fatalf("RCSFISTA accepted Tol without FStar: %v", err)
+	}
+	bad := Options{Gamma: 0.1, MaxIter: 10, B: 0.5, GradMapTol: 1e-6}
+	if _, err := RCSFISTA(nil, LocalData{}, bad); err == nil ||
+		!strings.Contains(err.Error(), "VarianceReduced") {
+		t.Fatalf("RCSFISTA accepted GradMapTol without VarianceReduced: %v", err)
 	}
 }
 

@@ -70,9 +70,12 @@ func RCSFISTA(c dist.Comm, local LocalData, opts Options) (*Result, error) {
 	}
 
 	e := newEngine(c, local, opts)
-	if opts.UseDeltaForm {
+	switch {
+	case opts.UseDeltaForm:
 		e.runDelta()
-	} else {
+	case opts.Pipeline:
+		e.runPipelined()
+	default:
 		e.run()
 	}
 	return e.finish(), nil
@@ -101,11 +104,14 @@ type engine struct {
 
 	// Batched Gram buffer: k slots of (hLen Hessian + d R), local
 	// partials before the allreduce. hLen is d(d+1)/2 in the default
-	// packed symmetric format, d^2 dense.
-	batch   []float64
-	hLen    int
-	slotLen int
-	packed  bool
+	// packed symmetric format, d^2 dense. batchNext is the second
+	// buffer of the pipelined engine (nil otherwise): round r+1's
+	// partials are filled there while round r's batch is in flight.
+	batch     []float64
+	batchNext []float64
+	hLen      int
+	slotLen   int
+	packed    bool
 
 	wPrev, wCurr, v, grad, tmp []float64
 	scratch                    []float64 // length mLocal
@@ -180,6 +186,9 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 		copy(e.wPrev, opts.W0)
 	}
 	e.batch = make([]float64, opts.K*e.slotLen)
+	if opts.Pipeline {
+		e.batchNext = make([]float64, opts.K*e.slotLen)
+	}
 	if opts.VarianceReduced {
 		e.wSnap = make([]float64, d)
 		e.fullGrad = make([]float64, d)
@@ -221,14 +230,14 @@ func (e *engine) localCols(global []int) []int {
 }
 
 // fillSlot computes the local partial (H, R) Gram instance of batch
-// slot j (global Hessian index hIdx+j), charging flops to cost. Stage A
-// (sampling) is a pure function of (seed, hIdx+j) and stage B writes
-// only slot j's region of the batch buffer, so distinct slots are safe
-// to fill concurrently.
-func (e *engine) fillSlot(j int, cost *perf.Cost) {
+// slot j (global Hessian index hIdx+j) into buf, charging flops to
+// cost. Stage A (sampling) is a pure function of (seed, hIdx+j) and
+// stage B writes only slot j's region of buf, so distinct slots are
+// safe to fill concurrently.
+func (e *engine) fillSlot(j int, buf []float64, cost *perf.Cost) {
 	global := e.sampleSlot(e.hIdx + j)
 	cols := e.localCols(global)
-	slot := e.batch[j*e.slotLen : (j+1)*e.slotLen]
+	slot := buf[j*e.slotLen : (j+1)*e.slotLen]
 	scale := 1 / float64(e.mbar)
 	if e.packed {
 		h := mat.SymPackedOf(e.d, slot[:e.hLen])
@@ -239,22 +248,26 @@ func (e *engine) fillSlot(j int, cost *perf.Cost) {
 	}
 }
 
-// computeBatch fills the local partial (H_j, R_j) batch for slots
-// hIdx..hIdx+k-1 (stages A and B) and returns the allreduced result
-// (stage C). The k slots are computed by a bounded worker pool; each
-// worker charges a private perf.Cost that is merged in slot order after
-// the join, so accounting is deterministic regardless of scheduling.
-func (e *engine) computeBatch() []float64 {
+// fillBatch fills buf with the local partial (H_j, R_j) instances of
+// slots hIdx..hIdx+k-1 (stages A and B) and advances hIdx. The k slots
+// are computed by a bounded worker pool; each worker charges a private
+// perf.Cost that is merged in slot order after the join, so accounting
+// is deterministic regardless of scheduling. The merged fill cost is
+// charged to the rank and also returned, so the pipelined engine can
+// compare the segment against the in-flight collective for overlap
+// accounting. Pure local compute: no collectives, safe to run while a
+// nonblocking allreduce is in flight.
+func (e *engine) fillBatch(buf []float64) perf.Cost {
 	k := e.opts.K
-	cost := e.c.Cost()
-	mat.Zero(e.batch)
+	mat.Zero(buf)
+	var fill perf.Cost
 	workers := runtime.GOMAXPROCS(0)
 	if workers > k {
 		workers = k
 	}
 	if workers <= 1 {
 		for j := 0; j < k; j++ {
-			e.fillSlot(j, cost)
+			e.fillSlot(j, buf, &fill)
 		}
 	} else {
 		costs := make([]perf.Cost, k)
@@ -265,16 +278,24 @@ func (e *engine) computeBatch() []float64 {
 			sem <- struct{}{}
 			go func(j int) {
 				defer wg.Done()
-				e.fillSlot(j, &costs[j])
+				e.fillSlot(j, buf, &costs[j])
 				<-sem
 			}(j)
 		}
 		wg.Wait()
 		for j := 0; j < k; j++ {
-			cost.Add(costs[j])
+			fill.Add(costs[j])
 		}
 	}
 	e.hIdx += k
+	e.c.Cost().Add(fill)
+	return fill
+}
+
+// computeBatch runs one blocking round: fill the local batch (stages A
+// and B) and return the allreduced result (stage C).
+func (e *engine) computeBatch() []float64 {
+	e.fillBatch(e.batch)
 	shared := e.allreduceBatch()
 	e.rounds++
 	return shared
@@ -292,6 +313,18 @@ func (e *engine) allreduceBatch() []float64 {
 	if e.fc == nil {
 		return e.c.AllreduceShared(e.batch)
 	}
+	return e.resolveRound(func(a int) ([]float64, bool) {
+		return e.fc.AttemptAllreduceShared(e.batch, a)
+	})
+}
+
+// resolveRound drives the retry/degrade/skip state machine of one
+// fallible round. attempt(a) performs (or, for a pipelined round's
+// already-posted attempt 0, resolves) attempt number a and reports
+// whether it delivered a batch. Shared by the blocking and pipelined
+// engines so both observe identical stats, events and recovery
+// decisions for identical fault verdicts.
+func (e *engine) resolveRound(attempt func(a int) ([]float64, bool)) []float64 {
 	cost := e.c.Cost()
 	round := e.fc.Round()
 	for a := 0; a <= e.opts.MaxRetries; a++ {
@@ -300,7 +333,7 @@ func (e *engine) allreduceBatch() []float64 {
 			cost.AddStall(e.opts.RetryBackoff * float64(int64(1)<<uint(a-1)))
 			e.fstats.Retries++
 		}
-		res, ok := e.fc.AttemptAllreduceShared(e.batch, a)
+		res, ok := attempt(a)
 		if !ok {
 			continue
 		}
@@ -326,6 +359,50 @@ func (e *engine) allreduceBatch() []float64 {
 	e.fstats.SkippedRounds++
 	e.recordRecovery("skip", round, "no last-good batch yet")
 	return nil
+}
+
+// pendingRound is one posted, not-yet-resolved stage-C collective of
+// the pipelined engine. Exactly one of req/att is set: req on the
+// reliable path, att under a FaultPlan. buf is the posted batch buffer,
+// which must stay unmodified (speculative fills go to the other buffer)
+// until waitBatch returns — it is also the payload of any blocking
+// retry attempts.
+type pendingRound struct {
+	req *dist.Request
+	att *dist.PendingAttempt
+	buf []float64
+}
+
+// postBatch posts buf's stage-C allreduce nonblocking and returns the
+// in-flight round. Under a FaultPlan only attempt 0 is posted
+// nonblocking; its verdict resolves at waitBatch, exactly as the
+// blocking AttemptAllreduceShared would have resolved it.
+func (e *engine) postBatch(buf []float64) pendingRound {
+	if e.fc == nil {
+		return pendingRound{req: e.c.IAllreduceShared(buf), buf: buf}
+	}
+	return pendingRound{att: e.fc.IAttemptAllreduceShared(buf, 0), buf: buf}
+}
+
+// waitBatch blocks on the in-flight round and returns the shared batch
+// (nil when a fallible round is skipped), running the same
+// retry/degrade/skip machine as the blocking engine: attempt 0 resolves
+// the posted collective, retries fall back to blocking attempts — the
+// overlap window has already been spent by then.
+func (e *engine) waitBatch(p pendingRound) []float64 {
+	var shared []float64
+	if e.fc == nil {
+		shared = p.req.Wait()
+	} else {
+		shared = e.resolveRound(func(a int) ([]float64, bool) {
+			if a == 0 {
+				return p.att.Wait()
+			}
+			return e.fc.AttemptAllreduceShared(p.buf, a)
+		})
+	}
+	e.rounds++
+	return shared
 }
 
 // drainFaultEvents copies communicator fault events recorded since the
@@ -452,11 +529,56 @@ func (e *engine) checkpoint() bool {
 		e.series.Append(trace.Point{
 			Iter: e.iter, Round: e.rounds,
 			Obj: f, RelErr: re,
+			// Rank 0's own accumulated cost, not the cross-rank
+			// critical path: the per-point modeled clock of one rank's
+			// SPMD stream. The end-of-run Result.ModelSeconds is the
+			// same rank-local quantity; World.ModeledSeconds takes the
+			// max over ranks and is the figure-of-merit critical path.
+			// In our runs the ranks are nearly symmetric, so the two
+			// differ only by load imbalance in the sampled columns.
 			ModelSec: e.c.Machine().Seconds(*e.c.Cost()),
 			WallSec:  time.Since(e.start).Seconds(),
 		})
 	}
 	return e.opts.Tol > 0 && !math.IsNaN(re) && re <= e.opts.Tol
+}
+
+// processBatch runs stage D on one allreduced batch: k*S solution
+// updates with variance-reduction refreshes and trace checkpoints
+// interleaved. It reports true when the outer loop must stop
+// (convergence or MaxIter). Shared verbatim by the blocking and
+// pipelined engines, so their update sequences are identical statement
+// for statement — the foundation of the bit-identity guarantee.
+func (e *engine) processBatch(shared []float64, sinceSnap, sinceEval *int) bool {
+	opts := e.opts
+	for j := 0; j < opts.K; j++ {
+		h, r := e.slotView(shared, j)
+		for s := 0; s < opts.S; s++ {
+			e.update(h, r)
+			*sinceSnap++
+			*sinceEval++
+			if opts.VarianceReduced && *sinceSnap >= opts.EpochLen {
+				e.refreshSnapshot()
+				*sinceSnap = 0
+				if e.gradMapStop {
+					e.checkpoint()
+					e.converged = true
+					return true
+				}
+			}
+			if *sinceEval >= opts.EvalEvery {
+				*sinceEval = 0
+				if e.checkpoint() {
+					e.converged = true
+					return true
+				}
+			}
+			if e.iter >= opts.MaxIter {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // run executes the direct-update main loop.
@@ -467,7 +589,6 @@ func (e *engine) run() {
 	}
 	e.checkpoint()
 	sinceSnap, sinceEval := 0, 0
-outer:
 	for e.iter < opts.MaxIter {
 		shared := e.computeBatch()
 		if shared == nil {
@@ -479,33 +600,72 @@ outer:
 			}
 			continue
 		}
-		for j := 0; j < opts.K; j++ {
-			h, r := e.slotView(shared, j)
-			for s := 0; s < opts.S; s++ {
-				e.update(h, r)
-				sinceSnap++
-				sinceEval++
-				if opts.VarianceReduced && sinceSnap >= opts.EpochLen {
-					e.refreshSnapshot()
-					sinceSnap = 0
-					if e.gradMapStop {
-						e.checkpoint()
-						e.converged = true
-						break outer
-					}
-				}
-				if sinceEval >= opts.EvalEvery {
-					sinceEval = 0
-					if e.checkpoint() {
-						e.converged = true
-						break outer
-					}
-				}
-				if e.iter >= opts.MaxIter {
-					break outer
-				}
-			}
+		if e.processBatch(shared, &sinceSnap, &sinceEval) {
+			break
 		}
+	}
+	if !e.converged && sinceEval != 0 {
+		e.converged = e.checkpoint()
+	}
+}
+
+// runPipelined executes the same main loop with nonblocking pipelined
+// rounds: round r's stage-C allreduce is posted with IAllreduceShared
+// and, while it is in flight, round r+1's batch is speculatively filled
+// into the second buffer. The iterates are bit-identical to run() —
+// stage A is a pure function of (seed, hIdx), so filling early changes
+// no sample set; the rank-order reduction is unchanged; and stage D is
+// the shared processBatch. Only the modeled cost differs: each
+// overlapped round charges Machine.Overlap(fill, comm) as hidden time,
+// turning its contribution into max(compute, comm). A speculative fill
+// wasted by a convergence stop is charged but never used — the price of
+// pipelining, matched by real MPI_Iallreduce codes.
+func (e *engine) runPipelined() {
+	opts := e.opts
+	if opts.VarianceReduced {
+		e.refreshSnapshot()
+	}
+	e.checkpoint()
+	sinceSnap, sinceEval := 0, 0
+	kS := opts.K * opts.S
+	// The modeled communication segment of one stage-C collective; what
+	// Request.Wait charges, and the window the speculative fill hides
+	// in. Zero at P = 1, making overlap credits vanish there.
+	commCost := dist.AllreduceCost(e.c.Size(), len(e.batch))
+	e.fillBatch(e.batch)
+	p := e.postBatch(e.batch)
+	for {
+		// Will another round follow this one on the normal path? If so,
+		// fill it now, under the in-flight collective. On a fault-skip
+		// the prediction errs short (iter does not advance) and the
+		// fill happens non-overlapped below; on a convergence stop it
+		// errs long and the fill is wasted. hIdx advances by k per
+		// round regardless of outcome — exactly as in run() — so the
+		// sample sequence is unaffected either way.
+		speculated := e.iter+kS < opts.MaxIter
+		var fillCost perf.Cost
+		if speculated {
+			fillCost = e.fillBatch(e.batchNext)
+		}
+		shared := e.waitBatch(p)
+		if speculated {
+			e.c.Cost().AddOverlap(e.c.Machine().Overlap(fillCost, commCost))
+		}
+		if shared == nil {
+			if e.fstats.SkippedRounds > opts.MaxIter {
+				break
+			}
+		} else if e.processBatch(shared, &sinceSnap, &sinceEval) {
+			break
+		}
+		if e.iter >= opts.MaxIter {
+			break
+		}
+		if !speculated {
+			e.fillBatch(e.batchNext)
+		}
+		e.batch, e.batchNext = e.batchNext, e.batch
+		p = e.postBatch(e.batch)
 	}
 	if !e.converged && sinceEval != 0 {
 		e.converged = e.checkpoint()

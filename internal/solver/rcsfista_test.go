@@ -179,6 +179,7 @@ func TestDeltaFormEquivalence(t *testing.T) {
 func TestDeltaFormRejectsS(t *testing.T) {
 	p, gamma, _ := testProblem(t, 8, 60, 1.0)
 	o := baseOpts(p, gamma, math.NaN())
+	o.Tol = 0 // NaN FStar: the relative-error stop would be rejected
 	o.UseDeltaForm = true
 	o.S = 3
 	c := dist.NewSelfComm(perf.Comet())
