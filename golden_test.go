@@ -1,0 +1,609 @@
+// Golden bit-identity harness for the solvercore refactor: every
+// solver run here was recorded (with -update-golden) against the
+// pre-refactor engines, and the committed fixture pins Result.W,
+// FinalObj, the cost counters and the full trace as exact float64 bit
+// patterns. Any port that changes a single rounding, a sample draw, a
+// message count or a trace point fails loudly. The matrix covers
+// RC-SFISTA across P ∈ {1,4,8} × {dense,packed} × {blocking,pipelined}
+// × {fault-free,FaultPlan}, the delta-form ablation, both ProxNewtons
+// (sequential and distributed, all loss functions), ProxSVRG, CoCoA
+// and CA-BCD.
+//
+// Regenerate (only when a behavior change is intended and understood):
+//
+//	go test -run TestGoldenBitIdentity -update-golden .
+package rcsfista_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/cabcd"
+	"github.com/hpcgo/rcsfista/internal/cocoa"
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/erm"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solver"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current engines")
+
+const goldenPath = "testdata/golden.json"
+
+// bits renders a float64 as its exact bit pattern; the only encoding
+// under which "equal" means bit-identical (NaN payloads included).
+func bits(f float64) string { return fmt.Sprintf("%016x", math.Float64bits(f)) }
+
+type goldenPoint struct {
+	Iter, Round           int
+	Obj, RelErr, ModelSec string
+}
+
+type goldenEvent struct {
+	Round, Iter   int
+	Kind          string
+	Rank, Attempt int
+	StallSec      string
+	Detail        string
+}
+
+type goldenCost struct {
+	Flops, Messages, Words int64
+	StallSec, OverlapSec   string
+}
+
+type goldenRecord struct {
+	W                     []string
+	Iters, Rounds         int
+	Converged             bool
+	FinalObj, FinalRelErr string
+	ModelSeconds          string
+	Cost                  goldenCost
+	Retries, Failed       int
+	Degraded, Skipped     int
+	FaultStall            string
+	TraceName             string
+	Points                []goldenPoint
+	Events                []goldenEvent
+}
+
+func snapshot(res *solver.Result) goldenRecord {
+	rec := goldenRecord{
+		Iters:        res.Iters,
+		Rounds:       res.Rounds,
+		Converged:    res.Converged,
+		FinalObj:     bits(res.FinalObj),
+		FinalRelErr:  bits(res.FinalRelErr),
+		ModelSeconds: bits(res.ModelSeconds),
+		Cost: goldenCost{
+			Flops:      res.Cost.Flops,
+			Messages:   res.Cost.Messages,
+			Words:      res.Cost.Words,
+			StallSec:   bits(res.Cost.StallSec),
+			OverlapSec: bits(res.Cost.OverlapSec),
+		},
+		Retries:    res.Faults.Retries,
+		Failed:     res.Faults.FailedRounds,
+		Degraded:   res.Faults.DegradedRounds,
+		Skipped:    res.Faults.SkippedRounds,
+		FaultStall: bits(res.Faults.StallSec),
+	}
+	for _, w := range res.W {
+		rec.W = append(rec.W, bits(w))
+	}
+	if res.Trace != nil {
+		rec.TraceName = res.Trace.Name
+		for _, p := range res.Trace.Points {
+			rec.Points = append(rec.Points, goldenPoint{
+				Iter: p.Iter, Round: p.Round,
+				Obj: bits(p.Obj), RelErr: bits(p.RelErr), ModelSec: bits(p.ModelSec),
+			})
+		}
+		for _, e := range res.Trace.Events {
+			rec.Events = append(rec.Events, goldenEvent{
+				Round: e.Round, Iter: e.Iter, Kind: e.Kind, Rank: e.Rank,
+				Attempt: e.Attempt, StallSec: bits(e.StallSec), Detail: e.Detail,
+			})
+		}
+	}
+	return rec
+}
+
+// goldenEnv is the shared deterministic problem instance: small enough
+// that the whole matrix runs in seconds, large enough that every code
+// path (sampling, degenerate local blocks at P=8, line searches,
+// epochs) is exercised.
+type goldenEnv struct {
+	prob  *data.Problem
+	yPM   []float64 // ±1 labels for the classification losses
+	gamma float64
+	fstar float64
+	w0    []float64
+}
+
+func goldenSetup(t testing.TB) *goldenEnv {
+	t.Helper()
+	p, err := data.LoadWith("covtype", 240, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := solver.SampledLipschitz(p.X, p.Y, 0.25, 8, 99)
+	wref, fstar := solver.Reference(p.X, p.Y, p.Lambda, 2000)
+	var mean float64
+	for _, v := range p.Y {
+		mean += v
+	}
+	mean /= float64(len(p.Y))
+	yPM := make([]float64, len(p.Y))
+	for i, v := range p.Y {
+		if v > mean {
+			yPM[i] = 1
+		} else {
+			yPM[i] = -1
+		}
+	}
+	return &goldenEnv{prob: p, yPM: yPM, gamma: solver.GammaFromLipschitz(l), fstar: fstar, w0: wref}
+}
+
+func (e *goldenEnv) opts() solver.Options {
+	o := solver.Defaults()
+	o.Lambda = e.prob.Lambda
+	o.Gamma = e.gamma
+	o.MaxIter = 48
+	o.B = 0.25
+	o.K = 4
+	o.S = 2
+	o.VarianceReduced = false
+	o.Seed = 123
+	return o
+}
+
+func (e *goldenEnv) vrOpts() solver.Options {
+	o := e.opts()
+	o.K = 2
+	o.S = 1
+	o.VarianceReduced = true
+	o.EpochLen = 8
+	return o
+}
+
+func goldenFaultPlan() *dist.FaultPlan {
+	return &dist.FaultPlan{
+		Seed:          11,
+		DropProb:      0.25,
+		CorruptProb:   0.15,
+		StragglerProb: 0.2,
+		Schedule: []dist.ScheduledFault{
+			{Round: 2, Kind: dist.FaultDrop, Attempts: 0}, // hard failure: forces degradation
+		},
+		Crash: &dist.Crash{Rank: 1, Round: 4, Outage: 2, RestartSec: 2e-3},
+	}
+}
+
+// runWorld mirrors solver.SolveDistributed for entry points without a
+// world driver of their own.
+func runWorld(p int, f func(c dist.Comm) (*solver.Result, error)) (*solver.Result, error) {
+	w := dist.NewWorld(p, perf.Comet())
+	results := make([]*solver.Result, p)
+	w.ResetCosts()
+	err := w.Run(func(c dist.Comm) error {
+		res, err := f(c)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	root := results[0]
+	root.Cost = w.MaxCost()
+	root.ModelSeconds = w.ModeledSeconds()
+	return root, nil
+}
+
+type goldenConfig struct {
+	name string
+	run  func(e *goldenEnv) (*solver.Result, error)
+}
+
+func goldenConfigs() []goldenConfig {
+	var cfgs []goldenConfig
+	add := func(name string, run func(e *goldenEnv) (*solver.Result, error)) {
+		cfgs = append(cfgs, goldenConfig{name: name, run: run})
+	}
+
+	// RC-SFISTA grid: P × wire format × engine × network.
+	for _, p := range []int{1, 4, 8} {
+		for _, packed := range []bool{true, false} {
+			for _, pipe := range []bool{true, false} {
+				for _, faulty := range []bool{true, false} {
+					p, packed, pipe, faulty := p, packed, pipe, faulty
+					name := fmt.Sprintf("rcsfista/p%d/packed=%t/pipe=%t/faults=%t", p, packed, pipe, faulty)
+					add(name, func(e *goldenEnv) (*solver.Result, error) {
+						o := e.opts()
+						o.PackedHessian = packed
+						o.Pipeline = pipe
+						if faulty {
+							o.Faults = goldenFaultPlan()
+							o.MaxRetries = 2
+						}
+						w := dist.NewWorld(p, perf.Comet())
+						return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+					})
+				}
+			}
+		}
+	}
+
+	// Skip path: the first rounds are lost outright, before any batch
+	// ever arrived, so there is no last-good Hessian to degrade to.
+	add("rcsfista/skip/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.MaxRetries = 1
+		o.Faults = &dist.FaultPlan{
+			Seed: 13,
+			Schedule: []dist.ScheduledFault{
+				{Round: 0, Kind: dist.FaultDrop, Attempts: 0},
+				{Round: 1, Kind: dist.FaultDrop, Attempts: 0},
+			},
+		}
+		w := dist.NewWorld(4, perf.Comet())
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+
+	// Variance reduction, gradient-mapping stop, Tol stop, warm start.
+	for _, p := range []int{1, 4, 8} {
+		p := p
+		add(fmt.Sprintf("rcsfista/vr/p%d", p), func(e *goldenEnv) (*solver.Result, error) {
+			w := dist.NewWorld(p, perf.Comet())
+			return solver.SolveDistributed(w, e.prob.X, e.prob.Y, e.vrOpts())
+		})
+	}
+	add("rcsfista/vr/gradmap/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.vrOpts()
+		o.GradMapTol = 1e-4
+		o.MaxIter = 120
+		w := dist.NewWorld(4, perf.Comet())
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("rcsfista/tol/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.Tol = 0.3
+		o.FStar = e.fstar
+		o.MaxIter = 120
+		w := dist.NewWorld(4, perf.Comet())
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("rcsfista/w0/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.W0 = e.w0
+		w := dist.NewWorld(4, perf.Comet())
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+
+	// Delta-form ablation (S = 1 only).
+	for _, p := range []int{1, 4} {
+		p := p
+		add(fmt.Sprintf("rcsfista/delta/p%d", p), func(e *goldenEnv) (*solver.Result, error) {
+			o := e.opts()
+			o.S = 1
+			o.UseDeltaForm = true
+			w := dist.NewWorld(p, perf.Comet())
+			return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+		})
+	}
+
+	// SelfComm path and the SFISTA special case.
+	add("rcsfista/selfcomm", func(e *goldenEnv) (*solver.Result, error) {
+		c := dist.NewSelfComm(perf.Comet())
+		local := solver.Partition(e.prob.X, e.prob.Y, 1, 0)
+		return solver.RCSFISTA(c, local, e.opts())
+	})
+	add("sfista/p4", func(e *goldenEnv) (*solver.Result, error) {
+		return runWorld(4, func(c dist.Comm) (*solver.Result, error) {
+			local := solver.Partition(e.prob.X, e.prob.Y, c.Size(), c.Rank())
+			o := e.vrOpts()
+			return solver.SFISTA(c, local, o)
+		})
+	})
+
+	// Sequential Proximal Newton (least squares specialization).
+	pnBase := func(e *goldenEnv) solver.PNOptions {
+		return solver.PNOptions{Lambda: e.prob.Lambda, OuterIter: 8, InnerIter: 12, B: 0.5, Seed: 5}
+	}
+	add("pn/seq", func(e *goldenEnv) (*solver.Result, error) {
+		return solver.ProxNewton(e.prob.X, e.prob.Y, pnBase(e))
+	})
+	add("pn/seq/linesearch", func(e *goldenEnv) (*solver.Result, error) {
+		o := pnBase(e)
+		o.LineSearch = true
+		return solver.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("pn/seq/b1", func(e *goldenEnv) (*solver.Result, error) {
+		o := pnBase(e)
+		o.B = 1
+		o.OuterIter = 6
+		return solver.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("pn/seq/cholinner", func(e *goldenEnv) (*solver.Result, error) {
+		o := pnBase(e)
+		o.Inner = solver.CholInner{Ridge: 1e-8}
+		o.OuterIter = 6
+		return solver.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("pn/seq/cdinner", func(e *goldenEnv) (*solver.Result, error) {
+		o := pnBase(e)
+		o.Inner = solver.CDInner{Lambda: e.prob.Lambda}
+		o.OuterIter = 6
+		return solver.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("pn/seq/tol", func(e *goldenEnv) (*solver.Result, error) {
+		o := pnBase(e)
+		o.LineSearch = true
+		o.Tol = 0.2
+		o.FStar = e.fstar
+		return solver.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+
+	// Distributed PN (delegates to the RC-SFISTA engine).
+	add("pn/dist/p4/k2", func(e *goldenEnv) (*solver.Result, error) {
+		w := dist.NewWorld(4, perf.Comet())
+		o := solver.DistPNOptions{Lambda: e.prob.Lambda, Gamma: e.gamma, B: 0.25, Seed: 5,
+			OuterIter: 6, InnerIter: 4, K: 2}
+		return solver.SolvePNDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("pn/dist/p8/k1", func(e *goldenEnv) (*solver.Result, error) {
+		w := dist.NewWorld(8, perf.Comet())
+		o := solver.DistPNOptions{Lambda: e.prob.Lambda, Gamma: e.gamma, B: 0.25, Seed: 5,
+			OuterIter: 6, InnerIter: 4, K: 1}
+		return solver.SolvePNDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+
+	// General-loss Proximal Newton (erm).
+	ermBase := func(e *goldenEnv) erm.Options {
+		return erm.Options{Lambda: e.prob.Lambda, OuterIter: 6, InnerIter: 10, B: 0.5, Seed: 9}
+	}
+	add("erm/seq/squared", func(e *goldenEnv) (*solver.Result, error) {
+		return erm.ProxNewton(e.prob.X, e.prob.Y, ermBase(e))
+	})
+	add("erm/seq/logistic", func(e *goldenEnv) (*solver.Result, error) {
+		o := ermBase(e)
+		o.Loss = erm.Logistic{}
+		return erm.ProxNewton(e.prob.X, e.yPM, o)
+	})
+	add("erm/seq/huber", func(e *goldenEnv) (*solver.Result, error) {
+		o := ermBase(e)
+		o.Loss = erm.Huber{Delta: 0.5}
+		return erm.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("erm/seq/linesearch+tol", func(e *goldenEnv) (*solver.Result, error) {
+		o := ermBase(e)
+		o.LineSearch = true
+		o.Tol = 0.3
+		o.FStar = e.fstar
+		return erm.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("erm/dist/p4/squared", func(e *goldenEnv) (*solver.Result, error) {
+		return runWorld(4, func(c dist.Comm) (*solver.Result, error) {
+			local := erm.Partition(e.prob.X, e.prob.Y, c.Size(), c.Rank())
+			return erm.DistProxNewton(c, local, ermBase(e))
+		})
+	})
+	add("erm/dist/p8/logistic+linesearch", func(e *goldenEnv) (*solver.Result, error) {
+		return runWorld(8, func(c dist.Comm) (*solver.Result, error) {
+			local := erm.Partition(e.prob.X, e.yPM, c.Size(), c.Rank())
+			o := ermBase(e)
+			o.Loss = erm.Logistic{}
+			o.LineSearch = true
+			return erm.DistProxNewton(c, local, o)
+		})
+	})
+
+	// ProxSVRG.
+	add("svrg/default", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.K, o.S = 1, 1
+		o.MaxIter = 40
+		o.EpochLen = 10
+		return solver.ProxSVRG(e.prob.X, e.prob.Y, o)
+	})
+	add("svrg/eval7+w0", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.K, o.S = 1, 1
+		o.MaxIter = 40
+		o.EpochLen = 10
+		o.EvalEvery = 7
+		o.W0 = e.w0
+		return solver.ProxSVRG(e.prob.X, e.prob.Y, o)
+	})
+
+	// ProxCoCoA.
+	for _, p := range []int{1, 4, 8} {
+		p := p
+		add(fmt.Sprintf("cocoa/p%d", p), func(e *goldenEnv) (*solver.Result, error) {
+			w := dist.NewWorld(p, perf.Comet())
+			o := cocoa.Options{Lambda: e.prob.Lambda, Rounds: 12, Seed: 3}
+			return cocoa.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+		})
+	}
+	add("cocoa/p4/localiters+tol", func(e *goldenEnv) (*solver.Result, error) {
+		w := dist.NewWorld(4, perf.Comet())
+		o := cocoa.Options{Lambda: e.prob.Lambda, Rounds: 12, LocalIters: 5, SigmaPrime: 2,
+			EvalEvery: 3, Tol: 0.5, FStar: e.fstar, Seed: 3}
+		return cocoa.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+
+	// CA-BCD.
+	for _, p := range []int{1, 4} {
+		p := p
+		add(fmt.Sprintf("cabcd/p%d", p), func(e *goldenEnv) (*solver.Result, error) {
+			w := dist.NewWorld(p, perf.Comet())
+			o := cabcd.Options{Lambda2: 0.05, BlockSize: 3, S: 2, MaxRounds: 10, Seed: 21}
+			return cabcd.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+		})
+	}
+	add("cabcd/p4/s1+tol", func(e *goldenEnv) (*solver.Result, error) {
+		w := dist.NewWorld(4, perf.Comet())
+		o := cabcd.Options{Lambda2: 0.05, BlockSize: 3, S: 1, MaxRounds: 10, EvalEvery: 2,
+			Tol: 0.5, FStar: e.fstar, Seed: 21}
+		return cabcd.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+
+	return cfgs
+}
+
+func TestGoldenBitIdentity(t *testing.T) {
+	env := goldenSetup(t)
+	cfgs := goldenConfigs()
+
+	got := make(map[string]goldenRecord, len(cfgs))
+	for _, cfg := range cfgs {
+		res, err := cfg.run(env)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		got[cfg.name] = snapshot(res)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden records to %s", len(got), goldenPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenRecord
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("config count changed: fixture has %d, harness ran %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: config no longer runs", name)
+			continue
+		}
+		diffGolden(t, name, w, g)
+	}
+}
+
+// diffGolden reports field-level mismatches so a broken port tells you
+// WHAT diverged (iterate, cost, trace, events), not just that it did.
+func diffGolden(t *testing.T, name string, want, got goldenRecord) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Errorf("%s: %s", name, fmt.Sprintf(format, args...))
+	}
+	if len(want.W) != len(got.W) {
+		fail("W length %d != %d", len(got.W), len(want.W))
+	} else {
+		for i := range want.W {
+			if want.W[i] != got.W[i] {
+				fail("W[%d] bits %s != %s", i, got.W[i], want.W[i])
+				break
+			}
+		}
+	}
+	if got.Iters != want.Iters || got.Rounds != want.Rounds || got.Converged != want.Converged {
+		fail("iters/rounds/converged %d/%d/%t != %d/%d/%t",
+			got.Iters, got.Rounds, got.Converged, want.Iters, want.Rounds, want.Converged)
+	}
+	if got.FinalObj != want.FinalObj || got.FinalRelErr != want.FinalRelErr {
+		fail("FinalObj/FinalRelErr %s/%s != %s/%s", got.FinalObj, got.FinalRelErr, want.FinalObj, want.FinalRelErr)
+	}
+	if got.Cost != want.Cost {
+		fail("cost %+v != %+v", got.Cost, want.Cost)
+	}
+	if got.ModelSeconds != want.ModelSeconds {
+		fail("ModelSeconds %s != %s", got.ModelSeconds, want.ModelSeconds)
+	}
+	if got.Retries != want.Retries || got.Failed != want.Failed ||
+		got.Degraded != want.Degraded || got.Skipped != want.Skipped || got.FaultStall != want.FaultStall {
+		fail("fault stats %d/%d/%d/%d/%s != %d/%d/%d/%d/%s",
+			got.Retries, got.Failed, got.Degraded, got.Skipped, got.FaultStall,
+			want.Retries, want.Failed, want.Degraded, want.Skipped, want.FaultStall)
+	}
+	if got.TraceName != want.TraceName {
+		fail("trace name %q != %q", got.TraceName, want.TraceName)
+	}
+	if len(got.Points) != len(want.Points) {
+		fail("trace has %d points, want %d", len(got.Points), len(want.Points))
+	} else {
+		for i := range want.Points {
+			if got.Points[i] != want.Points[i] {
+				fail("trace point %d: %+v != %+v", i, got.Points[i], want.Points[i])
+				break
+			}
+		}
+	}
+	if len(got.Events) != len(want.Events) {
+		fail("trace has %d events, want %d", len(got.Events), len(want.Events))
+	} else {
+		for i := range want.Events {
+			if got.Events[i] != want.Events[i] {
+				fail("trace event %d: %+v != %+v", i, got.Events[i], want.Events[i])
+				break
+			}
+		}
+	}
+}
+
+// TestGoldenDeterminism re-runs a slice of the matrix and insists the
+// harness itself is reproducible within one binary — a guard against
+// accidentally depending on GOMAXPROCS scheduling or map order in the
+// fixtures, which would make the bit-identity comparison meaningless.
+func TestGoldenDeterminism(t *testing.T) {
+	env := goldenSetup(t)
+	for _, name := range []string{
+		"rcsfista/p4/packed=true/pipe=true/faults=true",
+		"erm/dist/p8/logistic+linesearch",
+		"cocoa/p4/localiters+tol",
+	} {
+		var cfg goldenConfig
+		for _, c := range goldenConfigs() {
+			if c.name == name {
+				cfg = c
+				break
+			}
+		}
+		if cfg.run == nil {
+			t.Fatalf("config %s not found", name)
+		}
+		a, err := cfg.run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cfg.run(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, rb := snapshot(a), snapshot(b)
+		// Wall-clock is the one nondeterministic field and is already
+		// excluded from snapshots.
+		if fmt.Sprintf("%+v", ra) != fmt.Sprintf("%+v", rb) {
+			t.Errorf("%s: two in-process runs disagree", name)
+		}
+	}
+}
