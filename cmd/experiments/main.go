@@ -12,25 +12,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"github.com/hpcgo/rcsfista/internal/expt"
 	"github.com/hpcgo/rcsfista/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM stop the sweep at the next experiment boundary;
+	// reports already produced stay written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	flag := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scale := flag.String("scale", "bench", "experiment scale: bench or full")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
@@ -68,7 +75,11 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	for _, id := range ids {
+	for i, id := range ids {
+		if ctx.Err() != nil {
+			fmt.Fprintf(stdout, "interrupted: wrote %d of %d reports\n", i, len(ids))
+			return nil
+		}
 		driver := expt.ByID(strings.TrimSpace(id))
 		if driver == nil {
 			return fmt.Errorf("unknown experiment %q (use -list)", id)

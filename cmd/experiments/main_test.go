@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestExperimentsList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"table1", "figure2a", "figure7"} {
@@ -22,7 +23,7 @@ func TestExperimentsList(t *testing.T) {
 func TestExperimentsRunFastSubset(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-only", "table2,bounds", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-only", "table2,bounds", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "==== table2") || !strings.Contains(out.String(), "==== bounds") {
@@ -37,10 +38,10 @@ func TestExperimentsRunFastSubset(t *testing.T) {
 
 func TestExperimentsErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-only", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-only", "nope"}, &out); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-scale", "galactic"}, &out); err == nil {
 		t.Fatal("unknown scale accepted")
 	}
 }

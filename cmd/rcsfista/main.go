@@ -19,11 +19,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/hpcgo/rcsfista/internal/cocoa"
 	"github.com/hpcgo/rcsfista/internal/data"
@@ -31,17 +35,23 @@ import (
 	"github.com/hpcgo/rcsfista/internal/erm"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the context; the solvers stop at the next
+	// round boundary on every rank and run still emits the partial
+	// model and trace. A second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "rcsfista: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	flag := flag.NewFlagSet("rcsfista", flag.ContinueOnError)
 	var (
 		dataset  = flag.String("dataset", "covtype", "synthetic dataset shape (abalone|susy|covtype|mnist|epsilon)")
@@ -158,7 +168,7 @@ func run(args []string, out io.Writer) error {
 			Lambda: prob.Lambda, Rounds: *maxIter, Tol: *tol, FStar: fstar, Seed: *seed,
 		}
 		w := dist.NewWorld(*procs, mach)
-		res, err = cocoa.SolveDistributed(w, prob.X, prob.Y, opts)
+		res, err = cocoa.SolveDistributedContext(ctx, w, prob.X, prob.Y, opts)
 	case "cd":
 		opts := solver.Defaults()
 		opts.Lambda = prob.Lambda
@@ -176,7 +186,7 @@ func run(args []string, out io.Writer) error {
 		opts.FStar = fstar
 		opts.B = *b
 		opts.Seed = *seed
-		res, err = solver.ProxSVRG(prob.X, prob.Y, opts)
+		res, err = solver.ProxSVRGContext(ctx, prob.X, prob.Y, opts)
 	case "fista", "ista":
 		l := solver.SampledLipschitz(prob.X, prob.Y, 1, 1, *seed)
 		opts := solver.Defaults()
@@ -199,7 +209,7 @@ func run(args []string, out io.Writer) error {
 			OuterIter: *maxIter / maxInt(1, *s), InnerIter: maxInt(1, *s), K: *k,
 		}
 		w := dist.NewWorld(*procs, mach)
-		res, err = solver.SolvePNDistributed(w, prob.X, prob.Y, opts)
+		res, err = solver.SolvePNDistributedContext(ctx, w, prob.X, prob.Y, opts)
 	case "logistic":
 		// l1-regularized logistic regression via the erm extension.
 		// Labels must be in {-1, +1}; synthetic datasets are converted
@@ -212,21 +222,15 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		w := dist.NewWorld(*procs, mach)
-		results := make([]*solver.Result, *procs)
-		err = w.Run(func(c dist.Comm) error {
+		res, err = solvercore.RunWorld(w, func(c dist.Comm) (*solver.Result, error) {
 			local := erm.Partition(prob.X, prob.Y, c.Size(), c.Rank())
-			r, rerr := erm.DistProxNewton(c, local, erm.Options{
+			return erm.DistProxNewtonContext(ctx, c, local, erm.Options{
 				Loss: erm.Logistic{}, Lambda: prob.Lambda,
 				OuterIter: *maxIter, InnerIter: maxInt(1, *s), B: *b,
 				LineSearch: true, Seed: *seed,
 			})
-			results[c.Rank()] = r
-			return rerr
 		})
-		if err == nil {
-			res = results[0]
-			res.Cost = w.MaxCost()
-			res.ModelSeconds = w.ModeledSeconds()
+		if res != nil {
 			obj := erm.NewObjective(prob.X, prob.Y, erm.Logistic{})
 			fmt.Fprintf(out, "training accuracy: %.4f\n", obj.Accuracy(res.W))
 		}
@@ -247,12 +251,19 @@ func run(args []string, out io.Writer) error {
 			opts.K, opts.S = 1, 1
 		}
 		w := dist.NewWorld(*procs, mach)
-		res, err = solver.SolveDistributed(w, prob.X, prob.Y, opts)
+		res, err = solver.SolveDistributedContext(ctx, w, prob.X, prob.Y, opts)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
-	if err != nil {
+	// A signal-cancelled solve still hands back a well-formed partial
+	// result (last checkpoint, counters, trace so far): report it and
+	// fall through to the normal output path, model save included.
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !(interrupted && res != nil) {
 		return err
+	}
+	if interrupted {
+		fmt.Fprintf(out, "\ninterrupted (%v): emitting partial results\n", err)
 	}
 
 	fmt.Fprintf(out, "\nalgorithm %s on P=%d (%s):\n", *algo, *procs, mach)

@@ -2,14 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/solver"
 )
 
 func runCLI(t *testing.T, args ...string) string {
 	t.Helper()
 	var out bytes.Buffer
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
 	}
 	return out.String()
@@ -70,7 +73,7 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "fista", "-pipeline", "-tol", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-algo", "fista", "-pipeline", "-tol", "0"}, &out); err == nil {
 		t.Fatal("-pipeline with -algo fista accepted")
 	}
 }
@@ -101,19 +104,19 @@ func TestCLIPlot(t *testing.T) {
 
 func TestCLIErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "nope", "-tol", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-algo", "nope", "-tol", "0"}, &out); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if err := run([]string{"-dataset", "nope", "-tol", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-dataset", "nope", "-tol", "0"}, &out); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if err := run([]string{"-machine", "warp-drive", "-tol", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-machine", "warp-drive", "-tol", "0"}, &out); err == nil {
 		t.Fatal("unknown machine accepted")
 	}
-	if err := run([]string{"-libsvm", "/does/not/exist"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-libsvm", "/does/not/exist"}, &out); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run([]string{"-badflag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-badflag"}, &out); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
@@ -127,14 +130,39 @@ func TestCLITrainSavePredict(t *testing.T) {
 		t.Fatalf("missing RMSE line:\n%s", out)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-predict", dir + "/missing.json"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-predict", dir + "/missing.json"}, &buf); err == nil {
 		t.Fatal("missing model accepted")
 	}
 }
 
 func TestCLIRejectsZeroProcs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-procs", "0", "-tol", "0"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-procs", "0", "-tol", "0"}, &out); err == nil {
 		t.Fatal("procs=0 accepted")
+	}
+}
+
+func TestRunCancelledEmitsPartialModel(t *testing.T) {
+	// A cancelled context must not abort the run with an error: the
+	// partial model and trace are still emitted, and the saved model is
+	// loadable.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run(ctx, []string{"-dataset", "abalone", "-procs", "2", "-tol", "0",
+		"-maxiter", "50", "-plot=false", "-save", dir + "/model.json"}, &out)
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "interrupted") {
+		t.Fatalf("missing interruption notice:\n%s", s)
+	}
+	if !strings.Contains(s, "model written to") {
+		t.Fatalf("partial model not saved:\n%s", s)
+	}
+	if _, err := solver.LoadModel(dir + "/model.json"); err != nil {
+		t.Fatalf("partial model not loadable: %v", err)
 	}
 }

@@ -25,17 +25,18 @@
 package cabcd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/rng"
 	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
-	"github.com/hpcgo/rcsfista/internal/trace"
 )
 
 // Options configures a CA-BCD solve.
@@ -86,6 +87,12 @@ func (o Options) withDefaults() Options {
 // block — the same data layout as solver.Partition. All ranks must
 // pass identical opts.
 func Solve(c dist.Comm, local solver.LocalData, opts Options) (*solver.Result, error) {
+	return SolveContext(context.Background(), c, local, opts)
+}
+
+// SolveContext is Solve under a context (see solver.RCSFISTAContext
+// for the cancellation contract).
+func SolveContext(ctx context.Context, c dist.Comm, local solver.LocalData, opts Options) (*solver.Result, error) {
 	opts = opts.withDefaults()
 	if opts.Lambda2 <= 0 {
 		return nil, errors.New("cabcd: Lambda2 must be positive")
@@ -104,162 +111,189 @@ func Solve(c dist.Comm, local solver.LocalData, opts Options) (*solver.Result, e
 		return nil, fmt.Errorf("cabcd: S*BlockSize = %d exceeds the %d features; a round cannot draw that many distinct coordinates", s*bs, d)
 	}
 	cost := c.Cost()
-	start := time.Now()
-	src := rng.NewSource(opts.Seed)
 
-	// Row (feature) view of the local sample block, for residual
-	// updates and block gradient partials.
-	xRows := local.X.ToCSR()
-
-	x := make([]float64, d)              // iterate
-	res := make([]float64, local.X.Cols) // local residual block: X_loc^T x - y_loc
-	for i := range res {
-		res[i] = -local.Y[i]
+	e := &engine{
+		c: c, local: local, opts: opts,
+		d: d, m: m, bs: bs, s: s, sb: s * bs,
+		// Row (feature) view of the local sample block, for residual
+		// updates and block gradient partials.
+		xRows: local.X.ToCSR(),
+		x:     make([]float64, d),
+		res:   make([]float64, local.X.Cols),
+		sampler: solvercore.StreamSampler{
+			Src: rng.NewSource(opts.Seed), Epoch: 5, N: d, Draw: s * bs,
+		},
+		blocks: make([]int, s*bs),
 	}
-
-	series := &trace.Series{Name: opts.TraceName}
-	out := &solver.Result{Trace: series, FinalRelErr: math.NaN()}
-
-	evaluate := func() float64 {
-		saved := *cost
-		var loss float64
-		for _, r := range res {
-			loss += r * r
-		}
-		loss = dist.AllreduceScalar(c, loss, dist.OpSum)
-		var l2 float64
-		for _, v := range x {
-			l2 += v * v
-		}
-		*cost = saved
-		return loss/(2*float64(m)) + 0.5*opts.Lambda2*l2
+	for i := range e.res {
+		e.res[i] = -local.Y[i]
 	}
-	checkpoint := func(round, iter int) bool {
-		f := evaluate()
-		re := math.NaN()
-		if !math.IsNaN(opts.FStar) {
-			if opts.FStar == 0 {
-				re = math.Abs(f)
-			} else {
-				re = math.Abs((f - opts.FStar) / opts.FStar)
-			}
-		}
-		out.FinalObj, out.FinalRelErr = f, re
-		if c.Rank() == 0 {
-			series.Append(trace.Point{
-				Iter: iter, Round: round, Obj: f, RelErr: re,
-				ModelSec: c.Machine().Seconds(*cost),
-				WallSec:  time.Since(start).Seconds(),
-			})
-		}
-		return opts.Tol > 0 && !math.IsNaN(re) && re <= opts.Tol
+	rec := solvercore.NewRecorder(opts.TraceName, c.Rank(), cost, c.Machine())
+	rec.Tol, rec.FStar = opts.Tol, opts.FStar
+	e.rec = rec
+
+	rec.CheckpointAt(0, 0, e.evaluate())
+	err := solvercore.Loop(solvercore.Spec{
+		Ctx:      ctx,
+		Comm:     c,
+		Rec:      rec,
+		Fill:     e,
+		Exchange: solvercore.AllreduceExchanger{C: c},
+		Pass:     e,
+		Stop:     e,
+	})
+	if err == nil && e.err != nil {
+		return nil, e.err
 	}
-	checkpoint(0, 0)
-
-	sb := s * bs
-	// Round payload: cross-Gram of the s*bs chosen coordinates plus
-	// their gradient partials — ONE allreduce of sb^2 + sb words.
-	payload := make([]float64, sb*sb+sb)
-	blocks := make([]int, sb)
-	iter := 0
-	for round := 1; round <= opts.MaxRounds; round++ {
-		// Draw the round's s blocks from the shared stream (no comm).
-		perm := src.Stream(5, round).SampleWithoutReplacement(d, sb)
-		copy(blocks, perm)
-
-		// Local partials: cross-Gram (1/m) X_B,loc X_B,loc^T over the
-		// local samples, and gradient g_B = (1/m) X_B,loc res_loc.
-		mat.Zero(payload)
-		gram := payload[:sb*sb]
-		grad := payload[sb*sb:]
-		var flops int64
-		for a := 0; a < sb; a++ {
-			colsA, valsA := xRows.Row(blocks[a])
-			// Gradient partial.
-			var g float64
-			for k, j := range colsA {
-				g += valsA[k] * res[j]
-			}
-			grad[a] = g / float64(m)
-			flops += int64(2 * len(colsA))
-			// Gram row (symmetric; fill both triangles).
-			for b := a; b < sb; b++ {
-				colsB, valsB := xRows.Row(blocks[b])
-				dot := sparseRowDot(colsA, valsA, colsB, valsB)
-				v := dot / float64(m)
-				gram[a*sb+b] = v
-				gram[b*sb+a] = v
-				flops += int64(2 * (len(colsA) + len(colsB)))
-			}
-		}
-		cost.AddFlops(flops)
-
-		// Stage C: one allreduce of the whole payload. THIS is the
-		// message that grows with s ((s*bs)^2 words).
-		shared := c.AllreduceShared(payload)
-		gram = shared[:sb*sb]
-		grad = append([]float64(nil), shared[sb*sb:]...)
-
-		// Stage D: s exact block solves with cross-Gram corrections,
-		// redundantly on every rank.
-		dxAll := make([]float64, sb)
-		for t := 0; t < s; t++ {
-			lo, hi := t*bs, (t+1)*bs
-			// Correct this block's gradient for earlier updates:
-			// g_B += G_{B_t, B_i} dx_i for i < t, plus lambda2 x_B.
-			rhs := make([]float64, bs)
-			for a := lo; a < hi; a++ {
-				g := grad[a]
-				for i := 0; i < lo; i++ {
-					g += gram[a*sb+i] * dxAll[i]
-				}
-				g += opts.Lambda2 * x[blocks[a]]
-				rhs[a-lo] = -g
-			}
-			cost.AddFlops(int64(bs * (lo + 2)))
-
-			// Block system: (G_BB + lambda2 I) dx = rhs.
-			sys := mat.NewDense(bs, bs)
-			for a := 0; a < bs; a++ {
-				for b := 0; b < bs; b++ {
-					sys.Set(a, b, gram[(lo+a)*sb+lo+b])
-				}
-				sys.Set(a, a, sys.At(a, a)+opts.Lambda2)
-			}
-			dx, err := mat.SolveSPD(sys, rhs, cost)
-			if err != nil {
-				return nil, fmt.Errorf("cabcd: block solve: %w", err)
-			}
-			copy(dxAll[lo:hi], dx)
-
-			// Apply: x_B += dx, local residual += X_B,loc^T dx.
-			for a := 0; a < bs; a++ {
-				coord := blocks[lo+a]
-				x[coord] += dx[a]
-				cols, vals := xRows.Row(coord)
-				for k, j := range cols {
-					res[j] += vals[k] * dx[a]
-				}
-				cost.AddFlops(int64(2 * len(cols)))
-			}
-			iter++
-		}
-
-		out.Iters = iter
-		out.Rounds = round
-		if round%opts.EvalEvery == 0 || round == opts.MaxRounds {
-			if checkpoint(round, iter) {
-				out.Converged = true
-				break
-			}
-		}
-	}
-	out.W = x
-	out.Cost = *cost
-	out.ModelSeconds = c.Machine().Seconds(*cost)
-	out.WallSeconds = time.Since(start).Seconds()
-	return out, nil
+	return rec.Finish(e.x), err
 }
+
+// engine is the BatchFiller, InnerPass and StopPolicy of one CA-BCD
+// solve; one round = s block updates with ONE allreduce.
+type engine struct {
+	rec   *solvercore.Recorder
+	c     dist.Comm
+	local solver.LocalData
+	opts  Options
+
+	d, m, bs, s, sb int
+	xRows           *sparse.CSR
+	sampler         solvercore.StreamSampler
+	blocks          []int
+
+	x   []float64 // iterate
+	res []float64 // local residual block: X_loc^T x - y_loc
+	err error     // deferred block-solve failure
+}
+
+// BatchLen is the round payload: cross-Gram of the s*bs chosen
+// coordinates plus their gradient partials — sb^2 + sb words.
+func (e *engine) BatchLen() int { return e.sb*e.sb + e.sb }
+
+// Fill draws the round's s blocks from the shared stream (no comm) and
+// computes the local partials: cross-Gram (1/m) X_B,loc X_B,loc^T over
+// the local samples, and gradient g_B = (1/m) X_B,loc res_loc.
+func (e *engine) Fill(payload []float64) perf.Cost {
+	cost := e.rec.Cost
+	round := e.rec.Rounds + 1
+	sb, m := e.sb, e.m
+	copy(e.blocks, e.sampler.Sample(round))
+
+	mat.Zero(payload)
+	gram := payload[:sb*sb]
+	grad := payload[sb*sb:]
+	var flops int64
+	for a := 0; a < sb; a++ {
+		colsA, valsA := e.xRows.Row(e.blocks[a])
+		// Gradient partial.
+		var g float64
+		for k, j := range colsA {
+			g += valsA[k] * e.res[j]
+		}
+		grad[a] = g / float64(m)
+		flops += int64(2 * len(colsA))
+		// Gram row (symmetric; fill both triangles).
+		for b := a; b < sb; b++ {
+			colsB, valsB := e.xRows.Row(e.blocks[b])
+			dot := sparseRowDot(colsA, valsA, colsB, valsB)
+			v := dot / float64(m)
+			gram[a*sb+b] = v
+			gram[b*sb+a] = v
+			flops += int64(2 * (len(colsA) + len(colsB)))
+		}
+	}
+	cost.AddFlops(flops)
+	return perf.Cost{}
+}
+
+// Process runs stage D on the combined payload: s exact block solves
+// with cross-Gram corrections, redundantly on every rank.
+func (e *engine) Process(shared []float64) bool {
+	cost := e.rec.Cost
+	round := e.rec.Rounds
+	sb, bs, s := e.sb, e.bs, e.s
+	gram := shared[:sb*sb]
+	grad := append([]float64(nil), shared[sb*sb:]...)
+
+	dxAll := make([]float64, sb)
+	for t := 0; t < s; t++ {
+		lo, hi := t*bs, (t+1)*bs
+		// Correct this block's gradient for earlier updates:
+		// g_B += G_{B_t, B_i} dx_i for i < t, plus lambda2 x_B.
+		rhs := make([]float64, bs)
+		for a := lo; a < hi; a++ {
+			g := grad[a]
+			for i := 0; i < lo; i++ {
+				g += gram[a*sb+i] * dxAll[i]
+			}
+			g += e.opts.Lambda2 * e.x[e.blocks[a]]
+			rhs[a-lo] = -g
+		}
+		cost.AddFlops(int64(bs * (lo + 2)))
+
+		// Block system: (G_BB + lambda2 I) dx = rhs.
+		sys := mat.NewDense(bs, bs)
+		for a := 0; a < bs; a++ {
+			for b := 0; b < bs; b++ {
+				sys.Set(a, b, gram[(lo+a)*sb+lo+b])
+			}
+			sys.Set(a, a, sys.At(a, a)+e.opts.Lambda2)
+		}
+		dx, err := mat.SolveSPD(sys, rhs, cost)
+		if err != nil {
+			e.err = fmt.Errorf("cabcd: block solve: %w", err)
+			return true
+		}
+		copy(dxAll[lo:hi], dx)
+
+		// Apply: x_B += dx, local residual += X_B,loc^T dx.
+		for a := 0; a < bs; a++ {
+			coord := e.blocks[lo+a]
+			e.x[coord] += dx[a]
+			cols, vals := e.xRows.Row(coord)
+			for k, j := range cols {
+				e.res[j] += vals[k] * dx[a]
+			}
+			cost.AddFlops(int64(2 * len(cols)))
+		}
+		e.rec.Iter++
+	}
+
+	if round%e.opts.EvalEvery == 0 || round == e.opts.MaxRounds {
+		if e.rec.Checkpoint(e.evaluate()) {
+			e.rec.Converged = true
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate computes the global objective as instrumentation (cost
+// rolled back).
+func (e *engine) evaluate() float64 {
+	cost := e.rec.Cost
+	saved := *cost
+	var loss float64
+	for _, r := range e.res {
+		loss += r * r
+	}
+	loss = dist.AllreduceScalar(e.c, loss, dist.OpSum)
+	var l2 float64
+	for _, v := range e.x {
+		l2 += v * v
+	}
+	*cost = saved
+	return loss/(2*float64(e.m)) + 0.5*e.opts.Lambda2*l2
+}
+
+// OnSkip never fires: the plain allreduce cannot lose a round.
+func (e *engine) OnSkip() bool { return true }
+
+// Done gates on the round budget.
+func (e *engine) Done() bool { return e.rec.Rounds >= e.opts.MaxRounds }
+
+// MoreAfterNext is never consulted: CA-BCD does not pipeline.
+func (e *engine) MoreAfterNext() bool { return e.rec.Rounds+1 < e.opts.MaxRounds }
 
 // sparseRowDot computes the dot product of two sparse rows given as
 // sorted (index, value) pairs.
@@ -284,22 +318,14 @@ func sparseRowDot(ia []int, va []float64, ib []int, vb []float64) float64 {
 // SolveDistributed partitions (x, y) across the world and runs CA-BCD
 // on all ranks, mirroring solver.SolveDistributed.
 func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
-	results := make([]*solver.Result, w.Size())
-	w.ResetCosts()
-	err := w.Run(func(c dist.Comm) error {
+	return SolveDistributedContext(context.Background(), w, x, y, opts)
+}
+
+// SolveDistributedContext is SolveDistributed under a context, with
+// the partial-result contract of solver.SolveDistributedContext.
+func SolveDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
+	return solvercore.RunWorld(w, func(c dist.Comm) (*solver.Result, error) {
 		local := solver.Partition(x, y, c.Size(), c.Rank())
-		res, err := Solve(c, local, opts)
-		if err != nil {
-			return err
-		}
-		results[c.Rank()] = res
-		return nil
+		return SolveContext(ctx, c, local, opts)
 	})
-	if err != nil {
-		return nil, err
-	}
-	root := results[0]
-	root.Cost = w.MaxCost()
-	root.ModelSeconds = w.ModeledSeconds()
-	return root, nil
 }

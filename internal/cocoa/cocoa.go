@@ -19,18 +19,19 @@
 package cocoa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/rng"
 	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
-	"github.com/hpcgo/rcsfista/internal/trace"
 )
 
 // Options configures a ProxCoCoA solve.
@@ -73,42 +74,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// LocalData is one worker's feature block.
-type LocalData struct {
-	// Rows is the worker's block of feature rows of X, a
-	// (hi-lo) x m CSR matrix.
-	Rows *sparse.CSR
-	// RowOffset is the global index of the first local feature.
-	RowOffset int
-	// D and M are the global feature and sample counts.
-	D, M int
-	// Y holds all m labels (replicated, as in CoCoA).
-	Y []float64
-}
+// LocalData is one worker's feature block, shared with the rest of the
+// repository through solvercore (the CSR row-split dual of the
+// column-split LocalData).
+type LocalData = solvercore.FeatureBlock
 
 // Partition returns rank's feature block. xRows must be the CSR form
 // of the global d x m matrix (rows = features); compute it once with
 // x.ToCSR() and share across ranks.
-func Partition(xRows *sparse.CSR, y []float64, size, rank int) LocalData {
-	lo, hi := dist.BlockRange(xRows.Rows, size, rank)
-	block := &sparse.CSR{
-		Rows:   hi - lo,
-		Cols:   xRows.Cols,
-		RowPtr: make([]int, hi-lo+1),
-		ColIdx: xRows.ColIdx[xRows.RowPtr[lo]:xRows.RowPtr[hi]],
-		Val:    xRows.Val[xRows.RowPtr[lo]:xRows.RowPtr[hi]],
-	}
-	base := xRows.RowPtr[lo]
-	for i := lo; i <= hi; i++ {
-		block.RowPtr[i-lo] = xRows.RowPtr[i] - base
-	}
-	return LocalData{Rows: block, RowOffset: lo, D: xRows.Rows, M: xRows.Cols, Y: y}
-}
+var Partition = solvercore.FeaturePartition
 
 // Solve runs ProxCoCoA on communicator c with this rank's feature
 // block. All ranks must pass identical opts. Rank 0's result carries
 // the trace and the assembled global w.
 func Solve(c dist.Comm, local LocalData, opts Options) (*solver.Result, error) {
+	return SolveContext(context.Background(), c, local, opts)
+}
+
+// SolveContext is Solve under a context (see solver.RCSFISTAContext
+// for the cancellation contract).
+func SolveContext(ctx context.Context, c dist.Comm, local LocalData, opts Options) (*solver.Result, error) {
 	opts = opts.withDefaults()
 	if opts.Lambda < 0 {
 		return nil, errors.New("cocoa: Lambda must be non-negative")
@@ -126,9 +111,7 @@ func Solve(c dist.Comm, local LocalData, opts Options) (*solver.Result, error) {
 	if h <= 0 {
 		h = nk
 	}
-	tau := 1 / float64(m) // smoothness of (1/2m)||v-y||^2 in v
 	cost := c.Cost()
-	start := time.Now()
 
 	// Precompute ||a_i||^2 for each local coordinate (row of X).
 	colNorm2 := make([]float64, nk)
@@ -142,136 +125,165 @@ func Solve(c dist.Comm, local LocalData, opts Options) (*solver.Result, error) {
 	}
 	cost.AddFlops(int64(2 * local.Rows.Nnz()))
 
-	wLoc := make([]float64, nk)  // local block of w
-	v := make([]float64, m)      // shared predictions X^T w
-	gradV := make([]float64, m)  // grad f(v) = (v - y)/m, per round
-	delta := make([]float64, nk) // local subproblem variable
-	u := make([]float64, m)      // X_k^T delta, local prediction change
-	r := rng.New(opts.Seed ^ (uint64(c.Rank()+1) * 0x9e3779b97f4a7c15))
-
-	series := &trace.Series{Name: opts.TraceName}
-	res := &solver.Result{Trace: series, FinalRelErr: math.NaN()}
-
-	evaluate := func() float64 {
-		saved := *cost
-		var loss float64
-		for i, vi := range v {
-			d := vi - local.Y[i]
-			loss += d * d
-		}
-		l1 := mat.Nrm1(wLoc, nil)
-		l1 = dist.AllreduceScalar(c, l1, dist.OpSum)
-		*cost = saved
-		return loss/(2*float64(m)) + opts.Lambda*l1
+	rec := solvercore.NewRecorder(opts.TraceName, c.Rank(), cost, c.Machine())
+	rec.Tol, rec.FStar = opts.Tol, opts.FStar
+	e := &cocoaEngine{
+		rec: rec, c: c, local: local, opts: opts,
+		nk: nk, m: m, sigma: sigma, h: h,
+		tau:      1 / float64(m), // smoothness of (1/2m)||v-y||^2 in v
+		colNorm2: colNorm2,
+		wLoc:     make([]float64, nk),
+		v:        make([]float64, m),
+		gradV:    make([]float64, m),
+		delta:    make([]float64, nk),
+		rng:      rng.New(opts.Seed ^ (uint64(c.Rank()+1) * 0x9e3779b97f4a7c15)),
 	}
-	checkpoint := func(round int) bool {
-		f := evaluate()
-		re := math.NaN()
-		if !math.IsNaN(opts.FStar) {
-			if opts.FStar == 0 {
-				re = math.Abs(f)
-			} else {
-				re = math.Abs((f - opts.FStar) / opts.FStar)
-			}
-		}
-		res.FinalObj, res.FinalRelErr = f, re
-		if c.Rank() == 0 {
-			series.Append(trace.Point{
-				Iter: round, Round: round,
-				Obj: f, RelErr: re,
-				ModelSec: c.Machine().Seconds(*cost),
-				WallSec:  time.Since(start).Seconds(),
-			})
-		}
-		return opts.Tol > 0 && !math.IsNaN(re) && re <= opts.Tol
-	}
-	checkpoint(0)
-
-	for round := 1; round <= opts.Rounds; round++ {
-		// grad f(v), fixed for the round's subproblem.
-		for i := range gradV {
-			gradV[i] = (v[i] - local.Y[i]) / float64(m)
-		}
-		cost.AddFlops(int64(2 * m))
-
-		// Local subproblem: randomized CD on
-		//   min_d grad^T X_k^T d + (tau*sigma/2)||X_k^T d||^2
-		//         + lambda ||w_k + d||_1.
-		// Workers with no local coordinates still participate in the
-		// collectives below but have no subproblem to solve.
-		mat.Zero(delta)
-		mat.Zero(u)
-		steps := h
-		if nk == 0 {
-			steps = 0
-		}
-		for step := 0; step < steps; step++ {
-			i := r.Intn(nk)
-			q := tau * sigma * colNorm2[i]
-			if q <= 0 {
-				continue
-			}
-			cols, vals := local.Rows.Row(i)
-			var p float64
-			for kk, j := range cols {
-				p += vals[kk] * (gradV[j] + tau*sigma*u[j])
-			}
-			cst := wLoc[i] + delta[i]
-			z := prox.SoftThreshold(q*cst-p, opts.Lambda) / q
-			dd := z - cst
-			if dd != 0 {
-				delta[i] += dd
-				for kk, j := range cols {
-					u[j] += dd * vals[kk]
-				}
-			}
-			cost.AddFlops(int64(6*len(cols) + 12))
-		}
-
-		// Aggregate: v += sum_k u_k (gamma = 1, adding), w_k += delta.
-		c.Allreduce(u, dist.OpSum)
-		mat.Axpy(1, u, v, cost)
-		mat.Axpy(1, delta, wLoc, cost)
-
-		res.Iters = round
-		res.Rounds = round
-		if round%opts.EvalEvery == 0 || round == opts.Rounds {
-			if checkpoint(round) {
-				res.Converged = true
-				break
-			}
-		}
-	}
-
-	// Assemble the global w on every rank for the result.
-	res.W = c.Allgather(wLoc)
-	res.Cost = *cost
-	res.ModelSeconds = c.Machine().Seconds(*cost)
-	res.WallSeconds = time.Since(start).Seconds()
-	return res, nil
+	rec.CheckpointAt(0, 0, e.evaluate())
+	err := solvercore.Loop(solvercore.Spec{
+		Ctx:  ctx,
+		Comm: c,
+		Rec:  rec,
+		Fill: e,
+		// Aggregate: v += sum_k u_k (gamma = 1, adding) — one in-place
+		// m-word allreduce per round.
+		Exchange: solvercore.SegmentedExchanger{C: c, Segs: []int{m}},
+		Pass:     e,
+		Stop:     e,
+	})
+	// Assemble the global w on every rank for the result. On
+	// cancellation the ranks agreed to stop at the same round, so the
+	// gather is still collective-safe and the partial W well-formed.
+	res := rec.Finish(c.Allgather(e.wLoc))
+	return res, err
 }
+
+// cocoaEngine is the BatchFiller, InnerPass and StopPolicy of one
+// ProxCoCoA solve; one round = one outer (communication) round, and
+// the exchanged batch is u = X_k^T delta, the local prediction change.
+type cocoaEngine struct {
+	rec   *solvercore.Recorder
+	c     dist.Comm
+	local LocalData
+	opts  Options
+
+	nk, m      int
+	sigma, tau float64
+	h          int
+	colNorm2   []float64
+
+	wLoc  []float64 // local block of w
+	v     []float64 // shared predictions X^T w
+	gradV []float64 // grad f(v) = (v - y)/m, per round
+	delta []float64 // local subproblem variable
+	rng   *rng.Rng
+}
+
+// BatchLen is the m-word prediction-delta payload.
+func (e *cocoaEngine) BatchLen() int { return e.m }
+
+// Fill solves the round's local subproblem with randomized coordinate
+// descent, writing u = X_k^T delta into buf:
+//
+//	min_d grad^T X_k^T d + (tau*sigma/2)||X_k^T d||^2
+//	      + lambda ||w_k + d||_1.
+//
+// Workers with no local coordinates still participate in the
+// collectives but have no subproblem to solve.
+func (e *cocoaEngine) Fill(buf []float64) perf.Cost {
+	cost := e.rec.Cost
+	// grad f(v), fixed for the round's subproblem.
+	for i := range e.gradV {
+		e.gradV[i] = (e.v[i] - e.local.Y[i]) / float64(e.m)
+	}
+	cost.AddFlops(int64(2 * e.m))
+
+	u := buf
+	mat.Zero(e.delta)
+	mat.Zero(u)
+	steps := e.h
+	if e.nk == 0 {
+		steps = 0
+	}
+	for step := 0; step < steps; step++ {
+		i := e.rng.Intn(e.nk)
+		q := e.tau * e.sigma * e.colNorm2[i]
+		if q <= 0 {
+			continue
+		}
+		cols, vals := e.local.Rows.Row(i)
+		var p float64
+		for kk, j := range cols {
+			p += vals[kk] * (e.gradV[j] + e.tau*e.sigma*u[j])
+		}
+		cst := e.wLoc[i] + e.delta[i]
+		z := prox.SoftThreshold(q*cst-p, e.opts.Lambda) / q
+		dd := z - cst
+		if dd != 0 {
+			e.delta[i] += dd
+			for kk, j := range cols {
+				u[j] += dd * vals[kk]
+			}
+		}
+		cost.AddFlops(int64(6*len(cols) + 12))
+	}
+	return perf.Cost{}
+}
+
+// Process applies the aggregated prediction change and checkpoints.
+func (e *cocoaEngine) Process(shared []float64) bool {
+	cost := e.rec.Cost
+	round := e.rec.Rounds
+	mat.Axpy(1, shared, e.v, cost)
+	mat.Axpy(1, e.delta, e.wLoc, cost)
+	e.rec.Iter = round
+	if round%e.opts.EvalEvery == 0 || round == e.opts.Rounds {
+		if e.rec.CheckpointAt(round, round, e.evaluate()) {
+			e.rec.Converged = true
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate computes the global objective as instrumentation (cost
+// rolled back): the local loss over the replicated predictions plus
+// the allreduced l1 norm of the distributed w.
+func (e *cocoaEngine) evaluate() float64 {
+	cost := e.rec.Cost
+	saved := *cost
+	var loss float64
+	for i, vi := range e.v {
+		d := vi - e.local.Y[i]
+		loss += d * d
+	}
+	l1 := mat.Nrm1(e.wLoc, nil)
+	l1 = dist.AllreduceScalar(e.c, l1, dist.OpSum)
+	*cost = saved
+	return loss/(2*float64(e.m)) + e.opts.Lambda*l1
+}
+
+// OnSkip never fires: the segmented exchange cannot lose a round.
+func (e *cocoaEngine) OnSkip() bool { return true }
+
+// Done gates on the round budget.
+func (e *cocoaEngine) Done() bool { return e.rec.Rounds >= e.opts.Rounds }
+
+// MoreAfterNext is never consulted: ProxCoCoA does not pipeline.
+func (e *cocoaEngine) MoreAfterNext() bool { return e.rec.Rounds+1 < e.opts.Rounds }
 
 // SolveDistributed partitions x by features across the world and runs
 // ProxCoCoA on all ranks, returning rank 0's result with world-level
 // critical-path costs (mirrors solver.SolveDistributed).
 func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
+	return SolveDistributedContext(context.Background(), w, x, y, opts)
+}
+
+// SolveDistributedContext is SolveDistributed under a context, with
+// the partial-result contract of solver.SolveDistributedContext.
+func SolveDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
 	xRows := x.ToCSR()
-	results := make([]*solver.Result, w.Size())
-	w.ResetCosts()
-	err := w.Run(func(c dist.Comm) error {
+	return solvercore.RunWorld(w, func(c dist.Comm) (*solver.Result, error) {
 		local := Partition(xRows, y, c.Size(), c.Rank())
-		res, err := Solve(c, local, opts)
-		if err != nil {
-			return err
-		}
-		results[c.Rank()] = res
-		return nil
+		return SolveContext(ctx, c, local, opts)
 	})
-	if err != nil {
-		return nil, err
-	}
-	root := results[0]
-	root.Cost = w.MaxCost()
-	root.ModelSeconds = w.ModeledSeconds()
-	return root, nil
 }

@@ -215,3 +215,27 @@ func TestIdleWorkersWithExplicitLocalIters(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCocoaDegeneratePartition(t *testing.T) {
+	// P exceeds BOTH the sample count m and the feature count d: every
+	// partition boundary case at once. The run must not deadlock and
+	// must return a well-formed assembled w.
+	p := data.Generate(data.GenSpec{D: 3, M: 4, Density: 1, Lambda: 0.05, Seed: 15})
+	opts := Options{Lambda: p.Lambda, Rounds: 50, Seed: 15}
+	w := dist.NewWorld(6, perf.Comet())
+	res, err := SolveDistributed(w, p.X, p.Y, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.W) != p.X.Rows {
+		t.Fatalf("assembled w has %d coords, want %d", len(res.W), p.X.Rows)
+	}
+	for _, v := range res.W {
+		if math.IsNaN(v) {
+			t.Fatal("assembled w contains NaN")
+		}
+	}
+	if res.Trace == nil || len(res.Trace.Points) == 0 {
+		t.Fatal("missing trace")
+	}
+}

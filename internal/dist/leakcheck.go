@@ -1,0 +1,35 @@
+package dist
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the leak checker needs, kept as a
+// local interface so the package does not import testing into
+// production binaries.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// VerifyNoGoroutineLeaks fails t if the process goroutine count does
+// not return to at most baseline within a short grace period. Capture
+// baseline with runtime.NumGoroutine() BEFORE creating the world under
+// test; a cancelled solve must release every rank goroutine — a rank
+// parked forever in a collective is exactly the deadlock the
+// cancellation consensus exists to prevent.
+func VerifyNoGoroutineLeaks(t TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline {
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("goroutine leak: %d alive, baseline %d\n%s", n, baseline, buf)
+	}
+}

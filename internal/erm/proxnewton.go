@@ -1,10 +1,10 @@
 package erm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/mat"
@@ -12,8 +12,8 @@ import (
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/rng"
 	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
-	"github.com/hpcgo/rcsfista/internal/trace"
 )
 
 // Options configures the general-loss Proximal Newton solver
@@ -96,19 +96,12 @@ func ProxNewton(x *sparse.CSC, y []float64, opts Options) (*solver.Result, error
 	return DistProxNewton(dist.NewSelfComm(perf.Comet()), Partition(x, y, 1, 0), opts)
 }
 
-// LocalData is one rank's column (sample) block.
-type LocalData struct {
-	X         *sparse.CSC
-	Y         []float64
-	ColOffset int
-	MGlobal   int
-}
+// LocalData is one rank's column (sample) block, shared with the
+// solver package through solvercore.
+type LocalData = solvercore.LocalData
 
 // Partition returns rank's contiguous column block.
-func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
-	lo, hi := dist.BlockRange(x.Cols, size, rank)
-	return LocalData{X: x.ColSlice(lo, hi), Y: y[lo:hi], ColOffset: lo, MGlobal: x.Cols}
-}
+var Partition = solvercore.Partition
 
 // DistProxNewton runs Algorithm 1 for a general loss on communicator
 // c. Per outer iteration: one allreduce of the exact gradient (d
@@ -117,8 +110,15 @@ func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
 // iteration-overlapping of RC-SFISTA does NOT apply here because
 // H(w_n) depends on the current iterate (see the package comment);
 // this solver is the baseline the least-squares specialization
-// improves on.
+// improves on. It runs on the unified solvercore Proximal Newton
+// engine, parameterized by Loss.
 func DistProxNewton(c dist.Comm, local LocalData, opts Options) (*solver.Result, error) {
+	return DistProxNewtonContext(context.Background(), c, local, opts)
+}
+
+// DistProxNewtonContext is DistProxNewton under a context (see
+// solver.RCSFISTAContext for the cancellation contract).
+func DistProxNewtonContext(ctx context.Context, c dist.Comm, local LocalData, opts Options) (*solver.Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -133,15 +133,12 @@ func DistProxNewton(c dist.Comm, local LocalData, opts Options) (*solver.Result,
 		mbar = 1
 	}
 	cost := c.Cost()
-	start := time.Now()
-	src := rng.NewSource(opts.Seed)
 	localObj := NewObjective(local.X, local.Y, opts.Loss)
-
-	w := make([]float64, d)
-	grad := make([]float64, d)
-	h := mat.NewSymPacked(d)
-	series := &trace.Series{Name: opts.TraceName}
-	res := &solver.Result{Trace: series, FinalRelErr: math.NaN()}
+	sampler := solvercore.StreamSampler{
+		Src: rng.NewSource(opts.Seed), Epoch: 4, N: m, Draw: mbar,
+	}
+	rec := solvercore.NewRecorder(opts.TraceName, c.Rank(), cost, c.Machine())
+	rec.Tol, rec.FStar = opts.Tol, opts.FStar
 
 	// globalValue evaluates F(w) with one scalar allreduce
 	// (instrumentation: cost rolled back).
@@ -152,101 +149,41 @@ func DistProxNewton(c dist.Comm, local LocalData, opts Options) (*solver.Result,
 		*cost = saved
 		return f + opts.Reg.Value(w, nil)
 	}
-	checkpoint := func(outer int) bool {
-		f := globalValue(w)
-		re := math.NaN()
-		if !math.IsNaN(opts.FStar) {
-			if opts.FStar == 0 {
-				re = math.Abs(f)
-			} else {
-				re = math.Abs((f - opts.FStar) / opts.FStar)
-			}
-		}
-		res.FinalObj, res.FinalRelErr = f, re
-		if c.Rank() == 0 {
-			series.Append(trace.Point{
-				Iter: outer, Round: outer, Obj: f, RelErr: re,
-				ModelSec: c.Machine().Seconds(*cost),
-				WallSec:  time.Since(start).Seconds(),
-			})
-		}
-		return opts.Tol > 0 && !math.IsNaN(re) && re <= opts.Tol
-	}
-	checkpoint(0)
 
-	z := make([]float64, d)
-	dw := make([]float64, d)
-	cand := make([]float64, d)
-	fw := globalValue(w)
-	for outer := 1; outer <= opts.OuterIter; outer++ {
-		// Exact gradient: local partial (scaled by local share) + allreduce.
-		localObj.Gradient(grad, w, cost)
-		mat.Scal(float64(local.X.Cols)/float64(m), grad, cost)
-		c.Allreduce(grad, dist.OpSum)
-
+	return solvercore.RunProxNewton(ctx, solvercore.PNSpec{
+		Comm:       c,
+		Rec:        rec,
+		D:          d,
+		W:          make([]float64, d),
+		OuterIter:  opts.OuterIter,
+		InnerIter:  opts.InnerIter,
+		Reg:        opts.Reg,
+		LineSearch: opts.LineSearch,
+		StepTol:    opts.StepTol,
+		Exchange:   solvercore.SegmentedExchanger{C: c, Segs: []int{d, mat.PackedLen(d)}},
 		// Sampled Hessian at w: shared global sample set, local
-		// contribution over owned columns, one packed d(d+1)/2-word
-		// allreduce.
-		h.Zero()
-		global := src.Stream(4, outer).SampleWithoutReplacement(m, mbar)
-		localCols := make([]int, 0, len(global))
-		for _, j := range global {
-			if j >= local.ColOffset && j < local.ColOffset+local.X.Cols {
-				localCols = append(localCols, j-local.ColOffset)
+		// contribution over owned columns. SampledHessian scales by
+		// 1/len(cols); rescale so the global sum is (1/mbar) * sum over
+		// the whole sample set.
+		FillHessian: func(h *mat.SymPacked, w []float64, outer int, c *perf.Cost) {
+			localCols := local.LocalCols(sampler.Sample(outer))
+			if len(localCols) > 0 {
+				localObj.SampledHessianPacked(h, w, localCols, c)
+				mat.Scal(float64(len(localCols))/float64(mbar), h.Data, c)
 			}
-		}
-		// Note: SampledHessian scales by 1/len(cols); rescale so the
-		// global sum is (1/mbar) * sum over the whole sample set.
-		if len(localCols) > 0 {
-			localObj.SampledHessianPacked(h, w, localCols, cost)
-			mat.Scal(float64(len(localCols))/float64(mbar), h.Data, cost)
-		}
-		c.Allreduce(h.Data, dist.OpSum)
-		for i := 0; i < d; i++ {
-			h.Set(i, i, h.At(i, i)+opts.Ridge)
-		}
-
-		// Subproblem (Eq. 19) solved by FISTA, warm-started at w.
-		quad := solver.NewSubproblem(h, w, grad, cost)
-		l := solver.EstimateQuadLipschitz(h, 20, cost)
-		if l <= 0 {
-			break
-		}
-		inner := solver.FISTAInner{Gamma: 1 / l}
-		copy(z, inner.Solve(quad, opts.Reg, w, opts.InnerIter, cost))
-
-		// Damped update with optional backtracking on F.
-		mat.Sub(dw, z, w, cost)
-		step := 1.0
-		if opts.LineSearch {
-			for trial := 0; trial < 30; trial++ {
-				mat.AddScaled(cand, w, step, dw, cost)
-				if f := globalValue(cand); f <= fw {
-					fw = f
-					break
-				}
-				step /= 2
+		},
+		// Exact gradient: local partial, scaled by the local share.
+		FillGradient: func(grad, w []float64, c *perf.Cost) {
+			localObj.Gradient(grad, w, c)
+			mat.Scal(float64(local.X.Cols)/float64(m), grad, c)
+		},
+		// Ridge damping on the combined Hessian.
+		PostExchange: func(h *mat.SymPacked, c *perf.Cost) {
+			for i := 0; i < d; i++ {
+				h.Set(i, i, h.At(i, i)+opts.Ridge)
 			}
-		}
-		mat.Axpy(step, dw, w, cost)
-		if !opts.LineSearch {
-			fw = globalValue(w)
-		}
-
-		res.Iters = outer
-		res.Rounds = outer
-		if checkpoint(outer) {
-			res.Converged = true
-			break
-		}
-		if mat.NrmInf(dw)*step <= opts.StepTol {
-			res.Converged = res.FinalRelErr <= opts.Tol || math.IsNaN(res.FinalRelErr)
-			break
-		}
-	}
-	res.W = w
-	res.Cost = *cost
-	res.ModelSeconds = c.Machine().Seconds(*cost)
-	res.WallSeconds = time.Since(start).Seconds()
-	return res, nil
+		},
+		Eval:     globalValue,
+		StepEval: func(w []float64, _ *perf.Cost) float64 { return globalValue(w) },
+	})
 }

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/rng"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
 	"github.com/hpcgo/rcsfista/internal/trace"
 )
@@ -24,11 +26,17 @@ import (
 //
 // Against SFISTA it isolates the value of acceleration: same variance
 // reduction, no momentum (see TestSFISTABeatsProxSVRG).
+//
+// EvalEvery defaults through the one shared withDefaults (K*S = 1 for
+// this solver), the same resolution every other entry point uses.
 func ProxSVRG(x *sparse.CSC, y []float64, opts Options) (*Result, error) {
+	return ProxSVRGContext(context.Background(), x, y, opts)
+}
+
+// ProxSVRGContext is ProxSVRG under a context (see RCSFISTAContext
+// for the cancellation contract).
+func ProxSVRGContext(ctx context.Context, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	if opts.EvalEvery == 0 {
-		opts.EvalEvery = 10
-	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,8 +46,6 @@ func ProxSVRG(x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 		mbar = 1
 	}
 	cost := &perf.Cost{}
-	start := time.Now()
-	src := rng.NewSource(opts.Seed)
 	obj := prox.NewObjective(x, y, opts.Reg)
 
 	w := make([]float64, d)
@@ -49,76 +55,117 @@ func ProxSVRG(x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 		}
 		copy(w, opts.W0)
 	}
-	wSnap := make([]float64, d)
-	fullGrad := make([]float64, d)
-	grad := make([]float64, d)
-	tmp := make([]float64, d)
-	h := mat.NewSymPacked(d)
-	r := make([]float64, d)
-
 	name := opts.TraceName
 	if name == "" {
 		name = "prox-svrg"
 	}
-	res := &Result{Trace: &trace.Series{Name: name}, FinalRelErr: math.NaN()}
-	record := func(iter int) bool {
-		f := obj.F(w, nil)
-		re := relErr(f, opts.FStar)
-		res.FinalObj, res.FinalRelErr = f, re
-		res.Trace.Append(trace.Point{
-			Iter: iter, Round: iter, Obj: f, RelErr: re,
-			ModelSec: perf.Comet().Seconds(*cost),
-			WallSec:  time.Since(start).Seconds(),
-		})
-		return opts.Tol > 0 && !math.IsNaN(re) && re <= opts.Tol
+	rec := solvercore.NewRecorder(name, 0, cost, perf.Comet())
+	rec.Tol, rec.FStar = opts.Tol, opts.FStar
+
+	e := &svrgEngine{
+		rec: rec, opts: opts, x: x, y: y, obj: obj,
+		d: d, m: m, mbar: mbar, hLen: mat.PackedLen(d),
+		sampler: solvercore.StreamSampler{
+			Src: rng.NewSource(opts.Seed), Epoch: 1, N: m, Draw: mbar,
+		},
+		w:        w,
+		wSnap:    make([]float64, d),
+		fullGrad: make([]float64, d),
+		grad:     make([]float64, d),
+		tmp:      make([]float64, d),
 	}
-	record(0)
-
-	refresh := func() {
-		copy(wSnap, w)
-		obj.Gradient(fullGrad, wSnap, cost)
-	}
-	refresh()
-
-	sinceSnap, sinceEval := 0, 0
-	for n := 1; n <= opts.MaxIter; n++ {
-		// Sampled Gram at this iteration (same estimator as SFISTA).
-		cols := src.Stream(1, n).SampleWithoutReplacement(m, mbar)
-		h.Zero()
-		mat.Zero(r)
-		sparse.SampledGramPacked(x, h, r, y, cols, 1/float64(mbar), cost)
-
-		// VR gradient at w (no momentum point): H (w - wSnap) + fullGrad.
-		mat.Sub(tmp, w, wSnap, cost)
-		h.MulVec(grad, tmp, cost)
-		mat.Axpy(1, fullGrad, grad, cost)
-
-		// Plain proximal step.
-		mat.AddScaled(w, w, -opts.Gamma, grad, cost)
-		opts.Reg.Apply(w, w, opts.Gamma, cost)
-
-		res.Iters = n
-		res.Rounds = n
-		sinceSnap++
-		sinceEval++
-		if sinceSnap >= opts.EpochLen {
-			refresh()
-			sinceSnap = 0
-		}
-		if sinceEval >= opts.EvalEvery || n == opts.MaxIter {
-			sinceEval = 0
-			if record(n) {
-				res.Converged = true
-				break
-			}
-		}
-	}
-	res.W = w
-	res.Cost = *cost
-	res.ModelSeconds = perf.Comet().Seconds(*cost)
-	res.WallSeconds = time.Since(start).Seconds()
-	return res, nil
+	rec.CheckpointAt(0, 0, obj.F(w, nil))
+	e.refresh()
+	err := solvercore.Loop(solvercore.Spec{
+		Ctx:      ctx,
+		Rec:      rec,
+		Fill:     e,
+		Exchange: solvercore.IdentityExchanger{},
+		Pass:     e,
+		Stop:     e,
+	})
+	return rec.Finish(w), err
 }
+
+// svrgEngine is the BatchFiller, InnerPass and StopPolicy of one
+// ProxSVRG solve; one round = one solution update. It runs without a
+// communicator (IdentityExchanger): the "shared" batch is the local
+// one.
+type svrgEngine struct {
+	rec  *solvercore.Recorder
+	opts Options
+	x    *sparse.CSC
+	y    []float64
+	obj  *prox.Objective
+
+	d, m, mbar, hLen int
+	sampler          solvercore.StreamSampler
+
+	w, wSnap, fullGrad, grad, tmp []float64
+	sinceSnap, sinceEval          int
+}
+
+// BatchLen is the [packed H | R] payload length.
+func (e *svrgEngine) BatchLen() int { return e.hLen + e.d }
+
+// Fill computes the sampled Gram instance of the next update (same
+// estimator as SFISTA) into buf.
+func (e *svrgEngine) Fill(buf []float64) perf.Cost {
+	n := e.rec.Rounds + 1
+	cols := e.sampler.Sample(n)
+	h := mat.SymPackedOf(e.d, buf[:e.hLen])
+	h.Zero()
+	mat.Zero(buf[e.hLen:])
+	sparse.SampledGramPacked(e.x, h, buf[e.hLen:], e.y, cols, 1/float64(e.mbar), e.rec.Cost)
+	return perf.Cost{}
+}
+
+// refresh re-centers the variance-reduction snapshot.
+func (e *svrgEngine) refresh() {
+	copy(e.wSnap, e.w)
+	e.obj.Gradient(e.fullGrad, e.wSnap, e.rec.Cost)
+}
+
+// Process takes one unaccelerated VR proximal step.
+func (e *svrgEngine) Process(shared []float64) bool {
+	opts, cost := e.opts, e.rec.Cost
+	n := e.rec.Rounds
+	h := mat.SymPackedOf(e.d, shared[:e.hLen])
+
+	// VR gradient at w (no momentum point): H (w - wSnap) + fullGrad.
+	mat.Sub(e.tmp, e.w, e.wSnap, cost)
+	h.MulVec(e.grad, e.tmp, cost)
+	mat.Axpy(1, e.fullGrad, e.grad, cost)
+
+	// Plain proximal step.
+	mat.AddScaled(e.w, e.w, -opts.Gamma, e.grad, cost)
+	opts.Reg.Apply(e.w, e.w, opts.Gamma, cost)
+
+	e.rec.Iter = n
+	e.sinceSnap++
+	e.sinceEval++
+	if e.sinceSnap >= opts.EpochLen {
+		e.refresh()
+		e.sinceSnap = 0
+	}
+	if e.sinceEval >= opts.EvalEvery || n == opts.MaxIter {
+		e.sinceEval = 0
+		if e.rec.CheckpointAt(n, n, e.obj.F(e.w, nil)) {
+			e.rec.Converged = true
+			return true
+		}
+	}
+	return false
+}
+
+// OnSkip never fires: the identity exchange cannot lose a round.
+func (e *svrgEngine) OnSkip() bool { return true }
+
+// Done gates on the iteration budget.
+func (e *svrgEngine) Done() bool { return e.rec.Rounds >= e.opts.MaxIter }
+
+// MoreAfterNext is never consulted: ProxSVRG does not pipeline.
+func (e *svrgEngine) MoreAfterNext() bool { return e.rec.Rounds+1 < e.opts.MaxIter }
 
 // CoordinateDescent runs GLMNET-style cyclic coordinate descent for
 // the LASSO (Friedman, Hastie & Tibshirani 2010 — the paper's
@@ -129,9 +176,6 @@ func ProxSVRG(x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 // TraceName, W0. Reg is fixed to l1 (the closed form requires it).
 func CoordinateDescent(x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	if opts.EvalEvery == 0 {
-		opts.EvalEvery = 1
-	}
 	// Gamma is unused; satisfy validation with a placeholder.
 	if opts.Gamma == 0 {
 		opts.Gamma = 1

@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+func cancelOpts(p *data.Problem) Options {
+	opts := Defaults()
+	opts.Lambda = p.Lambda
+	opts.Gamma = GammaFromLipschitz(SampledLipschitz(p.X, p.Y, 1, 1, 3))
+	opts.MaxIter = 100000
+	opts.K = 2
+	opts.S = 2
+	return opts
+}
+
+// requireWellFormedPartial checks the partial-result contract: on
+// cancellation the solve must still return a usable Result — full-size
+// iterate, a trace with at least the initial checkpoint, finite
+// objective.
+func requireWellFormedPartial(t *testing.T, res *Result, d int) {
+	t.Helper()
+	if res == nil {
+		t.Fatal("cancelled solve returned nil result")
+	}
+	if len(res.W) != d {
+		t.Fatalf("partial W has %d coords, want %d", len(res.W), d)
+	}
+	if res.Trace == nil || res.Trace.Len() < 1 {
+		t.Fatal("partial result lost its trace")
+	}
+	if math.IsNaN(res.FinalObj) || math.IsInf(res.FinalObj, 0) {
+		t.Fatalf("partial FinalObj = %g", res.FinalObj)
+	}
+}
+
+// TestCancelExpiredContext: a context that is already expired must stop
+// the distributed solve at the first round boundary — before any
+// update — on every rank, without leaking rank goroutines.
+func TestCancelExpiredContext(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 10, M: 200, Density: 1, Lambda: 0.1, Seed: 51})
+	opts := cancelOpts(p)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	w := dist.NewWorld(4, perf.Comet())
+	res, err := SolveDistributedContext(ctx, w, p.X, p.Y, opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	requireWellFormedPartial(t, res, p.X.Rows)
+	if res.Iters != 0 {
+		t.Fatalf("expired context still ran %d updates", res.Iters)
+	}
+	dist.VerifyNoGoroutineLeaks(t, baseline)
+}
+
+// TestCancelMidSolve: cancelling a long-running distributed solve from
+// outside must stop all ranks promptly with a well-formed partial
+// result and no leaked goroutines — for both the blocking and the
+// pipelined round loop.
+func TestCancelMidSolve(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 12, M: 300, Density: 1, Lambda: 0.1, Seed: 52})
+	for _, pipeline := range []bool{false, true} {
+		opts := cancelOpts(p)
+		opts.Pipeline = pipeline
+		baseline := runtime.NumGoroutine()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		w := dist.NewWorld(4, perf.Comet())
+		res, err := SolveDistributedContext(ctx, w, p.X, p.Y, opts)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("pipeline=%v: err = %v, want Canceled", pipeline, err)
+		}
+		requireWellFormedPartial(t, res, p.X.Rows)
+		if res.Iters >= opts.MaxIter {
+			t.Fatalf("pipeline=%v: cancellation did not shorten the run", pipeline)
+		}
+		dist.VerifyNoGoroutineLeaks(t, baseline)
+	}
+}
+
+// TestCancelDuringBlackout is the ISSUE scenario: the network is in a
+// total blackout (every attempt of every round drops), the solver is
+// burning retries and degraded rounds, and the context expires. The
+// solve must surface context.DeadlineExceeded within one round of the
+// deadline instead of grinding through the blackout, with no leaked
+// goroutines and a well-formed partial result.
+func TestCancelDuringBlackout(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 10, M: 200, Density: 1, Lambda: 0.1, Seed: 53})
+	opts := cancelOpts(p)
+	opts.MaxIter = 100000
+	opts.Faults = &dist.FaultPlan{DropProb: 1, Seed: 7} // nothing ever gets through
+	opts.MaxRetries = 2
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	w := dist.NewWorld(4, perf.Comet())
+	start := time.Now()
+	res, err := SolveDistributedContext(ctx, w, p.X, p.Y, opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// "Promptly": well under the time the full blackout run would take,
+	// and within a generous one-round bound of the 30ms deadline.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	requireWellFormedPartial(t, res, p.X.Rows)
+	// Every completed round was a blackout round: all skipped, none
+	// processed.
+	if res.Iters != 0 {
+		t.Fatalf("blackout run still applied %d updates", res.Iters)
+	}
+	if res.Rounds > 0 && res.Faults.SkippedRounds == 0 {
+		t.Fatalf("blackout rounds (%d) recorded no skips", res.Rounds)
+	}
+	dist.VerifyNoGoroutineLeaks(t, baseline)
+}
+
+// TestCancelSequentialSolvers: the sequential entry points accept the
+// same contract (no communicator, so no consensus — just the local
+// check at each round boundary).
+func TestCancelSequentialSolvers(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 8, M: 150, Density: 1, Lambda: 0.1, Seed: 54})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	opts := cancelOpts(p)
+	res, err := ProxSVRGContext(ctx, p.X, p.Y, opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ProxSVRG: err = %v", err)
+	}
+	requireWellFormedPartial(t, res, p.X.Rows)
+
+	pn, err := ProxNewtonContext(ctx, p.X, p.Y, PNOptions{Lambda: p.Lambda})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ProxNewton: err = %v", err)
+	}
+	requireWellFormedPartial(t, pn, p.X.Rows)
+}

@@ -6,7 +6,7 @@ import (
 	"github.com/hpcgo/rcsfista/internal/mat"
 )
 
-// runDelta executes the main loop with the literal postponed-update
+// deltaPass is the InnerPass implementing the literal postponed-update
 // recurrences of Eqs. 16-17: v is never recomputed from w; instead the
 // increments
 //
@@ -14,7 +14,7 @@ import (
 //	Delta-v_n = (1 + mu_{n+1}) Delta-w_n - mu_n Delta-w_{n-1}
 //
 // are accumulated onto the round-base vectors. The update sequence is
-// algebraically identical to run()'s direct form and differs only by
+// algebraically identical to the direct form and differs only by
 // floating point round-off; TestDeltaFormEquivalence pins the gap.
 // Restricted to S = 1 (enforced by RCSFISTA), matching the paper's
 // presentation of the unrolled recurrences.
@@ -25,98 +25,95 @@ import (
 // We implement the standard FISTA schedule t_n = (1+sqrt(1+4t^2))/2
 // (Beck & Teboulle 2009), which the theorem's rate requires; the paper
 // listing is a typo. See DESIGN.md.
-func (e *engine) runDelta() {
+type deltaPass struct {
+	*engine
+
+	vCur   []float64 // v_n, accumulated
+	dwPrev []float64 // Delta-w_{n-1}
+	dw     []float64
+	wNew   []float64
+	t      float64 // t_{n-1}, separate from the engine's direct-form t
+}
+
+func newDeltaPass(e *engine) *deltaPass {
+	p := &deltaPass{
+		engine: e,
+		vCur:   make([]float64, e.d),
+		dwPrev: make([]float64, e.d),
+		dw:     make([]float64, e.d),
+		wNew:   make([]float64, e.d),
+		t:      1,
+	}
+	copy(p.vCur, e.wCurr)
+	return p
+}
+
+// Process runs stage D in delta form on one allreduced batch.
+func (p *deltaPass) Process(shared []float64) bool {
+	e := p.engine
 	opts := e.opts
-	if opts.VarianceReduced {
-		e.refreshSnapshot()
-	}
-	e.checkpoint()
-	d := e.d
 	cost := e.c.Cost()
+	for j := 0; j < opts.K; j++ {
+		h, r := e.slotView(shared, j)
 
-	vCur := make([]float64, d)   // v_n, accumulated
-	dwPrev := make([]float64, d) // Delta-w_{n-1}
-	dw := make([]float64, d)
-	wNew := make([]float64, d)
-	copy(vCur, e.wCurr)
-	t := 1.0 // t_{n-1}
-	sinceSnap, sinceEval := 0, 0
+		// Momentum coefficients mu_n and the lookahead mu_{n+1}.
+		tn := (1 + math.Sqrt(1+4*p.t*p.t)) / 2
+		tn1 := (1 + math.Sqrt(1+4*tn*tn)) / 2
+		muN := (p.t - 1) / tn
+		muN1 := (tn - 1) / tn1
+		p.t = tn
+		cost.AddFlops(12)
 
-outer:
-	for e.iter < opts.MaxIter {
-		shared := e.computeBatch()
-		if shared == nil {
-			// Round lost with no last-good batch to degrade to; cap
-			// skips so a never-healing network still terminates.
-			if e.fstats.SkippedRounds > opts.MaxIter {
-				break
-			}
-			continue
+		// Gradient at v_n from the current Hessian instance.
+		if opts.VarianceReduced {
+			mat.Sub(e.tmp, p.vCur, e.wSnap, cost)
+			h.MulVec(e.grad, e.tmp, cost)
+			mat.Axpy(1, e.fullGrad, e.grad, cost)
+		} else {
+			h.MulVec(e.grad, p.vCur, cost)
+			mat.Axpy(-1, r, e.grad, cost)
 		}
-		for j := 0; j < opts.K; j++ {
-			h, r := e.slotView(shared, j)
 
-			// Momentum coefficients mu_n and the lookahead mu_{n+1}.
-			tn := (1 + math.Sqrt(1+4*t*t)) / 2
-			tn1 := (1 + math.Sqrt(1+4*tn*tn)) / 2
-			muN := (t - 1) / tn
-			muN1 := (tn - 1) / tn1
-			t = tn
-			cost.AddFlops(12)
+		// w_n = S(theta_n); Delta-w_n = w_n - w_{n-1} (Eq. 16).
+		mat.AddScaled(p.wNew, p.vCur, -e.gamma, e.grad, cost)
+		e.reg.Apply(p.wNew, p.wNew, e.gamma, cost)
+		mat.Sub(p.dw, p.wNew, e.wCurr, cost)
 
-			// Gradient at v_n from the current Hessian instance.
-			if opts.VarianceReduced {
-				mat.Sub(e.tmp, vCur, e.wSnap, cost)
-				h.MulVec(e.grad, e.tmp, cost)
-				mat.Axpy(1, e.fullGrad, e.grad, cost)
-			} else {
-				h.MulVec(e.grad, vCur, cost)
-				mat.Axpy(-1, r, e.grad, cost)
+		// Delta-v_n per Eq. 17, then v_{n+1} = v_n + Delta-v_n.
+		for i := range p.vCur {
+			p.vCur[i] += (1+muN1)*p.dw[i] - muN*p.dwPrev[i]
+		}
+		cost.AddFlops(int64(4 * e.d))
+
+		copy(p.dwPrev, p.dw)
+		copy(e.wPrev, e.wCurr)
+		copy(e.wCurr, p.wNew)
+		e.rec.Iter++
+		e.sinceSnap++
+		e.sinceEval++
+
+		if opts.VarianceReduced && e.sinceSnap >= opts.EpochLen {
+			e.refreshSnapshot() // resets e.t; delta state below
+			if e.gradMapStop {
+				e.checkpoint()
+				e.rec.Converged = true
+				return true
 			}
-
-			// w_n = S(theta_n); Delta-w_n = w_n - w_{n-1} (Eq. 16).
-			mat.AddScaled(wNew, vCur, -e.gamma, e.grad, cost)
-			e.reg.Apply(wNew, wNew, e.gamma, cost)
-			mat.Sub(dw, wNew, e.wCurr, cost)
-
-			// Delta-v_n per Eq. 17, then v_{n+1} = v_n + Delta-v_n.
-			for i := range vCur {
-				vCur[i] += (1+muN1)*dw[i] - muN*dwPrev[i]
-			}
-			cost.AddFlops(int64(4 * d))
-
-			copy(dwPrev, dw)
-			copy(e.wPrev, e.wCurr)
-			copy(e.wCurr, wNew)
-			e.iter++
-			sinceSnap++
-			sinceEval++
-
-			if opts.VarianceReduced && sinceSnap >= opts.EpochLen {
-				e.refreshSnapshot() // resets e.t; delta state below
-				if e.gradMapStop {
-					e.checkpoint()
-					e.converged = true
-					break outer
-				}
-				t = 1
-				copy(vCur, e.wCurr)
-				mat.Zero(dwPrev)
-				sinceSnap = 0
-			}
-			if sinceEval >= opts.EvalEvery {
-				sinceEval = 0
-				if e.checkpoint() {
-					e.converged = true
-					break outer
-				}
-			}
-			if e.iter >= opts.MaxIter {
-				break
+			p.t = 1
+			copy(p.vCur, e.wCurr)
+			mat.Zero(p.dwPrev)
+			e.sinceSnap = 0
+		}
+		if e.sinceEval >= opts.EvalEvery {
+			e.sinceEval = 0
+			if e.checkpoint() {
+				e.rec.Converged = true
+				return true
 			}
 		}
+		if e.rec.Iter >= opts.MaxIter {
+			return true
+		}
 	}
-	if !e.converged && sinceEval != 0 {
-		e.converged = e.checkpoint()
-	}
+	return false
 }

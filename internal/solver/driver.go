@@ -1,9 +1,10 @@
 package solver
 
 import (
-	"sync"
+	"context"
 
 	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
 )
 
@@ -14,51 +15,31 @@ import (
 // the world's machine model. World costs are reset first, so the
 // modeled time covers exactly this solve.
 func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
-	results := make([]*Result, w.Size())
-	var mu sync.Mutex
-	w.ResetCosts()
-	err := w.Run(func(c dist.Comm) error {
+	return SolveDistributedContext(context.Background(), w, x, y, opts)
+}
+
+// SolveDistributedContext is SolveDistributed under a context. On
+// cancellation the ranks agree to stop at the same round boundary and
+// every rank returns a well-formed partial result; rank 0's partial
+// result is returned together with the context's error.
+func SolveDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
+	return solvercore.RunWorld(w, func(c dist.Comm) (*Result, error) {
 		local := Partition(x, y, c.Size(), c.Rank())
-		res, err := RCSFISTA(c, local, opts)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		results[c.Rank()] = res
-		mu.Unlock()
-		return nil
+		return RCSFISTAContext(ctx, c, local, opts)
 	})
-	if err != nil {
-		return nil, err
-	}
-	root := results[0]
-	root.Cost = w.MaxCost()
-	root.ModelSeconds = w.ModeledSeconds()
-	return root, nil
 }
 
 // SolvePNDistributed is SolveDistributed for the distributed Proximal
 // Newton driver.
 func SolvePNDistributed(w *dist.World, x *sparse.CSC, y []float64, opts DistPNOptions) (*Result, error) {
-	results := make([]*Result, w.Size())
-	var mu sync.Mutex
-	w.ResetCosts()
-	err := w.Run(func(c dist.Comm) error {
+	return SolvePNDistributedContext(context.Background(), w, x, y, opts)
+}
+
+// SolvePNDistributedContext is SolvePNDistributed under a context,
+// with the partial-result contract of SolveDistributedContext.
+func SolvePNDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts DistPNOptions) (*Result, error) {
+	return solvercore.RunWorld(w, func(c dist.Comm) (*Result, error) {
 		local := Partition(x, y, c.Size(), c.Rank())
-		res, err := DistProxNewton(c, local, opts)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		results[c.Rank()] = res
-		mu.Unlock()
-		return nil
+		return DistProxNewtonContext(ctx, c, local, opts)
 	})
-	if err != nil {
-		return nil, err
-	}
-	root := results[0]
-	root.Cost = w.MaxCost()
-	root.ModelSeconds = w.ModeledSeconds()
-	return root, nil
 }

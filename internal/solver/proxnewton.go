@@ -1,18 +1,18 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"time"
 
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/mat"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/rng"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
-	"github.com/hpcgo/rcsfista/internal/trace"
 )
 
 // PNOptions configures the Proximal Newton method (Algorithm 1).
@@ -68,8 +68,15 @@ func (o PNOptions) withDefaults() PNOptions {
 // subsampling, the Eq. 19 subproblem is solved approximately by the
 // configured inner solver, and the step is (optionally line-searched
 // and) applied. It is the reference implementation the distributed
-// variants are validated against.
+// variants are validated against. It runs on the unified
+// solvercore Proximal Newton engine.
 func ProxNewton(x *sparse.CSC, y []float64, opts PNOptions) (*Result, error) {
+	return ProxNewtonContext(context.Background(), x, y, opts)
+}
+
+// ProxNewtonContext is ProxNewton under a context (see
+// RCSFISTAContext for the cancellation contract).
+func ProxNewtonContext(ctx context.Context, x *sparse.CSC, y []float64, opts PNOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.B <= 0 || opts.B > 1 {
 		return nil, fmt.Errorf("solver: PN sampling rate B = %g out of (0,1]", opts.B)
@@ -83,99 +90,40 @@ func ProxNewton(x *sparse.CSC, y []float64, opts PNOptions) (*Result, error) {
 		mbar = 1
 	}
 	cost := &perf.Cost{}
-	start := time.Now()
 	g := prox.L1{Lambda: opts.Lambda}
 	obj := prox.NewObjective(x, y, g)
-	src := rng.NewSource(opts.Seed)
+	sampler := solvercore.StreamSampler{
+		Src: rng.NewSource(opts.Seed), Epoch: 2,
+		N: m, Draw: mbar, FullWhenSaturated: true,
+	}
+	rec := solvercore.NewRecorder(opts.TraceName, 0, cost, perf.Comet())
+	rec.Tol, rec.FStar = opts.Tol, opts.FStar
 
-	w := make([]float64, d)
-	grad := make([]float64, d)
-	h := mat.NewSymPacked(d)
 	r := make([]float64, d) // sampled R, discarded (exact gradient used)
-	res := &Result{Trace: &trace.Series{Name: opts.TraceName}, FinalRelErr: math.NaN()}
-
-	record := func(outer int) bool {
-		f := obj.F(w, nil)
-		re := relErr(f, opts.FStar)
-		res.FinalObj, res.FinalRelErr = f, re
-		res.Trace.Append(trace.Point{
-			Iter: outer, Round: outer,
-			Obj: f, RelErr: re,
-			ModelSec: perf.Comet().Seconds(*cost),
-			WallSec:  time.Since(start).Seconds(),
-		})
-		return opts.Tol > 0 && !math.IsNaN(re) && re <= opts.Tol
-	}
-	record(0)
-
-	fw := obj.F(w, cost)
-	for outer := 1; outer <= opts.OuterIter; outer++ {
+	return solvercore.RunProxNewton(ctx, solvercore.PNSpec{
+		Rec:            rec,
+		D:              d,
+		W:              make([]float64, d),
+		OuterIter:      opts.OuterIter,
+		InnerIter:      opts.InnerIter,
+		Reg:            g,
+		Inner:          opts.Inner,
+		LineSearch:     opts.LineSearch,
+		ZeroStepOnFail: true,
+		Exchange:       solvercore.IdentityExchanger{},
 		// Line 3: H_n from a fresh uniform subsample.
-		h.Zero()
-		mat.Zero(r)
-		var cols []int
-		if mbar >= m {
-			cols = make([]int, m)
-			for i := range cols {
-				cols[i] = i
-			}
-		} else {
-			cols = src.Stream(2, outer).SampleWithoutReplacement(m, mbar)
-		}
-		sparse.SampledGramPacked(x, h, r, y, cols, 1/float64(mbar), cost)
-
-		// Line 4: solve the subproblem from the exact gradient anchor.
-		obj.Gradient(grad, w, cost)
-		quad := NewSubproblem(h, w, grad, cost)
-		inner := opts.Inner
-		if inner == nil {
-			l := EstimateQuadLipschitz(h, 20, cost)
-			if l <= 0 {
-				break // zero curvature: w is already a minimizer direction-wise
-			}
-			inner = FISTAInner{Gamma: 1 / l}
-		}
-		z := inner.Solve(quad, g, w, opts.InnerIter, cost)
-
-		// Lines 5-6: damped update with optional backtracking.
-		dw := make([]float64, d)
-		mat.Sub(dw, z, w, cost)
-		step := 1.0
-		if opts.LineSearch {
-			accepted := false
-			for trial := 0; trial < 30; trial++ {
-				mat.AddScaled(grad, w, step, dw, cost) // reuse grad as candidate
-				if f := obj.F(grad, cost); f <= fw {
-					fw = f
-					accepted = true
-					break
-				}
-				step /= 2
-			}
-			if !accepted {
-				// No tested step decreased F (e.g. a badly subsampled
-				// Hessian made dw an ascent direction): keep w, draw a
-				// fresh Hessian next iteration.
-				step = 0
-			}
-		}
-		mat.Axpy(step, dw, w, cost)
-		if !opts.LineSearch {
-			fw = obj.F(w, cost)
-		}
-
-		res.Iters = outer
-		res.Rounds = outer
-		if record(outer) {
-			res.Converged = true
-			break
-		}
-	}
-	res.W = w
-	res.Cost = *cost
-	res.ModelSeconds = perf.Comet().Seconds(*cost)
-	res.WallSeconds = time.Since(start).Seconds()
-	return res, nil
+		FillHessian: func(h *mat.SymPacked, w []float64, outer int, c *perf.Cost) {
+			mat.Zero(r)
+			cols := sampler.Sample(outer)
+			sparse.SampledGramPacked(x, h, r, y, cols, 1/float64(mbar), c)
+		},
+		// Line 4 anchor: the exact gradient.
+		FillGradient: func(grad, w []float64, c *perf.Cost) {
+			obj.Gradient(grad, w, c)
+		},
+		Eval:     func(w []float64) float64 { return obj.F(w, nil) },
+		StepEval: func(w []float64, c *perf.Cost) float64 { return obj.F(w, c) },
+	})
 }
 
 // DistPNOptions configures the distributed Proximal Newton drivers of
@@ -217,6 +165,12 @@ type DistPNOptions struct {
 // with K > 1 it is "PN with RC-SFISTA as inner solver", cutting
 // latency by O(K) (Figure 7).
 func DistProxNewton(c dist.Comm, local LocalData, opts DistPNOptions) (*Result, error) {
+	return DistProxNewtonContext(context.Background(), c, local, opts)
+}
+
+// DistProxNewtonContext is DistProxNewton under a context (see
+// RCSFISTAContext for the cancellation contract).
+func DistProxNewtonContext(ctx context.Context, c dist.Comm, local LocalData, opts DistPNOptions) (*Result, error) {
 	if opts.OuterIter <= 0 {
 		opts.OuterIter = 100
 	}
@@ -250,5 +204,5 @@ func DistProxNewton(c dist.Comm, local LocalData, opts DistPNOptions) (*Result, 
 		TraceName:       name,
 		PackedHessian:   true,
 	}
-	return RCSFISTA(c, local, inner)
+	return RCSFISTAContext(ctx, c, local, inner)
 }

@@ -1,46 +1,29 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
-	"time"
 
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/mat"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/rng"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
-	"github.com/hpcgo/rcsfista/internal/trace"
 )
 
 // LocalData is one rank's column (sample) block of the global problem,
 // the Figure 1 data distribution: X is partitioned column-wise, y
-// row-wise.
-type LocalData struct {
-	// X is the d x mLocal local block of the global d x m matrix.
-	X *sparse.CSC
-	// Y holds the mLocal local labels.
-	Y []float64
-	// ColOffset is the global index of the first local column.
-	ColOffset int
-	// MGlobal is the global sample count m.
-	MGlobal int
-}
+// row-wise. It moved to solvercore with the shared runtime.
+type LocalData = solvercore.LocalData
 
 // Partition returns rank's contiguous column block of (x, y) for a
 // world of the given size.
-func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
-	lo, hi := dist.BlockRange(x.Cols, size, rank)
-	return LocalData{
-		X:         x.ColSlice(lo, hi),
-		Y:         y[lo:hi],
-		ColOffset: lo,
-		MGlobal:   x.Cols,
-	}
-}
+var Partition = solvercore.Partition
 
 // RCSFISTA runs Algorithm 5 on communicator c with this rank's local
 // data. Every rank must call it with identical opts. The returned
@@ -58,6 +41,17 @@ func Partition(x *sparse.CSC, y []float64, size, rank int) LocalData {
 // SFISTA is the k=1, S=1 special case; deterministic distributed FISTA
 // is additionally b=1.
 func RCSFISTA(c dist.Comm, local LocalData, opts Options) (*Result, error) {
+	return RCSFISTAContext(context.Background(), c, local, opts)
+}
+
+// RCSFISTAContext is RCSFISTA under a context. Cancellation is
+// cooperative and collective: the ranks agree on it at a round
+// boundary (all leave at the same round, no collective left in
+// flight), so it takes effect within one round. On cancellation both
+// return values are non-nil: the Result is a well-formed partial state
+// — last checkpointed objective, counters, trace so far — alongside
+// the context's error.
+func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -70,75 +64,80 @@ func RCSFISTA(c dist.Comm, local LocalData, opts Options) (*Result, error) {
 	}
 
 	e := newEngine(c, local, opts)
-	switch {
-	case opts.UseDeltaForm:
-		e.runDelta()
-	case opts.Pipeline:
-		e.runPipelined()
-	default:
-		e.run()
+	var pass solvercore.InnerPass = e
+	if opts.UseDeltaForm {
+		pass = newDeltaPass(e)
 	}
-	return e.finish(), nil
+	if opts.VarianceReduced {
+		e.refreshSnapshot()
+	}
+	e.checkpoint()
+	err := solvercore.Loop(solvercore.Spec{
+		Ctx:      ctx,
+		Comm:     e.c,
+		Rec:      e.rec,
+		Fill:     e,
+		Exchange: e.exchanger(),
+		Pass:     pass,
+		Stop:     e,
+		Pipeline: opts.Pipeline,
+		CommCost: dist.AllreduceCost(e.c.Size(), e.BatchLen()),
+	})
+	if err == nil && !e.rec.Converged && e.sinceEval != 0 {
+		e.rec.Converged = e.checkpoint()
+	}
+	return e.finish(), err
 }
 
 // SFISTA runs the k=1, S=1 stochastic variance-reduced algorithm
 // (Algorithms 3/4) — RC-SFISTA without overlap or reuse.
 func SFISTA(c dist.Comm, local LocalData, opts Options) (*Result, error) {
+	return SFISTAContext(context.Background(), c, local, opts)
+}
+
+// SFISTAContext is SFISTA under a context (see RCSFISTAContext).
+func SFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Options) (*Result, error) {
 	opts.K, opts.S = 1, 1
 	if opts.TraceName == "" {
 		opts.TraceName = "sfista"
 	}
-	return RCSFISTA(c, local, opts)
+	return RCSFISTAContext(ctx, c, local, opts)
 }
 
-// engine holds the run state of one rank.
+// engine holds the run state of one rank. It plugs into
+// solvercore.Loop as the BatchFiller (stages A and B), the direct-form
+// InnerPass (stage D), and the StopPolicy; stage C is a solvercore
+// Exchanger picked by exchanger(). Bookkeeping lives in rec.
 type engine struct {
 	c     dist.Comm
 	local LocalData
 	opts  Options
+	rec   *solvercore.Recorder
 
 	d, m, mbar int
 	gamma      float64
 	reg        prox.Operator
 	src        rng.Source
 
-	// Batched Gram buffer: k slots of (hLen Hessian + d R), local
-	// partials before the allreduce. hLen is d(d+1)/2 in the default
-	// packed symmetric format, d^2 dense. batchNext is the second
-	// buffer of the pipelined engine (nil otherwise): round r+1's
-	// partials are filled there while round r's batch is in flight.
-	batch     []float64
-	batchNext []float64
-	hLen      int
-	slotLen   int
-	packed    bool
+	// Batched Gram wire format: k slots of (hLen Hessian + d R). hLen
+	// is d(d+1)/2 in the default packed symmetric format, d^2 dense.
+	// The buffers themselves belong to the Loop.
+	hLen    int
+	slotLen int
+	packed  bool
 
 	wPrev, wCurr, v, grad, tmp []float64
 	scratch                    []float64 // length mLocal
 	t                          float64
-	iter, rounds, hIdx         int
+	hIdx                       int
+	sinceSnap, sinceEval       int
 
 	// Variance reduction state.
 	wSnap    []float64
 	fullGrad []float64
 
-	// Fault-injection state (nil/zero on the reliable path). lastGood
-	// is the most recent successfully allreduced batch, the stale
-	// Hessian source the degradation path falls back to; staleDepth
-	// counts consecutive reuse rounds; evDrained marks how many
-	// communicator fault events have been copied into the trace.
-	fc         *dist.FaultyComm
-	lastGood   []float64
-	staleDepth int
-	evDrained  int
-	fstats     FaultStats
-
-	converged   bool
+	fc          *dist.FaultyComm
 	gradMapStop bool
-	finalObj    float64
-	finalRE     float64
-	series      *trace.Series
-	start       time.Time
 }
 
 func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
@@ -175,8 +174,6 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 		tmp:     make([]float64, d),
 		scratch: make([]float64, local.X.Cols),
 		t:       1,
-		series:  &trace.Series{Name: name},
-		start:   time.Now(),
 	}
 	if opts.W0 != nil {
 		if len(opts.W0) != d {
@@ -184,10 +181,6 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 		}
 		copy(e.wCurr, opts.W0)
 		copy(e.wPrev, opts.W0)
-	}
-	e.batch = make([]float64, opts.K*e.slotLen)
-	if opts.Pipeline {
-		e.batchNext = make([]float64, opts.K*e.slotLen)
 	}
 	if opts.VarianceReduced {
 		e.wSnap = make([]float64, d)
@@ -200,33 +193,32 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 		e.fc = dist.NewFaultyComm(c, opts.Faults, opts.RoundTimeout)
 		e.c = e.fc
 	}
+	e.rec = solvercore.NewRecorder(name, e.c.Rank(), e.c.Cost(), e.c.Machine())
+	e.rec.Tol = opts.Tol
+	e.rec.FStar = opts.FStar
 	return e
+}
+
+// exchanger picks stage C: the plain allreduce on the reliable path,
+// the retry/degrade/skip machine under a FaultPlan.
+func (e *engine) exchanger() solvercore.Exchanger {
+	if e.fc == nil {
+		return solvercore.AllreduceExchanger{C: e.c}
+	}
+	return &solvercore.FaultExchanger{
+		FC:         e.fc,
+		Rec:        e.rec,
+		MaxRetries: e.opts.MaxRetries,
+		Backoff:    e.opts.RetryBackoff,
+	}
 }
 
 // sampleSlot returns the global sample index set of Hessian slot h.
 // Identical on every rank: a pure function of (seed, h).
 func (e *engine) sampleSlot(h int) []int {
-	if e.mbar >= e.m {
-		idx := make([]int, e.m)
-		for i := range idx {
-			idx[i] = i
-		}
-		return idx
-	}
-	return e.src.Stream(1, h).SampleWithoutReplacement(e.m, e.mbar)
-}
-
-// localCols maps a global sample index set to local column indices.
-func (e *engine) localCols(global []int) []int {
-	lo := e.local.ColOffset
-	hi := lo + e.local.X.Cols
-	out := make([]int, 0, len(global))
-	for _, j := range global {
-		if j >= lo && j < hi {
-			out = append(out, j-lo)
-		}
-	}
-	return out
+	return solvercore.StreamSampler{
+		Src: e.src, Epoch: 1, N: e.m, Draw: e.mbar, FullWhenSaturated: true,
+	}.Sample(h)
 }
 
 // fillSlot computes the local partial (H, R) Gram instance of batch
@@ -236,7 +228,7 @@ func (e *engine) localCols(global []int) []int {
 // safe to fill concurrently.
 func (e *engine) fillSlot(j int, buf []float64, cost *perf.Cost) {
 	global := e.sampleSlot(e.hIdx + j)
-	cols := e.localCols(global)
+	cols := e.local.LocalCols(global)
 	slot := buf[j*e.slotLen : (j+1)*e.slotLen]
 	scale := 1 / float64(e.mbar)
 	if e.packed {
@@ -248,16 +240,19 @@ func (e *engine) fillSlot(j int, buf []float64, cost *perf.Cost) {
 	}
 }
 
-// fillBatch fills buf with the local partial (H_j, R_j) instances of
-// slots hIdx..hIdx+k-1 (stages A and B) and advances hIdx. The k slots
-// are computed by a bounded worker pool; each worker charges a private
-// perf.Cost that is merged in slot order after the join, so accounting
-// is deterministic regardless of scheduling. The merged fill cost is
-// charged to the rank and also returned, so the pipelined engine can
-// compare the segment against the in-flight collective for overlap
-// accounting. Pure local compute: no collectives, safe to run while a
-// nonblocking allreduce is in flight.
-func (e *engine) fillBatch(buf []float64) perf.Cost {
+// BatchLen is the wire length of one k-slot batch.
+func (e *engine) BatchLen() int { return e.opts.K * e.slotLen }
+
+// Fill computes the local partial (H_j, R_j) instances of slots
+// hIdx..hIdx+k-1 (stages A and B) into buf and advances hIdx. The k
+// slots are computed by a bounded worker pool; each worker charges a
+// private perf.Cost that is merged in slot order after the join, so
+// accounting is deterministic regardless of scheduling. The merged
+// fill cost is charged to the rank and also returned, so the pipelined
+// Loop can compare the segment against the in-flight collective for
+// overlap accounting. Pure local compute: no collectives, safe to run
+// while a nonblocking allreduce is in flight.
+func (e *engine) Fill(buf []float64) perf.Cost {
 	k := e.opts.K
 	mat.Zero(buf)
 	var fill perf.Cost
@@ -290,145 +285,6 @@ func (e *engine) fillBatch(buf []float64) perf.Cost {
 	e.hIdx += k
 	e.c.Cost().Add(fill)
 	return fill
-}
-
-// computeBatch runs one blocking round: fill the local batch (stages A
-// and B) and return the allreduced result (stage C).
-func (e *engine) computeBatch() []float64 {
-	e.fillBatch(e.batch)
-	shared := e.allreduceBatch()
-	e.rounds++
-	return shared
-}
-
-// allreduceBatch performs stage C. On the reliable path it is a plain
-// AllreduceShared. Under a FaultPlan it retries lost attempts with
-// exponential backoff and, when the round fails outright, degrades to
-// the last good batch — the solver keeps updating on the stale Hessian
-// instances, dynamically raising the paper's reuse parameter S — or,
-// before any batch has ever arrived, returns nil to skip the round.
-// Every branch is driven by the shared fault verdicts, so all ranks
-// take identical control flow without extra coordination.
-func (e *engine) allreduceBatch() []float64 {
-	if e.fc == nil {
-		return e.c.AllreduceShared(e.batch)
-	}
-	return e.resolveRound(func(a int) ([]float64, bool) {
-		return e.fc.AttemptAllreduceShared(e.batch, a)
-	})
-}
-
-// resolveRound drives the retry/degrade/skip state machine of one
-// fallible round. attempt(a) performs (or, for a pipelined round's
-// already-posted attempt 0, resolves) attempt number a and reports
-// whether it delivered a batch. Shared by the blocking and pipelined
-// engines so both observe identical stats, events and recovery
-// decisions for identical fault verdicts.
-func (e *engine) resolveRound(attempt func(a int) ([]float64, bool)) []float64 {
-	cost := e.c.Cost()
-	round := e.fc.Round()
-	for a := 0; a <= e.opts.MaxRetries; a++ {
-		if a > 0 {
-			// Exponential backoff before each retry, charged as waiting.
-			cost.AddStall(e.opts.RetryBackoff * float64(int64(1)<<uint(a-1)))
-			e.fstats.Retries++
-		}
-		res, ok := attempt(a)
-		if !ok {
-			continue
-		}
-		e.drainFaultEvents()
-		e.fc.EndRound()
-		if a > 0 {
-			e.recordRecovery("retry-ok", round, fmt.Sprintf("attempt %d succeeded", a))
-		}
-		e.lastGood = res
-		e.staleDepth = 0
-		return res
-	}
-	e.fstats.FailedRounds++
-	e.drainFaultEvents()
-	e.fc.EndRound()
-	if e.lastGood != nil {
-		e.fstats.DegradedRounds++
-		e.staleDepth++
-		e.recordRecovery("degrade", round,
-			fmt.Sprintf("stale batch reuse x%d (S raised)", e.staleDepth))
-		return e.lastGood
-	}
-	e.fstats.SkippedRounds++
-	e.recordRecovery("skip", round, "no last-good batch yet")
-	return nil
-}
-
-// pendingRound is one posted, not-yet-resolved stage-C collective of
-// the pipelined engine. Exactly one of req/att is set: req on the
-// reliable path, att under a FaultPlan. buf is the posted batch buffer,
-// which must stay unmodified (speculative fills go to the other buffer)
-// until waitBatch returns — it is also the payload of any blocking
-// retry attempts.
-type pendingRound struct {
-	req *dist.Request
-	att *dist.PendingAttempt
-	buf []float64
-}
-
-// postBatch posts buf's stage-C allreduce nonblocking and returns the
-// in-flight round. Under a FaultPlan only attempt 0 is posted
-// nonblocking; its verdict resolves at waitBatch, exactly as the
-// blocking AttemptAllreduceShared would have resolved it.
-func (e *engine) postBatch(buf []float64) pendingRound {
-	if e.fc == nil {
-		return pendingRound{req: e.c.IAllreduceShared(buf), buf: buf}
-	}
-	return pendingRound{att: e.fc.IAttemptAllreduceShared(buf, 0), buf: buf}
-}
-
-// waitBatch blocks on the in-flight round and returns the shared batch
-// (nil when a fallible round is skipped), running the same
-// retry/degrade/skip machine as the blocking engine: attempt 0 resolves
-// the posted collective, retries fall back to blocking attempts — the
-// overlap window has already been spent by then.
-func (e *engine) waitBatch(p pendingRound) []float64 {
-	var shared []float64
-	if e.fc == nil {
-		shared = p.req.Wait()
-	} else {
-		shared = e.resolveRound(func(a int) ([]float64, bool) {
-			if a == 0 {
-				return p.att.Wait()
-			}
-			return e.fc.AttemptAllreduceShared(p.buf, a)
-		})
-	}
-	e.rounds++
-	return shared
-}
-
-// drainFaultEvents copies communicator fault events recorded since the
-// last drain into rank 0's trace. The event log is identical on every
-// rank (shared verdicts), so recording on rank 0 loses nothing.
-func (e *engine) drainFaultEvents() {
-	evs := e.fc.Events()
-	if e.c.Rank() == 0 {
-		for _, ev := range evs[e.evDrained:] {
-			e.series.AppendEvent(trace.Event{
-				Round: ev.Round, Iter: e.iter, Kind: ev.Kind.String(),
-				Rank: ev.Rank, Attempt: ev.Attempt, StallSec: ev.StallSec,
-			})
-		}
-	}
-	e.evDrained = len(evs)
-}
-
-// recordRecovery logs the solver's per-round recovery decision.
-func (e *engine) recordRecovery(kind string, round int, detail string) {
-	if e.c.Rank() != 0 {
-		return
-	}
-	e.series.AppendEvent(trace.Event{
-		Round: round, Iter: e.iter, Kind: kind, Rank: -1, Detail: detail,
-	})
 }
 
 // slotView interprets slot j of an (allreduced) batch buffer as its
@@ -498,7 +354,7 @@ func (e *engine) update(h Hessian, r []float64) {
 	copy(e.wPrev, e.wCurr)
 	mat.AddScaled(e.wCurr, e.v, -e.gamma, e.grad, cost)
 	e.reg.Apply(e.wCurr, e.wCurr, e.gamma, cost)
-	e.iter++
+	e.rec.Iter++
 }
 
 // evaluate computes the global objective F(wCurr) as instrumentation:
@@ -522,58 +378,57 @@ func (e *engine) evaluate() float64 {
 // checkpoint records a trace point and returns true when the stopping
 // criterion fires.
 func (e *engine) checkpoint() bool {
-	f := e.evaluate()
-	re := relErr(f, e.opts.FStar)
-	e.finalObj, e.finalRE = f, re
-	if e.c.Rank() == 0 {
-		e.series.Append(trace.Point{
-			Iter: e.iter, Round: e.rounds,
-			Obj: f, RelErr: re,
-			// Rank 0's own accumulated cost, not the cross-rank
-			// critical path: the per-point modeled clock of one rank's
-			// SPMD stream. The end-of-run Result.ModelSeconds is the
-			// same rank-local quantity; World.ModeledSeconds takes the
-			// max over ranks and is the figure-of-merit critical path.
-			// In our runs the ranks are nearly symmetric, so the two
-			// differ only by load imbalance in the sampled columns.
-			ModelSec: e.c.Machine().Seconds(*e.c.Cost()),
-			WallSec:  time.Since(e.start).Seconds(),
-		})
-	}
-	return e.opts.Tol > 0 && !math.IsNaN(re) && re <= e.opts.Tol
+	return e.rec.Checkpoint(e.evaluate())
 }
 
-// processBatch runs stage D on one allreduced batch: k*S solution
-// updates with variance-reduction refreshes and trace checkpoints
-// interleaved. It reports true when the outer loop must stop
-// (convergence or MaxIter). Shared verbatim by the blocking and
-// pipelined engines, so their update sequences are identical statement
-// for statement — the foundation of the bit-identity guarantee.
-func (e *engine) processBatch(shared []float64, sinceSnap, sinceEval *int) bool {
+// Done gates round starts: the iteration budget is spent.
+func (e *engine) Done() bool { return e.rec.Iter >= e.opts.MaxIter }
+
+// MoreAfterNext predicts whether another round follows the in-flight
+// one on the normal path — whether a speculative fill can overlap it.
+// On a fault-skip the prediction errs short (Iter does not advance);
+// on a convergence stop it errs long and the fill is wasted.
+func (e *engine) MoreAfterNext() bool {
+	return e.rec.Iter+e.opts.K*e.opts.S < e.opts.MaxIter
+}
+
+// OnSkip caps fault-skipped rounds so a never-healing network still
+// terminates.
+func (e *engine) OnSkip() bool {
+	return e.rec.Faults.SkippedRounds > e.opts.MaxIter
+}
+
+// Process runs stage D on one allreduced batch: k*S solution updates
+// with variance-reduction refreshes and trace checkpoints interleaved.
+// It reports true when the outer loop must stop (convergence or
+// MaxIter). Shared verbatim by the blocking and pipelined Loop, so
+// their update sequences are identical statement for statement — the
+// foundation of the bit-identity guarantee.
+func (e *engine) Process(shared []float64) bool {
 	opts := e.opts
 	for j := 0; j < opts.K; j++ {
 		h, r := e.slotView(shared, j)
 		for s := 0; s < opts.S; s++ {
 			e.update(h, r)
-			*sinceSnap++
-			*sinceEval++
-			if opts.VarianceReduced && *sinceSnap >= opts.EpochLen {
+			e.sinceSnap++
+			e.sinceEval++
+			if opts.VarianceReduced && e.sinceSnap >= opts.EpochLen {
 				e.refreshSnapshot()
-				*sinceSnap = 0
+				e.sinceSnap = 0
 				if e.gradMapStop {
 					e.checkpoint()
-					e.converged = true
+					e.rec.Converged = true
 					return true
 				}
 			}
-			if *sinceEval >= opts.EvalEvery {
-				*sinceEval = 0
+			if e.sinceEval >= opts.EvalEvery {
+				e.sinceEval = 0
 				if e.checkpoint() {
-					e.converged = true
+					e.rec.Converged = true
 					return true
 				}
 			}
-			if e.iter >= opts.MaxIter {
+			if e.rec.Iter >= opts.MaxIter {
 				return true
 			}
 		}
@@ -581,112 +436,7 @@ func (e *engine) processBatch(shared []float64, sinceSnap, sinceEval *int) bool 
 	return false
 }
 
-// run executes the direct-update main loop.
-func (e *engine) run() {
-	opts := e.opts
-	if opts.VarianceReduced {
-		e.refreshSnapshot()
-	}
-	e.checkpoint()
-	sinceSnap, sinceEval := 0, 0
-	for e.iter < opts.MaxIter {
-		shared := e.computeBatch()
-		if shared == nil {
-			// Round lost before any batch ever arrived: nothing to
-			// update with. Cap skips so a never-healing network still
-			// terminates.
-			if e.fstats.SkippedRounds > opts.MaxIter {
-				break
-			}
-			continue
-		}
-		if e.processBatch(shared, &sinceSnap, &sinceEval) {
-			break
-		}
-	}
-	if !e.converged && sinceEval != 0 {
-		e.converged = e.checkpoint()
-	}
-}
-
-// runPipelined executes the same main loop with nonblocking pipelined
-// rounds: round r's stage-C allreduce is posted with IAllreduceShared
-// and, while it is in flight, round r+1's batch is speculatively filled
-// into the second buffer. The iterates are bit-identical to run() —
-// stage A is a pure function of (seed, hIdx), so filling early changes
-// no sample set; the rank-order reduction is unchanged; and stage D is
-// the shared processBatch. Only the modeled cost differs: each
-// overlapped round charges Machine.Overlap(fill, comm) as hidden time,
-// turning its contribution into max(compute, comm). A speculative fill
-// wasted by a convergence stop is charged but never used — the price of
-// pipelining, matched by real MPI_Iallreduce codes.
-func (e *engine) runPipelined() {
-	opts := e.opts
-	if opts.VarianceReduced {
-		e.refreshSnapshot()
-	}
-	e.checkpoint()
-	sinceSnap, sinceEval := 0, 0
-	kS := opts.K * opts.S
-	// The modeled communication segment of one stage-C collective; what
-	// Request.Wait charges, and the window the speculative fill hides
-	// in. Zero at P = 1, making overlap credits vanish there.
-	commCost := dist.AllreduceCost(e.c.Size(), len(e.batch))
-	e.fillBatch(e.batch)
-	p := e.postBatch(e.batch)
-	for {
-		// Will another round follow this one on the normal path? If so,
-		// fill it now, under the in-flight collective. On a fault-skip
-		// the prediction errs short (iter does not advance) and the
-		// fill happens non-overlapped below; on a convergence stop it
-		// errs long and the fill is wasted. hIdx advances by k per
-		// round regardless of outcome — exactly as in run() — so the
-		// sample sequence is unaffected either way.
-		speculated := e.iter+kS < opts.MaxIter
-		var fillCost perf.Cost
-		if speculated {
-			fillCost = e.fillBatch(e.batchNext)
-		}
-		shared := e.waitBatch(p)
-		if speculated {
-			e.c.Cost().AddOverlap(e.c.Machine().Overlap(fillCost, commCost))
-		}
-		if shared == nil {
-			if e.fstats.SkippedRounds > opts.MaxIter {
-				break
-			}
-		} else if e.processBatch(shared, &sinceSnap, &sinceEval) {
-			break
-		}
-		if e.iter >= opts.MaxIter {
-			break
-		}
-		if !speculated {
-			e.fillBatch(e.batchNext)
-		}
-		e.batch, e.batchNext = e.batchNext, e.batch
-		p = e.postBatch(e.batch)
-	}
-	if !e.converged && sinceEval != 0 {
-		e.converged = e.checkpoint()
-	}
-}
-
 // finish packages the result.
 func (e *engine) finish() *Result {
-	res := &Result{
-		W:            mat.Clone(e.wCurr),
-		Iters:        e.iter,
-		Rounds:       e.rounds,
-		Converged:    e.converged,
-		FinalObj:     e.finalObj,
-		FinalRelErr:  e.finalRE,
-		Cost:         *e.c.Cost(),
-		ModelSeconds: e.c.Machine().Seconds(*e.c.Cost()),
-		WallSeconds:  time.Since(e.start).Seconds(),
-		Trace:        e.series,
-		Faults:       e.fstats,
-	}
-	res.Faults.StallSec = e.c.Cost().StallSec
-	return res
+	return e.rec.Finish(mat.Clone(e.wCurr))
 }

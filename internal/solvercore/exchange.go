@@ -1,0 +1,172 @@
+package solvercore
+
+import (
+	"fmt"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+)
+
+// Exchanger performs stage C of a round: combining the local batch
+// across ranks. Exchange returns the shared batch, or nil when the
+// round is lost (fallible exchangers only) and the caller must skip.
+type Exchanger interface {
+	Exchange(local []float64) []float64
+}
+
+// AsyncExchanger additionally supports split-phase exchange for
+// pipelined rounds: Post starts the collective nonblocking, Resolve
+// blocks on it (running any retry policy) and returns the shared batch
+// or nil. Between Post and Resolve the posted buffer must stay
+// unmodified.
+type AsyncExchanger interface {
+	Exchanger
+	Post(local []float64) Pending
+	Resolve(p Pending) []float64
+}
+
+// Pending is one posted, not-yet-resolved exchange. Exactly one of
+// req/att is set: req on the reliable path, att under a FaultPlan.
+type Pending struct {
+	req *dist.Request
+	att *dist.PendingAttempt
+	buf []float64
+}
+
+// AllreduceExchanger is the reliable stage-C path: a plain (I)Allreduce
+// on communicator C.
+type AllreduceExchanger struct {
+	C dist.Comm
+}
+
+// Exchange sums local across ranks and returns the shared result.
+func (e AllreduceExchanger) Exchange(local []float64) []float64 {
+	return e.C.AllreduceShared(local)
+}
+
+// Post starts the allreduce nonblocking.
+func (e AllreduceExchanger) Post(local []float64) Pending {
+	return Pending{req: e.C.IAllreduceShared(local), buf: local}
+}
+
+// Resolve blocks on the posted allreduce.
+func (e AllreduceExchanger) Resolve(p Pending) []float64 {
+	return p.req.Wait()
+}
+
+// IdentityExchanger is the degenerate single-process path: the local
+// batch already is the global batch. Used by the sequential solvers
+// (ProxSVRG, sequential ProxNewton) so they run the same Loop without
+// a communicator.
+type IdentityExchanger struct{}
+
+// Exchange returns local unchanged.
+func (IdentityExchanger) Exchange(local []float64) []float64 { return local }
+
+// SegmentedExchanger allreduces local in place as consecutive segments
+// of the given lengths — the distributed erm ProxNewton's historical
+// wire format (one Allreduce per segment rather than one fused
+// AllreduceShared), preserved for bit-identical message/word counts.
+type SegmentedExchanger struct {
+	C    dist.Comm
+	Segs []int
+}
+
+// Exchange allreduces each segment of local in place and returns local.
+func (e SegmentedExchanger) Exchange(local []float64) []float64 {
+	off := 0
+	for _, n := range e.Segs {
+		e.C.Allreduce(local[off:off+n], dist.OpSum)
+		off += n
+	}
+	return local
+}
+
+// FaultExchanger is the fallible stage-C path under an injected
+// dist.FaultPlan: it retries lost attempts with exponential backoff
+// and, when the round fails outright, degrades to the last good batch
+// — the solver keeps updating on the stale Hessian instances,
+// dynamically raising the paper's reuse parameter S — or, before any
+// batch has ever arrived, returns nil to skip the round. Every branch
+// is driven by the shared fault verdicts, so all ranks take identical
+// control flow without extra coordination. Stats and events land in
+// Rec.
+type FaultExchanger struct {
+	FC         *dist.FaultyComm
+	Rec        *Recorder
+	MaxRetries int
+	// Backoff is the attempt-1 retry delay; it doubles per attempt.
+	Backoff float64
+
+	lastGood   []float64
+	staleDepth int
+}
+
+// Exchange runs one blocking fallible round.
+func (e *FaultExchanger) Exchange(local []float64) []float64 {
+	return e.resolve(func(a int) ([]float64, bool) {
+		return e.FC.AttemptAllreduceShared(local, a)
+	})
+}
+
+// Post posts attempt 0 nonblocking; its verdict resolves at Resolve,
+// exactly as the blocking AttemptAllreduceShared would have resolved
+// it.
+func (e *FaultExchanger) Post(local []float64) Pending {
+	return Pending{att: e.FC.IAttemptAllreduceShared(local, 0), buf: local}
+}
+
+// Resolve blocks on the posted attempt and runs the same
+// retry/degrade/skip machine as Exchange: attempt 0 resolves the
+// posted collective, retries fall back to blocking attempts — the
+// overlap window has already been spent by then.
+func (e *FaultExchanger) Resolve(p Pending) []float64 {
+	return e.resolve(func(a int) ([]float64, bool) {
+		if a == 0 {
+			return p.att.Wait()
+		}
+		return e.FC.AttemptAllreduceShared(p.buf, a)
+	})
+}
+
+// resolve drives the retry/degrade/skip state machine of one fallible
+// round. attempt(a) performs (or, for a pipelined round's
+// already-posted attempt 0, resolves) attempt number a and reports
+// whether it delivered a batch. Shared by the blocking and pipelined
+// paths so both observe identical stats, events and recovery decisions
+// for identical fault verdicts.
+func (e *FaultExchanger) resolve(attempt func(a int) ([]float64, bool)) []float64 {
+	cost := e.FC.Cost()
+	round := e.FC.Round()
+	for a := 0; a <= e.MaxRetries; a++ {
+		if a > 0 {
+			// Exponential backoff before each retry, charged as waiting.
+			cost.AddStall(e.Backoff * float64(int64(1)<<uint(a-1)))
+			e.Rec.Faults.Retries++
+		}
+		res, ok := attempt(a)
+		if !ok {
+			continue
+		}
+		e.Rec.DrainFaultEvents(e.FC)
+		e.FC.EndRound()
+		if a > 0 {
+			e.Rec.RecordRecovery("retry-ok", round, fmt.Sprintf("attempt %d succeeded", a))
+		}
+		e.lastGood = res
+		e.staleDepth = 0
+		return res
+	}
+	e.Rec.Faults.FailedRounds++
+	e.Rec.DrainFaultEvents(e.FC)
+	e.FC.EndRound()
+	if e.lastGood != nil {
+		e.Rec.Faults.DegradedRounds++
+		e.staleDepth++
+		e.Rec.RecordRecovery("degrade", round,
+			fmt.Sprintf("stale batch reuse x%d (S raised)", e.staleDepth))
+		return e.lastGood
+	}
+	e.Rec.Faults.SkippedRounds++
+	e.Rec.RecordRecovery("skip", round, "no last-good batch yet")
+	return nil
+}

@@ -1,0 +1,85 @@
+package solvercore
+
+import (
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+)
+
+// TestPartitionDegenerate: more ranks than samples. The trailing ranks
+// must receive empty-but-well-formed column blocks that still cover
+// the matrix when concatenated.
+func TestPartitionDegenerate(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 6, M: 3, Density: 1, Lambda: 0.1, Seed: 21})
+	const procs = 7 // > m = 3
+	total, off := 0, 0
+	for rank := 0; rank < procs; rank++ {
+		l := Partition(p.X, p.Y, procs, rank)
+		if l.MGlobal != p.X.Cols {
+			t.Fatalf("rank %d: MGlobal = %d, want %d", rank, l.MGlobal, p.X.Cols)
+		}
+		if l.X.Cols != len(l.Y) {
+			t.Fatalf("rank %d: %d cols vs %d labels", rank, l.X.Cols, len(l.Y))
+		}
+		if l.ColOffset != off {
+			t.Fatalf("rank %d: offset = %d, want %d", rank, l.ColOffset, off)
+		}
+		off += l.X.Cols
+		total += l.X.Cols
+	}
+	if total != p.X.Cols {
+		t.Fatalf("blocks cover %d samples, want %d", total, p.X.Cols)
+	}
+}
+
+// TestPartitionLocalCols checks the global->local index filter on a
+// middle rank and on an empty rank.
+func TestPartitionLocalCols(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 4, M: 10, Density: 1, Lambda: 0.1, Seed: 22})
+	l := Partition(p.X, p.Y, 3, 1) // owns some middle block
+	global := []int{0, l.ColOffset, l.ColOffset + l.X.Cols - 1, 9}
+	got := l.LocalCols(global)
+	want := []int{0, l.X.Cols - 1}
+	if len(got) != len(want) {
+		t.Fatalf("LocalCols = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("LocalCols = %v, want %v", got, want)
+		}
+	}
+
+	empty := Partition(p.X, p.Y, 20, 19) // degenerate: no columns
+	if n := empty.X.Cols; n != 0 {
+		t.Fatalf("rank 19/20 owns %d columns, want 0", n)
+	}
+	if got := empty.LocalCols([]int{0, 5, 9}); len(got) != 0 {
+		t.Fatalf("empty block claims columns %v", got)
+	}
+}
+
+// TestFeaturePartitionDegenerate: more ranks than features. The dual
+// (row-split) partition must behave the same way.
+func TestFeaturePartitionDegenerate(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 3, M: 50, Density: 1, Lambda: 0.1, Seed: 23})
+	xRows := p.X.ToCSR()
+	const procs = 8 // > d = 3
+	total, off := 0, 0
+	for rank := 0; rank < procs; rank++ {
+		b := FeaturePartition(xRows, p.Y, procs, rank)
+		if b.D != p.X.Rows || b.M != p.X.Cols {
+			t.Fatalf("rank %d: dims (%d,%d), want (%d,%d)", rank, b.D, b.M, p.X.Rows, p.X.Cols)
+		}
+		if b.Rows.Cols != p.X.Cols {
+			t.Fatalf("rank %d: block has %d cols, want %d", rank, b.Rows.Cols, p.X.Cols)
+		}
+		if b.RowOffset != off {
+			t.Fatalf("rank %d: offset = %d, want %d", rank, b.RowOffset, off)
+		}
+		off += b.Rows.Rows
+		total += b.Rows.Rows
+	}
+	if total != p.X.Rows {
+		t.Fatalf("blocks cover %d features, want %d", total, p.X.Rows)
+	}
+}

@@ -1,0 +1,131 @@
+package solvercore
+
+import (
+	"math"
+	"time"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// Recorder owns the bookkeeping every solver used to duplicate: the
+// trace series, the iteration/round counters, the final objective and
+// relative error, the fault statistics, and the Result assembly. One
+// Recorder serves one rank's solve; rank 0's Recorder carries the
+// trace (the collective verdicts are identical on all ranks, so
+// recording on rank 0 loses nothing).
+type Recorder struct {
+	// Series receives the trace points and fault events (rank 0 only).
+	Series *trace.Series
+	// Cost is the rank's algorithm cost; Machine converts it to
+	// modeled seconds for the per-point ModelSec clock.
+	Cost    *perf.Cost
+	Machine perf.Machine
+	// Rank guards trace appends.
+	Rank int
+	// Start anchors the wall-clock axis.
+	Start time.Time
+	// Tol and FStar define the relative-error stop checked at each
+	// checkpoint. Tol <= 0 disables; FStar NaN records NaN errors.
+	Tol, FStar float64
+
+	// Iter counts solution updates; Rounds counts communication rounds
+	// (Loop advances Rounds, the InnerPass advances Iter).
+	Iter, Rounds int
+	// Converged reports whether a stopping criterion fired.
+	Converged bool
+	// FinalObj and FinalRelErr track the most recent checkpoint.
+	FinalObj, FinalRelErr float64
+	// Faults accumulates the retry/degrade/skip statistics charged by a
+	// FaultExchanger.
+	Faults FaultStats
+
+	evDrained int
+}
+
+// NewRecorder returns a Recorder for one rank's solve with the
+// wall-clock started and FinalRelErr initialized to NaN (unknown).
+func NewRecorder(name string, rank int, cost *perf.Cost, machine perf.Machine) *Recorder {
+	return &Recorder{
+		Series:      &trace.Series{Name: name},
+		Cost:        cost,
+		Machine:     machine,
+		Rank:        rank,
+		Start:       time.Now(),
+		FStar:       math.NaN(),
+		FinalRelErr: math.NaN(),
+	}
+}
+
+// CheckpointAt records a trace point at explicit (iter, round)
+// coordinates and reports whether the Tol stop fires. The ModelSec
+// clock is this rank's own accumulated cost, not the cross-rank
+// critical path: the per-point modeled clock of one rank's SPMD
+// stream. The end-of-run Result.ModelSeconds is the same rank-local
+// quantity; World.ModeledSeconds takes the max over ranks and is the
+// figure-of-merit critical path.
+func (r *Recorder) CheckpointAt(iter, round int, f float64) bool {
+	re := RelErr(f, r.FStar)
+	r.FinalObj, r.FinalRelErr = f, re
+	if r.Rank == 0 {
+		r.Series.Append(trace.Point{
+			Iter: iter, Round: round,
+			Obj: f, RelErr: re,
+			ModelSec: r.Machine.Seconds(*r.Cost),
+			WallSec:  time.Since(r.Start).Seconds(),
+		})
+	}
+	return r.Tol > 0 && !math.IsNaN(re) && re <= r.Tol
+}
+
+// Checkpoint is CheckpointAt at the Recorder's own counters.
+func (r *Recorder) Checkpoint(f float64) bool {
+	return r.CheckpointAt(r.Iter, r.Rounds, f)
+}
+
+// DrainFaultEvents copies communicator fault events recorded since the
+// last drain into rank 0's trace. The event log is identical on every
+// rank (shared verdicts), so recording on rank 0 loses nothing.
+func (r *Recorder) DrainFaultEvents(fc *dist.FaultyComm) {
+	evs := fc.Events()
+	if r.Rank == 0 {
+		for _, ev := range evs[r.evDrained:] {
+			r.Series.AppendEvent(trace.Event{
+				Round: ev.Round, Iter: r.Iter, Kind: ev.Kind.String(),
+				Rank: ev.Rank, Attempt: ev.Attempt, StallSec: ev.StallSec,
+			})
+		}
+	}
+	r.evDrained = len(evs)
+}
+
+// RecordRecovery logs the solver's per-round recovery decision.
+func (r *Recorder) RecordRecovery(kind string, round int, detail string) {
+	if r.Rank != 0 {
+		return
+	}
+	r.Series.AppendEvent(trace.Event{
+		Round: round, Iter: r.Iter, Kind: kind, Rank: -1, Detail: detail,
+	})
+}
+
+// Finish packages the run state into a Result. W is stored as given;
+// callers whose iterate buffer outlives the solve should clone first.
+func (r *Recorder) Finish(w []float64) *Result {
+	res := &Result{
+		W:            w,
+		Iters:        r.Iter,
+		Rounds:       r.Rounds,
+		Converged:    r.Converged,
+		FinalObj:     r.FinalObj,
+		FinalRelErr:  r.FinalRelErr,
+		Cost:         *r.Cost,
+		ModelSeconds: r.Machine.Seconds(*r.Cost),
+		WallSeconds:  time.Since(r.Start).Seconds(),
+		Trace:        r.Series,
+		Faults:       r.Faults,
+	}
+	res.Faults.StallSec = r.Cost.StallSec
+	return res
+}

@@ -1,0 +1,37 @@
+package solvercore
+
+import "github.com/hpcgo/rcsfista/internal/rng"
+
+// Sampler draws the shared index set of one round (or Hessian slot).
+// Implementations must be pure functions of their construction
+// parameters and the round counter: every rank holding the same
+// Sampler must produce identical sets with zero communication.
+type Sampler interface {
+	// Sample returns the global index set for round (or slot) h.
+	Sample(h int) []int
+}
+
+// StreamSampler draws Draw distinct indices from [0, N) using stream
+// (Epoch, h) of Src — the shared sampling scheme of every solver here.
+// When FullWhenSaturated is set and Draw >= N it short-circuits to the
+// identity set without consuming the stream, matching the RC-SFISTA
+// engine; the distributed erm ProxNewton historically always consumed
+// the stream, so it leaves the flag unset.
+type StreamSampler struct {
+	Src               rng.Source
+	Epoch             int
+	N, Draw           int
+	FullWhenSaturated bool
+}
+
+// Sample returns the index set of round h.
+func (s StreamSampler) Sample(h int) []int {
+	if s.FullWhenSaturated && s.Draw >= s.N {
+		idx := make([]int, s.N)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return s.Src.Stream(s.Epoch, h).SampleWithoutReplacement(s.N, s.Draw)
+}
