@@ -9,9 +9,9 @@ FUZZTIME ?= 30s
 COVER_FLOOR ?= 90.0
 COVER_PKGS = ./internal/dist ./internal/solver
 
-.PHONY: check vet build test race bench bench-smoke cover fuzz-smoke staticcheck loc-guard
+.PHONY: check vet build test race bench bench-smoke bench-json cover fuzz-smoke staticcheck loc-guard
 
-check: vet staticcheck loc-guard build race cover bench-smoke fuzz-smoke
+check: vet staticcheck loc-guard build race cover bench-json fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -72,3 +72,15 @@ bench:
 # nonblocking collectives, without the noise of a timed run.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime=1x ./internal/dist ./internal/solver
+
+# bench-json is bench-smoke plus the Gram/MulVec kernel benchmarks,
+# converted into the BENCH_results.json artifact (ns/op, allocs and
+# the modeled words metrics) that CI archives per commit. Subsumes
+# bench-smoke in `make check`: a benchmark failure fails the convert.
+bench-json:
+	$(GO) test -run NONE -bench . -benchtime=1x \
+	  ./internal/dist ./internal/solver ./internal/mat > bench.out || \
+	  { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out
+	@rm -f bench.out

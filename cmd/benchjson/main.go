@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON artifact, so CI can archive benchmark results
+// (ns/op, B/op, allocs/op and custom ReportMetric units like the
+// modeled words/slot of the reduced Gram kernels) per commit and
+// regressions show up as a diffable file rather than a scrollback.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchtime=1x ./... | benchjson -o BENCH_results.json
+//
+// The tool fails when the input contains no benchmark lines (a
+// misspelled -bench pattern would otherwise produce an empty artifact
+// that reads as "all benchmarks vanished") and when any package in the
+// input reported FAIL.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	out := "BENCH_results.json"
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-o", "--o":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -o needs a path")
+				os.Exit(2)
+			}
+			out = args[i]
+		case "-h", "--help":
+			fmt.Fprintln(os.Stderr, "usage: go test -bench ... | benchjson [-o file.json]")
+			os.Exit(0)
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %q\n", args[i])
+			os.Exit(2)
+		}
+	}
+	report, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), out)
+}
+
+// Report is the JSON artifact schema.
+type Report struct {
+	// Context carries the goos/goarch/pkg/cpu header lines go test
+	// prints before the benchmark block, keyed by field name.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds one entry per benchmark result line.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including any -N procs suffix.
+	Name string `json:"name"`
+	// Package is the import path from the preceding "pkg:" header.
+	Package string `json:"package,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the
+	// line: the standard ns/op, B/op, allocs/op plus any custom
+	// b.ReportMetric units (words/slot, words/solve, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output and collects the result lines.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	failed := false
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "pkg:":
+			if len(fields) > 1 {
+				pkg = fields[1]
+				rep.Context["pkg"] = fields[1]
+			}
+			continue
+		case "goos:", "goarch:", "cpu:":
+			rep.Context[strings.TrimSuffix(fields[0], ":")] = strings.Join(fields[1:], " ")
+			continue
+		case "FAIL":
+			failed = true
+			continue
+		}
+		if strings.HasPrefix(line, "--- FAIL") {
+			failed = true
+			continue
+		}
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var iters int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Package: pkg, Iterations: iters,
+			Metrics: map[string]float64{}}
+		// The tail is value-unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			var v float64
+			if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+				return nil, fmt.Errorf("line %q: bad metric value %q", line, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if failed {
+		return nil, fmt.Errorf("input contains a FAIL line; refusing to write a partial artifact")
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return rep, nil
+}

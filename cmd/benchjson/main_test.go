@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/hpcgo/rcsfista/internal/solver
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQuadValueWith         	       5	      1053 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSampledGramPackedRows 	       5	       619.2 ns/op	       0 B/op	       0 allocs/op	        25.00 words/slot
+BenchmarkActiveSetSolve        	       5	   7941741 ns/op	     18256 words/solve
+PASS
+ok  	github.com/hpcgo/rcsfista/internal/solver	0.120s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	if rep.Context["pkg"] != "github.com/hpcgo/rcsfista/internal/solver" {
+		t.Fatalf("context pkg = %q", rep.Context["pkg"])
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkSampledGramPackedRows" || b.Iterations != 5 {
+		t.Fatalf("benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 619.2 || b.Metrics["words/slot"] != 25 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if rep.Benchmarks[2].Metrics["words/solve"] != 18256 {
+		t.Fatalf("custom metric lost: %v", rep.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseRejectsEmptyAndFailed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 0.1s\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	failed := sample + "--- FAIL: TestX\nFAIL\n"
+	if _, err := Parse(strings.NewReader(failed)); err == nil {
+		t.Fatal("FAIL input accepted")
+	}
+}

@@ -54,28 +54,33 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	flag := flag.NewFlagSet("rcsfista", flag.ContinueOnError)
 	var (
-		dataset  = flag.String("dataset", "covtype", "synthetic dataset shape (abalone|susy|covtype|mnist|epsilon)")
-		libsvm   = flag.String("libsvm", "", "LIBSVM file to load instead of a synthetic dataset")
-		features = flag.Int("features", 0, "feature count for -libsvm (0: infer)")
-		samples  = flag.Int("samples", 0, "sample count override for synthetic data (0: registry default)")
-		algo     = flag.String("algo", "rcsfista", "algorithm: rcsfista|sfista|fista|ista|pn|cocoa|logistic|cd|prox-svrg")
-		procs    = flag.Int("procs", 1, "number of simulated processors")
-		k        = flag.Int("k", 8, "iteration-overlapping parameter (0: auto-tune from Eq. 25-28)")
-		s        = flag.Int("s", 1, "Hessian-reuse inner loop parameter")
-		b        = flag.Float64("b", 0.1, "sampling rate in (0,1]")
-		lambda   = flag.Float64("lambda", -1, "l1 penalty (negative: dataset default)")
-		maxIter  = flag.Int("maxiter", 2000, "maximum updates")
-		tol      = flag.Float64("tol", 1e-2, "relative objective error tolerance (0: run to maxiter)")
-		pipeline = flag.Bool("pipeline", false, "overlap Gram fill with the in-flight Hessian allreduce (rcsfista/sfista only)")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		machine  = flag.String("machine", "comet", "cost model: comet|low-latency|high-latency")
-		refIters = flag.Int("refiters", 8000, "reference solve iterations for F*")
-		plot     = flag.Bool("plot", true, "print an ASCII convergence plot")
-		saveTo   = flag.String("save", "", "write the fitted model as JSON to this path")
-		predict  = flag.String("predict", "", "skip training: load this JSON model and evaluate it on the data")
+		dataset      = flag.String("dataset", "covtype", "synthetic dataset shape (abalone|susy|covtype|mnist|epsilon)")
+		libsvm       = flag.String("libsvm", "", "LIBSVM file to load instead of a synthetic dataset")
+		features     = flag.Int("features", 0, "feature count for -libsvm (0: infer)")
+		samples      = flag.Int("samples", 0, "sample count override for synthetic data (0: registry default)")
+		algo         = flag.String("algo", "rcsfista", "algorithm: rcsfista|sfista|fista|ista|pn|cocoa|logistic|cd|prox-svrg")
+		procs        = flag.Int("procs", 1, "number of simulated processors")
+		k            = flag.Int("k", 8, "iteration-overlapping parameter (0: auto-tune from Eq. 25-28)")
+		s            = flag.Int("s", 1, "Hessian-reuse inner loop parameter")
+		b            = flag.Float64("b", 0.1, "sampling rate in (0,1]")
+		lambda       = flag.Float64("lambda", -1, "l1 penalty (negative: dataset default)")
+		maxIter      = flag.Int("maxiter", 2000, "maximum updates")
+		tol          = flag.Float64("tol", 1e-2, "relative objective error tolerance (0: run to maxiter)")
+		pipeline     = flag.Bool("pipeline", false, "overlap Gram fill with the in-flight Hessian allreduce (rcsfista/sfista only)")
+		activeSet    = flag.Bool("activeset", false, "screen to an active working set and ship reduced Gram batches (rcsfista/sfista only)")
+		screenMargin = flag.Float64("screen-margin", 0, "active-set screening safety margin in [0,1) (0: default 0.1)")
+		seed         = flag.Uint64("seed", 42, "random seed")
+		machine      = flag.String("machine", "comet", "cost model: comet|low-latency|high-latency")
+		refIters     = flag.Int("refiters", 8000, "reference solve iterations for F*")
+		plot         = flag.Bool("plot", true, "print an ASCII convergence plot")
+		saveTo       = flag.String("save", "", "write the fitted model as JSON to this path")
+		predict      = flag.String("predict", "", "skip training: load this JSON model and evaluate it on the data")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
+	}
+	if *activeSet && *algo != "rcsfista" && *algo != "sfista" {
+		return fmt.Errorf("-activeset applies to rcsfista/sfista only, not %q", *algo)
 	}
 
 	var prob *data.Problem
@@ -247,6 +252,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		opts.S = *s
 		opts.Seed = *seed
 		opts.Pipeline = *pipeline
+		opts.ActiveSet = *activeSet
+		opts.ScreenMargin = *screenMargin
 		if *algo == "sfista" {
 			opts.K, opts.S = 1, 1
 		}

@@ -1,0 +1,138 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// ActiveSet measures the dynamic-screening engine (Options.ActiveSet):
+// RC-SFISTA on a sparse synthetic lasso instance at P = 8, screening on
+// vs off. The screened run agrees on a working set A each round and
+// ships the |A| x |A| reduced Gram batch instead of the dense one, so
+// the per-round payload collapses from k(d(d+1)/2 + d) words toward
+// k(|A|(|A|+1)/2 + d) as the iterate support settles — while the
+// round-boundary exact KKT check keeps the trajectory on the dense
+// optimum (the report panics if the final objectives diverge beyond
+// 1e-10 or the payload fails to shrink below a quarter of dense).
+func ActiveSet(cfg Config) *Report {
+	const p = 8
+	d, m, maxIter := 96, 4000, 1600
+	if cfg.Scale == Full {
+		d, m, maxIter = 192, 8000, 4800
+	}
+	prob := data.Generate(data.GenSpec{
+		Name: "sparse-synthetic", D: d, M: m, Density: 0.2, TrueNnz: d / 12,
+		NoiseStd: 0.01, Lambda: 0.012, Seed: cfg.Seed,
+	})
+	l := solver.SampledLipschitz(prob.X, prob.Y, 0.2, 8, 777)
+	_, fstar := solver.Reference(prob.X, prob.Y, prob.Lambda, 4000)
+
+	run := func(active bool) *solver.Result {
+		o := solver.Defaults()
+		o.Lambda = prob.Lambda
+		o.Gamma = solver.GammaFromLipschitz(l)
+		o.FStar = fstar
+		o.Tol = 0 // fixed budget: compare equal-work runs
+		o.MaxIter = maxIter
+		o.B = 0.2
+		o.K = 4
+		o.S = 2
+		o.EvalEvery = o.K * o.S // one checkpoint per round: |A| per round
+		o.ActiveSet = active
+		if active {
+			o.TraceName = "active-set"
+		} else {
+			o.TraceName = "dense"
+		}
+		w := dist.NewWorld(p, cfg.Machine)
+		res, err := solver.SolveDistributed(w, prob.X, prob.Y, o)
+		if err != nil {
+			panic("expt: activeset: " + err.Error())
+		}
+		return res
+	}
+	dense := run(false)
+	act := run(true)
+
+	if diff := math.Abs(act.FinalObj - dense.FinalObj); diff > 1e-10 {
+		// Screening must be exact, not approximate; a drifted optimum is
+		// a bug, not a data point.
+		panic(fmt.Sprintf("expt: activeset: |F_active - F_dense| = %g > 1e-10", diff))
+	}
+
+	const k = 4
+	denseWords := int64(k * (d*(d+1)/2 + d))
+	tbl := &trace.Table{
+		Title:   fmt.Sprintf("Active-set screening: per-round batch payload (sparse synthetic, d=%d, P=%d, k=%d)", d, p, k),
+		Headers: []string{"round", "|A|", "batch words", "dense words", "ratio", "relerr"},
+	}
+	var lastRatio float64
+	step := len(act.Trace.Points)/12 + 1
+	for i, pt := range act.Trace.Points {
+		if pt.Active == 0 {
+			continue
+		}
+		words := perf.ActiveSetRoundWords(d, k, pt.Active)
+		lastRatio = float64(words) / float64(denseWords)
+		// The shrink happens in the first rounds; show those densely,
+		// then sample.
+		if i >= 6 && i%step != 0 && i != len(act.Trace.Points)-1 {
+			continue
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", pt.Round),
+			fmt.Sprintf("%d", pt.Active),
+			fmt.Sprintf("%d", words),
+			fmt.Sprintf("%d", denseWords),
+			fmt.Sprintf("%.2f", float64(words)/float64(denseWords)),
+			fmt.Sprintf("%.2e", pt.RelErr),
+		)
+	}
+	if lastRatio > 0.25 {
+		panic(fmt.Sprintf("expt: activeset: final-round payload is %.0f%% of dense, want <= 25%%",
+			100*lastRatio))
+	}
+
+	series := []*trace.Series{dense.Trace, act.Trace}
+	var text strings.Builder
+	text.WriteString(tbl.Render())
+	text.WriteByte('\n')
+	text.WriteString(trace.PlotRelErr("active-set vs dense: relative error by modeled time",
+		series, trace.ByModelTime, 72, 18))
+	var expands int
+	for _, ev := range act.Trace.Events {
+		if ev.Kind == "expand" {
+			expands++
+		}
+	}
+	fmt.Fprintf(&text, "\ntotal words: dense %d, active %d (%.1fx less); "+
+		"final objectives agree to %.1e; %d KKT re-expansion(s)\n",
+		dense.Cost.Words, act.Cost.Words,
+		float64(dense.Cost.Words)/float64(act.Cost.Words),
+		math.Abs(act.FinalObj-dense.FinalObj), expands)
+	text.WriteString("\nThe working set starts at d (nothing screenable at w = 0 beyond the " +
+		"gradient rule) and collapses to the optimum's support plus the margin band; the " +
+		"batch payload shrinks quadratically with it. The exact round-boundary KKT check " +
+		"makes the screen safe — any violation rewinds and redoes the round on the expanded " +
+		"set — so the screened trajectory lands on the dense optimum, not near it.\n")
+
+	return &Report{
+		ID:     "activeset",
+		Title:  "Active-set reduced subproblems: dynamic screening shrinks the allreduce payload",
+		Text:   text.String(),
+		Tables: []*trace.Table{tbl},
+		Series: series,
+		Figures: []Figure{{
+			Title:  fmt.Sprintf("RC-SFISTA active-set vs dense (sparse synthetic, P=%d)", p),
+			Series: series,
+			Axis:   trace.ByModelTime,
+		}},
+	}
+}

@@ -95,27 +95,29 @@ func All(cfg Config) []*Report {
 		Machines(cfg),
 		FaultSweep(cfg),
 		Pipeline(cfg),
+		ActiveSet(cfg),
 	}
 }
 
 // ByID returns the named experiment driver, or nil.
 func ByID(id string) func(Config) *Report {
 	m := map[string]func(Config) *Report{
-		"table1":   Table1,
-		"table2":   Table2,
-		"bounds":   Bounds,
-		"figure2a": Figure2a,
-		"figure2b": Figure2b,
-		"figure3":  Figure3,
-		"figure4":  Figure4,
-		"figure5":  Figure5,
-		"figure6":  Figure6,
-		"table3":   Table3,
-		"figure7":  Figure7,
-		"scaling":  Scaling,
-		"machines": Machines,
-		"faults":   FaultSweep,
-		"pipeline": Pipeline,
+		"table1":    Table1,
+		"table2":    Table2,
+		"bounds":    Bounds,
+		"figure2a":  Figure2a,
+		"figure2b":  Figure2b,
+		"figure3":   Figure3,
+		"figure4":   Figure4,
+		"figure5":   Figure5,
+		"figure6":   Figure6,
+		"table3":    Table3,
+		"figure7":   Figure7,
+		"scaling":   Scaling,
+		"machines":  Machines,
+		"faults":    FaultSweep,
+		"pipeline":  Pipeline,
+		"activeset": ActiveSet,
 	}
 	return m[id]
 }
@@ -124,7 +126,7 @@ func ByID(id string) func(Config) *Report {
 func IDs() []string {
 	return []string{"table1", "table2", "bounds", "figure2a", "figure2b",
 		"figure3", "figure4", "figure5", "figure6", "table3", "figure7",
-		"scaling", "machines", "faults", "pipeline"}
+		"scaling", "machines", "faults", "pipeline", "activeset"}
 }
 
 var _ = trace.ByModelTime // keep trace linked for plot axes used above

@@ -1,0 +1,103 @@
+package perf
+
+import "testing"
+
+func TestActiveSetRoundWordsFormula(t *testing.T) {
+	const d, k, a = 100, 4, 20
+	want := int64((d+63)/64) + k*(a*(a+1)/2+d) + d
+	if got := ActiveSetRoundWords(d, k, a); got != want {
+		t.Fatalf("ActiveSetRoundWords = %d, want %d", got, want)
+	}
+	// Dense working set pays exactly the bitmap + gradient overhead on
+	// top of the dense slot payload.
+	dense := ActiveSetRoundWords(d, k, d)
+	slots := int64(k * (d*(d+1)/2 + d))
+	if over := dense - slots; over != int64((d+63)/64+d) {
+		t.Fatalf("dense-working-set overhead = %d words, want bitmap+gradient = %d",
+			over, (d+63)/64+d)
+	}
+	// Strictly monotone in a.
+	prev := int64(-1)
+	for aa := 0; aa <= d; aa += 5 {
+		w := ActiveSetRoundWords(d, k, aa)
+		if w <= prev {
+			t.Fatalf("payload not increasing at a=%d", aa)
+		}
+		prev = w
+	}
+}
+
+func TestActiveSetRoundCosts(t *testing.T) {
+	p := AlgoParams{N: 400, P: 8, D: 64, MBar: 100, Fill: 0.3, K: 4, S: 2}
+	compute, comm := ActiveSetRoundCosts(p, p.D)
+	denseCompute, denseComm := RCSFISTARoundCosts(p)
+	if compute.Flops != denseCompute.Flops {
+		t.Fatalf("a=d fill flops %d != dense %d", compute.Flops, denseCompute.Flops)
+	}
+	if comm.Messages != 3*denseComm.Messages {
+		t.Fatalf("screened round sends %d messages, want 3x dense %d",
+			comm.Messages, denseComm.Messages)
+	}
+	lg := int64(Log2Ceil(p.P))
+	if want := ActiveSetRoundWords(p.D, p.K, p.D) * lg; comm.Words != want {
+		t.Fatalf("comm words = %d, want %d", comm.Words, want)
+	}
+	rc, rm := ActiveSetRoundCosts(p, 8)
+	if rc.Flops >= compute.Flops || rm.Words >= comm.Words {
+		t.Fatalf("reduced round not cheaper: flops %d vs %d, words %d vs %d",
+			rc.Flops, compute.Flops, rm.Words, comm.Words)
+	}
+}
+
+func TestSupportTrajectory(t *testing.T) {
+	traj := SupportTrajectory(128, 10, 20)
+	if len(traj) != 20 {
+		t.Fatalf("len = %d", len(traj))
+	}
+	if traj[0] != 128 {
+		t.Fatalf("trajectory starts at %d, want d", traj[0])
+	}
+	for r := 1; r < len(traj); r++ {
+		if traj[r] > traj[r-1] {
+			t.Fatalf("trajectory increases at round %d", r)
+		}
+		if traj[r] < 10 {
+			t.Fatalf("trajectory undershoots floor at round %d: %d", r, traj[r])
+		}
+	}
+	if traj[len(traj)-1] != 10 {
+		t.Fatalf("trajectory ends at %d, want floor 10", traj[len(traj)-1])
+	}
+	// Degenerate inputs clamp instead of panicking.
+	if got := SupportTrajectory(16, 32, 3); got[0] != 16 {
+		t.Fatalf("floor > d not clamped: %v", got)
+	}
+	if got := SupportTrajectory(16, 4, 0); len(got) != 0 {
+		t.Fatalf("rounds=0 returned %v", got)
+	}
+}
+
+func TestActiveSetRuntimeAndRecommend(t *testing.T) {
+	m := Comet()
+	p := AlgoParams{N: 800, P: 16, D: 96, MBar: 200, Fill: 0.2, K: 4, S: 2}
+	const rounds = 50
+	dense := make([]int, rounds)
+	for i := range dense {
+		dense[i] = p.D
+	}
+	tDense := ActiveSetRuntime(m, p, dense)
+	tAct := ActiveSetRuntime(m, p, SupportTrajectory(p.D, 6, rounds))
+	if tAct >= tDense {
+		t.Fatalf("screened runtime %g not below dense %g", tAct, tDense)
+	}
+
+	p.FinalSupport = 6
+	rec := Recommend(m, p)
+	if rec.ActiveSetSpeedup <= 1 {
+		t.Fatalf("ActiveSetSpeedup = %g, want > 1 for a sparse optimum", rec.ActiveSetSpeedup)
+	}
+	p.FinalSupport = 0
+	if rec := Recommend(m, p); rec.ActiveSetSpeedup != 0 {
+		t.Fatalf("ActiveSetSpeedup = %g without FinalSupport, want 0", rec.ActiveSetSpeedup)
+	}
+}

@@ -28,6 +28,11 @@ type AlgoParams struct {
 	K int
 	// S is the Hessian-reuse inner loop parameter (RC-SFISTA only).
 	S int
+	// FinalSupport is the converged support size the active-set
+	// screening engine is expected to settle on (0 when screening is
+	// not modeled); it anchors the SupportTrajectory floor that
+	// Recommend uses to report ActiveSetSpeedup.
+	FinalSupport int
 }
 
 // packedLen returns d(d+1)/2, the word count of a Hessian shipped in

@@ -15,6 +15,12 @@ type Recommendation struct {
 	// rounds (PipelinedRuntime): stage-C communication overlapped with
 	// the next round's Gram fill. At least PredictedSpeedup.
 	PipelinedSpeedup float64
+	// ActiveSetSpeedup is the modeled speedup of the chosen
+	// configuration with screening enabled over the same configuration
+	// dense, assuming the working set decays geometrically from D to
+	// AlgoParams.FinalSupport (SupportTrajectory). Zero when
+	// FinalSupport is unset — screening was not modeled.
+	ActiveSetSpeedup float64
 }
 
 // Recommend derives a practical (k, S) from the Section 4.2 bounds and
@@ -67,5 +73,16 @@ func Recommend(m Machine, p AlgoParams) Recommendation {
 		}
 	}
 	best.PipelinedSpeedup = t1 / PipelinedRuntime(m, bestEff)
+	if p.FinalSupport > 0 {
+		rounds := (bestEff.N + best.K - 1) / best.K
+		traj := SupportTrajectory(p.D, p.FinalSupport, rounds)
+		dense := make([]int, rounds)
+		for i := range dense {
+			dense[i] = p.D
+		}
+		best.ActiveSetSpeedup = Speedup(
+			ActiveSetRuntime(m, bestEff, dense),
+			ActiveSetRuntime(m, bestEff, traj))
+	}
 	return best
 }

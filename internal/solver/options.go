@@ -134,6 +134,28 @@ type Options struct {
 	// (perf.Machine.Overlap). Default off, so existing runs are
 	// untouched; incompatible with UseDeltaForm.
 	Pipeline bool
+	// ActiveSet enables dynamic l1 screening: each round the ranks agree
+	// (via a d-bit bitmap allreduce) on the working set
+	// A = supp(w) u {i : |grad f(w)_i| > Lambda*(1-ScreenMargin)},
+	// fill only the |A| x |A| principal submatrix of the sampled Gram
+	// (plus the full-length R, which keeps the exact KKT check
+	// available), and ship the reduced slot |A|(|A|+1)/2 + d instead of
+	// d(d+1)/2 + d. At every round boundary an exact full-gradient KKT
+	// check re-expands A — redoing the round on the expanded set — when
+	// any screened coordinate violates |grad f(w)_i| <= Lambda, so the
+	// method converges to the same optimum as the dense path (final
+	// objective agrees to solver precision; iterates are not bit-equal
+	// because screened coordinates are frozen at zero mid-round).
+	// Requires PackedHessian and an l1 regularizer; incompatible with
+	// UseDeltaForm. Default off: every existing configuration is
+	// bit-identical to its golden fixture.
+	ActiveSet bool
+	// ScreenMargin is the safety margin of the screening rule: a zero
+	// coordinate stays screened only while |grad f(w)_i| <=
+	// Lambda*(1-ScreenMargin), so larger margins admit more borderline
+	// coordinates and trigger fewer KKT re-expansions. Zero selects the
+	// default 0.1; must lie in [0, 1).
+	ScreenMargin float64
 	// PackedHessian selects the packed symmetric wire format for the
 	// batched Hessian allreduce: each slot ships d(d+1)/2 + d words (the
 	// upper triangle of H plus R) instead of the dense d^2 + d. Packed
@@ -208,6 +230,27 @@ func (o *Options) Validate() error {
 	if o.Pipeline && o.UseDeltaForm {
 		return errors.New("solver: Pipeline is not implemented for the UseDeltaForm ablation")
 	}
+	if o.ActiveSet {
+		if !o.PackedHessian {
+			return errors.New("solver: ActiveSet requires PackedHessian (the reduced slot is packed)")
+		}
+		if o.UseDeltaForm {
+			return errors.New("solver: ActiveSet is not implemented for the UseDeltaForm ablation")
+		}
+		if o.Lambda <= 0 {
+			return errors.New("solver: ActiveSet requires Lambda > 0 (screening is the l1 KKT rule)")
+		}
+		if o.Reg != nil {
+			l1, ok := o.Reg.(prox.L1)
+			if !ok || l1.Lambda != o.Lambda {
+				return errors.New("solver: ActiveSet requires the l1 regularizer prox.L1{Lambda} " +
+					"(the screening rule is specific to the l1 KKT conditions)")
+			}
+		}
+	}
+	if o.ScreenMargin < 0 || o.ScreenMargin >= 1 || math.IsNaN(o.ScreenMargin) {
+		return errors.New("solver: ScreenMargin must lie in [0, 1)")
+	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
 	}
@@ -255,6 +298,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff == 0 {
 		o.RetryBackoff = o.RoundTimeout / 4
+	}
+	if o.ActiveSet && o.ScreenMargin == 0 {
+		o.ScreenMargin = 0.1
 	}
 	return o
 }

@@ -147,7 +147,7 @@ func TestFISTAInnerAndCDInnerAgree(t *testing.T) {
 	g := prox.L1{Lambda: 0.05}
 	l := EstimateQuadLipschitz(q.H, 50, nil)
 	z0 := make([]float64, 10)
-	zf := FISTAInner{Gamma: 1 / l}.Solve(q, g, z0, 2000, nil)
+	zf := (&FISTAInner{Gamma: 1 / l}).Solve(q, g, z0, 2000, nil)
 	zc := CDInner{Lambda: 0.05}.Solve(q, g, z0, 500, nil)
 	var diff float64
 	for i := range zf {

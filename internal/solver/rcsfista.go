@@ -71,8 +71,11 @@ func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Opt
 	if opts.VarianceReduced {
 		e.refreshSnapshot()
 	}
+	if opts.ActiveSet {
+		e.initActiveSet()
+	}
 	e.checkpoint()
-	err := solvercore.Loop(solvercore.Spec{
+	spec := solvercore.Spec{
 		Ctx:      ctx,
 		Comm:     e.c,
 		Rec:      e.rec,
@@ -82,7 +85,16 @@ func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Opt
 		Stop:     e,
 		Pipeline: opts.Pipeline,
 		CommCost: dist.AllreduceCost(e.c.Size(), e.BatchLen()),
-	})
+	}
+	if opts.ActiveSet {
+		// The batch length moves with the working set; price each
+		// overlapped collective at its actual in-flight length. Left nil
+		// on the dense path so golden modeled costs are untouched.
+		spec.CommCostOf = func(n int) perf.Cost {
+			return dist.AllreduceCost(e.c.Size(), n)
+		}
+	}
+	err := solvercore.Loop(spec)
 	if err == nil && !e.rec.Converged && e.sinceEval != 0 {
 		e.rec.Converged = e.checkpoint()
 	}
@@ -138,6 +150,14 @@ type engine struct {
 
 	fc          *dist.FaultyComm
 	gradMapStop bool
+
+	// as is the dynamic-screening state (Options.ActiveSet); nil runs
+	// the dense path bit-identically to the goldens.
+	as *activeState
+	// exch is the one stage-C exchanger instance of the run. It must be
+	// a singleton: a FaultExchanger carries the last-good batch across
+	// rounds, and the re-expansion redo exchange shares it with the Loop.
+	exch solvercore.Exchanger
 }
 
 func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
@@ -202,15 +222,19 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 // exchanger picks stage C: the plain allreduce on the reliable path,
 // the retry/degrade/skip machine under a FaultPlan.
 func (e *engine) exchanger() solvercore.Exchanger {
-	if e.fc == nil {
-		return solvercore.AllreduceExchanger{C: e.c}
+	if e.exch == nil {
+		if e.fc == nil {
+			e.exch = solvercore.AllreduceExchanger{C: e.c}
+		} else {
+			e.exch = &solvercore.FaultExchanger{
+				FC:         e.fc,
+				Rec:        e.rec,
+				MaxRetries: e.opts.MaxRetries,
+				Backoff:    e.opts.RetryBackoff,
+			}
+		}
 	}
-	return &solvercore.FaultExchanger{
-		FC:         e.fc,
-		Rec:        e.rec,
-		MaxRetries: e.opts.MaxRetries,
-		Backoff:    e.opts.RetryBackoff,
-	}
+	return e.exch
 }
 
 // sampleSlot returns the global sample index set of Hessian slot h.
@@ -221,13 +245,18 @@ func (e *engine) sampleSlot(h int) []int {
 	}.Sample(h)
 }
 
-// fillSlot computes the local partial (H, R) Gram instance of batch
-// slot j (global Hessian index hIdx+j) into buf, charging flops to
-// cost. Stage A (sampling) is a pure function of (seed, hIdx+j) and
+// fillSlotAt computes the local partial (H, R) Gram instance of batch
+// slot j (global Hessian index base+j) into buf, charging flops to
+// cost. Stage A (sampling) is a pure function of (seed, base+j) and
 // stage B writes only slot j's region of buf, so distinct slots are
-// safe to fill concurrently.
-func (e *engine) fillSlot(j int, buf []float64, cost *perf.Cost) {
-	global := e.sampleSlot(e.hIdx + j)
+// safe to fill concurrently. Under ActiveSet the slot holds the reduced
+// |A| x |A| packed Gram plus the full-length R.
+func (e *engine) fillSlotAt(j, base int, buf []float64, cost *perf.Cost) {
+	if e.as != nil {
+		e.fillSlotActive(j, base, buf, e.as.act, e.as.pos, cost)
+		return
+	}
+	global := e.sampleSlot(base + j)
 	cols := e.local.LocalCols(global)
 	slot := buf[j*e.slotLen : (j+1)*e.slotLen]
 	scale := 1 / float64(e.mbar)
@@ -240,8 +269,14 @@ func (e *engine) fillSlot(j int, buf []float64, cost *perf.Cost) {
 	}
 }
 
-// BatchLen is the wire length of one k-slot batch.
-func (e *engine) BatchLen() int { return e.opts.K * e.slotLen }
+// BatchLen is the wire length of one k-slot batch. Under ActiveSet it
+// shrinks with the current working set: k * (|A|(|A|+1)/2 + d) words.
+func (e *engine) BatchLen() int {
+	if e.as != nil {
+		return e.opts.K * (mat.PackedLen(len(e.as.act)) + e.d)
+	}
+	return e.opts.K * e.slotLen
+}
 
 // Fill computes the local partial (H_j, R_j) instances of slots
 // hIdx..hIdx+k-1 (stages A and B) into buf and advances hIdx. The k
@@ -254,6 +289,10 @@ func (e *engine) BatchLen() int { return e.opts.K * e.slotLen }
 // while a nonblocking allreduce is in flight.
 func (e *engine) Fill(buf []float64) perf.Cost {
 	k := e.opts.K
+	base := e.hIdx
+	if e.as != nil {
+		e.as.pushFill(base)
+	}
 	mat.Zero(buf)
 	var fill perf.Cost
 	workers := runtime.GOMAXPROCS(0)
@@ -262,7 +301,7 @@ func (e *engine) Fill(buf []float64) perf.Cost {
 	}
 	if workers <= 1 {
 		for j := 0; j < k; j++ {
-			e.fillSlot(j, buf, &fill)
+			e.fillSlotAt(j, base, buf, &fill)
 		}
 	} else {
 		costs := make([]perf.Cost, k)
@@ -273,7 +312,7 @@ func (e *engine) Fill(buf []float64) perf.Cost {
 			sem <- struct{}{}
 			go func(j int) {
 				defer wg.Done()
-				e.fillSlot(j, buf, &costs[j])
+				e.fillSlotAt(j, base, buf, &costs[j])
 				<-sem
 			}(j)
 		}
@@ -393,8 +432,12 @@ func (e *engine) MoreAfterNext() bool {
 }
 
 // OnSkip caps fault-skipped rounds so a never-healing network still
-// terminates.
+// terminates. Under ActiveSet the lost round's fill record is retired
+// so the FIFO stays aligned with the exchanges.
 func (e *engine) OnSkip() bool {
+	if e.as != nil {
+		e.as.popFill()
+	}
 	return e.rec.Faults.SkippedRounds > e.opts.MaxIter
 }
 
@@ -405,6 +448,9 @@ func (e *engine) OnSkip() bool {
 // their update sequences are identical statement for statement — the
 // foundation of the bit-identity guarantee.
 func (e *engine) Process(shared []float64) bool {
+	if e.as != nil {
+		return e.processActive(shared)
+	}
 	opts := e.opts
 	for j := 0; j < opts.K; j++ {
 		h, r := e.slotView(shared, j)

@@ -1,0 +1,129 @@
+package solver
+
+// Screening-rule side of the active-set engine (see activeset.go for
+// the round protocol): the exact-gradient evaluation, the working-set
+// derivation with its bitmap agreement allreduce, and the round-
+// boundary KKT violation check.
+
+import (
+	"math"
+
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/mat"
+)
+
+// exactGradient writes the exact full gradient (1/m)(X X^T w - X y) at
+// wCurr into dst: one local Gram-free pass plus one d-word allreduce,
+// both charged — the screening correctness check is part of the
+// algorithm, not instrumentation.
+func (e *engine) exactGradient(dst []float64) {
+	cost := e.c.Cost()
+	e.local.X.MulVecT(e.scratch, e.wCurr, cost)
+	mat.Axpy(-1, e.local.Y, e.scratch, cost)
+	mat.Zero(dst)
+	e.local.X.MulVec(dst, e.scratch, cost)
+	mat.Scal(1/float64(e.m), dst, cost)
+	e.c.Allreduce(dst, dist.OpSum)
+}
+
+// deriveActive computes the next round's working set from the current
+// (shared) state and agrees on it across ranks with a (d+63)/64-word
+// bitmap allreduce. The iterate supports are included so the reduced
+// FISTA recurrences v = w + mu*(w - wPrev) and H(v - wSnap) reproduce
+// the dense arithmetic restricted to A; the gradient rule admits every
+// coordinate the KKT conditions cannot screen at margin.
+func (e *engine) deriveActive() {
+	as := e.as
+	d := e.d
+	for w := range as.bits {
+		as.bits[w] = 0
+	}
+	thresh := e.opts.Lambda * (1 - as.margin)
+	for i := 0; i < d; i++ {
+		keep := e.wCurr[i] != 0 || e.wPrev[i] != 0 || math.Abs(as.gExact[i]) > thresh
+		if !keep && e.opts.VarianceReduced && e.wSnap[i] != 0 {
+			keep = true
+		}
+		if keep {
+			as.bits[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	// Agreement allreduce: every rank built the identical bitmap from
+	// allreduced quantities, so OpMax over the raw bit patterns leaves
+	// them unchanged (v > dst is false for equal or NaN patterns) — the
+	// collective only charges the coordination its wire cost.
+	for w := range as.bits {
+		as.bitmap[w] = math.Float64frombits(as.bits[w])
+	}
+	e.c.Allreduce(as.bitmap, dist.OpMax)
+	for w := range as.bits {
+		as.bits[w] = math.Float64bits(as.bitmap[w])
+	}
+	n := 0
+	same := true
+	for i := 0; i < d; i++ {
+		if as.bits[i>>6]&(1<<uint(i&63)) == 0 {
+			continue
+		}
+		if same && (n >= len(as.act) || as.act[n] != i) {
+			same = false
+		}
+		n++
+	}
+	if same && n == len(as.act) {
+		return
+	}
+	act := make([]int, 0, n)
+	for i := 0; i < d; i++ {
+		if as.bits[i>>6]&(1<<uint(i&63)) != 0 {
+			act = append(act, i)
+		}
+	}
+	as.act = act
+	for i := range as.pos {
+		as.pos[i] = -1
+	}
+	for p, i := range act {
+		as.pos[i] = p
+	}
+	as.gen++
+}
+
+// kktViolations returns the screened coordinates whose exact KKT
+// condition fails at wCurr: i outside layout with |gExact_i| > Lambda.
+// layout is sorted, so one merge walk suffices.
+func (e *engine) kktViolations(layout []int) []int {
+	var viol []int
+	p := 0
+	for i := 0; i < e.d; i++ {
+		if p < len(layout) && layout[p] == i {
+			p++
+			continue
+		}
+		if math.Abs(e.as.gExact[i]) > e.opts.Lambda {
+			viol = append(viol, i)
+		}
+	}
+	return viol
+}
+
+// unionSorted merges two sorted, disjoint-or-not index sets.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

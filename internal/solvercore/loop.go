@@ -31,10 +31,27 @@ import (
 // overlap accounting. Fill must be pure local compute — no collectives
 // — so it is safe to run while a nonblocking allreduce is in flight.
 type BatchFiller interface {
-	// BatchLen is the buffer length Fill expects.
+	// BatchLen is the buffer length Fill expects. It is re-queried at
+	// every round boundary, so a filler whose wire layout shrinks or
+	// grows between rounds (the active-set engine's |A|-dependent slot)
+	// gets a correctly sized buffer each time; the Loop reuses backing
+	// storage across rounds whenever capacity allows.
 	BatchLen() int
 	// Fill writes the local batch into buf and returns its cost.
 	Fill(buf []float64) perf.Cost
+}
+
+// Refiller is an optional BatchFiller extension for fillers whose wire
+// layout can change between rounds. Generation identifies the current
+// layout; when a pipelined Loop finds that Process invalidated the
+// layout a speculative fill used (the generation moved), it calls
+// Refill to rebuild the same logical batch — same sample slots — under
+// the new layout before posting it. The wasted speculative fill keeps
+// its overlap credit (it genuinely ran under the in-flight collective);
+// the refill is charged un-overlapped.
+type Refiller interface {
+	Generation() int
+	Refill(buf []float64) perf.Cost
 }
 
 // InnerPass consumes one shared (allreduced) batch. Process performs
@@ -78,6 +95,11 @@ type Spec struct {
 	// of one stage-C collective — what the speculative fill hides in.
 	Pipeline bool
 	CommCost perf.Cost
+	// CommCostOf, when set, supersedes CommCost with a cost derived
+	// from the in-flight batch's actual length — required when the wire
+	// layout varies between rounds (active-set engines). Nil keeps the
+	// fixed CommCost, bit-for-bit.
+	CommCostOf func(batchLen int) perf.Cost
 }
 
 // Loop runs the round loop to completion or cancellation. On
@@ -92,13 +114,24 @@ func Loop(spec Spec) error {
 	return runBlocking(spec)
 }
 
+// resize returns buf re-sliced to length n, reusing its backing array
+// when capacity allows. Fillers zero or overwrite their buffer, so
+// stale contents from a previous (possibly longer) round never leak.
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // runBlocking is the fill → exchange → process round loop.
 func runBlocking(spec Spec) error {
-	buf := make([]float64, spec.Fill.BatchLen())
+	var buf []float64
 	for !spec.Stop.Done() {
 		if err := checkCancel(spec.Ctx, spec.Comm); err != nil {
 			return err
 		}
+		buf = resize(buf, spec.Fill.BatchLen())
 		spec.Fill.Fill(buf)
 		shared := spec.Exchange.Exchange(buf)
 		spec.Rec.Rounds++
@@ -129,8 +162,9 @@ func runPipelined(spec Spec) error {
 	if !ok {
 		return errors.New("solvercore: Pipeline requires an AsyncExchanger")
 	}
-	buf := make([]float64, spec.Fill.BatchLen())
-	next := make([]float64, spec.Fill.BatchLen())
+	rf, _ := spec.Fill.(Refiller)
+	buf := resize(nil, spec.Fill.BatchLen())
+	var next []float64
 	spec.Fill.Fill(buf)
 	// The cancel check sits before every Post so a cancelled loop never
 	// leaves a collective in flight.
@@ -148,14 +182,23 @@ func runPipelined(spec Spec) error {
 		// either way.
 		speculated := spec.Stop.MoreAfterNext()
 		var fillCost perf.Cost
+		genAtFill := 0
 		if speculated {
+			if rf != nil {
+				genAtFill = rf.Generation()
+			}
+			next = resize(next, spec.Fill.BatchLen())
 			fillCost = spec.Fill.Fill(next)
 		}
 		shared := aex.Resolve(p)
 		spec.Rec.Rounds++
 		if speculated {
 			c := spec.Comm
-			c.Cost().AddOverlap(c.Machine().Overlap(fillCost, spec.CommCost))
+			cc := spec.CommCost
+			if spec.CommCostOf != nil {
+				cc = spec.CommCostOf(len(buf))
+			}
+			c.Cost().AddOverlap(c.Machine().Overlap(fillCost, cc))
 		}
 		if shared == nil {
 			if spec.Pass.OnSkip() {
@@ -168,7 +211,16 @@ func runPipelined(spec Spec) error {
 			return nil
 		}
 		if !speculated {
+			next = resize(next, spec.Fill.BatchLen())
 			spec.Fill.Fill(next)
+		} else if rf != nil && rf.Generation() != genAtFill {
+			// Process invalidated the wire layout the speculative fill
+			// used (the active set moved): rebuild the same logical
+			// batch under the new layout. The speculation's overlap
+			// credit stands — that work really ran under the in-flight
+			// collective — and the refill is charged un-overlapped.
+			next = resize(next, spec.Fill.BatchLen())
+			rf.Refill(next)
 		}
 		if err := checkCancel(spec.Ctx, spec.Comm); err != nil {
 			return err

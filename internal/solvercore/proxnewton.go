@@ -104,6 +104,9 @@ type pnEngine struct {
 	// fw is the cached objective value the line search compares
 	// against (monotone acceptance).
 	fw float64
+	// fista is the lazily created default inner solver (spec.Inner nil),
+	// reused across rounds so its work vectors allocate once.
+	fista *FISTAInner
 }
 
 // BatchLen is the payload length: d gradient words then the packed
@@ -148,7 +151,11 @@ func (e *pnEngine) Process(shared []float64) bool {
 			e.rec.Rounds--
 			return true
 		}
-		inner = FISTAInner{Gamma: 1 / l}
+		if e.fista == nil {
+			e.fista = &FISTAInner{}
+		}
+		e.fista.Gamma = 1 / l
+		inner = e.fista
 	}
 	z := inner.Solve(quad, spec.Reg, e.w, spec.InnerIter, cost)
 

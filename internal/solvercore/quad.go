@@ -54,14 +54,21 @@ func (q Quad) Grad(g, z []float64, c *perf.Cost) {
 
 // Value returns Phi(z) = (1/2) z^T H z - R^T z.
 func (q Quad) Value(z []float64, c *perf.Cost) float64 {
-	hz := make([]float64, len(z))
+	return q.ValueWith(z, make([]float64, len(z)), c)
+}
+
+// ValueWith is Value with caller-owned scratch hz (length len(z),
+// overwritten), so evaluation loops run allocation-free.
+func (q Quad) ValueWith(z, hz []float64, c *perf.Cost) float64 {
 	q.H.MulVec(hz, z, c)
 	return 0.5*mat.Dot(z, hz, c) - mat.Dot(q.R, z, c)
 }
 
 // QuadInner solves a Quad subproblem approximately, starting from z0,
 // for at most iters iterations, and returns the approximate minimizer.
-// Implementations must not retain q or z0.
+// Implementations must not retain q or z0. The returned slice may be
+// scratch owned by the solver, valid only until its next Solve call;
+// callers that keep the minimizer must copy it.
 type QuadInner interface {
 	Solve(q Quad, g prox.Operator, z0 []float64, iters int, c *perf.Cost) []float64
 	Name() string
@@ -69,21 +76,34 @@ type QuadInner interface {
 
 // FISTAInner solves the subproblem with FISTA steps at step size Gamma
 // (1/lambda_max(H); use EstimateQuadLipschitz). This is the paper's
-// inner solver of choice (Section 2.2).
+// inner solver of choice (Section 2.2). The solver carries its four
+// work vectors across Solve calls (sized lazily to the largest
+// subproblem seen), so per-round subproblem solves are allocation-free;
+// use one FISTAInner per concurrent solve.
 type FISTAInner struct {
 	Gamma float64
+
+	zPrev, zCurr, v, grad []float64
 }
 
 // Name identifies the inner solver.
-func (f FISTAInner) Name() string { return "fista" }
+func (f *FISTAInner) Name() string { return "fista" }
 
-// Solve runs iters accelerated proximal gradient steps on q.
-func (f FISTAInner) Solve(q Quad, g prox.Operator, z0 []float64, iters int, c *perf.Cost) []float64 {
+// Solve runs iters accelerated proximal gradient steps on q. The
+// returned slice is the solver's own buffer, valid until the next
+// Solve.
+func (f *FISTAInner) Solve(q Quad, g prox.Operator, z0 []float64, iters int, c *perf.Cost) []float64 {
 	d := len(z0)
-	zPrev := mat.Clone(z0)
-	zCurr := mat.Clone(z0)
-	v := make([]float64, d)
-	grad := make([]float64, d)
+	if cap(f.zPrev) < d {
+		f.zPrev = make([]float64, d)
+		f.zCurr = make([]float64, d)
+		f.v = make([]float64, d)
+		f.grad = make([]float64, d)
+	}
+	zPrev, zCurr := f.zPrev[:d], f.zCurr[:d]
+	v, grad := f.v[:d], f.grad[:d]
+	copy(zPrev, z0)
+	copy(zCurr, z0)
 	t := 1.0
 	for n := 0; n < iters; n++ {
 		tNext := (1 + math.Sqrt(1+4*t*t)) / 2
@@ -125,14 +145,16 @@ func (cd CDInner) Solve(q Quad, _ prox.Operator, z0 []float64, iters int, c *per
 				continue
 			}
 			// Partial residual: minimize over z_i with others fixed.
+			// The 6 flops cover this closed-form update; the hii <= 0
+			// fast path above skips the computation and charges nothing.
 			rho := q.R[i] - (hz[i] - hii*z[i])
 			zi := prox.SoftThreshold(rho, cd.Lambda) / hii
+			c.AddFlops(6)
 			delta := zi - z[i]
 			if delta != 0 {
 				z[i] = zi
 				q.H.AddScaledCol(i, delta, hz, c)
 			}
-			c.AddFlops(6)
 		}
 	}
 	return z

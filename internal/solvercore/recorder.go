@@ -37,6 +37,9 @@ type Recorder struct {
 	Converged bool
 	// FinalObj and FinalRelErr track the most recent checkpoint.
 	FinalObj, FinalRelErr float64
+	// Active is the working-set size stamped into trace points by
+	// solvers running with dynamic screening; 0 means dense.
+	Active int
 	// Faults accumulates the retry/degrade/skip statistics charged by a
 	// FaultExchanger.
 	Faults FaultStats
@@ -74,9 +77,46 @@ func (r *Recorder) CheckpointAt(iter, round int, f float64) bool {
 			Obj: f, RelErr: re,
 			ModelSec: r.Machine.Seconds(*r.Cost),
 			WallSec:  time.Since(r.Start).Seconds(),
+			Active:   r.Active,
 		})
 	}
 	return r.Tol > 0 && !math.IsNaN(re) && re <= r.Tol
+}
+
+// RecorderMark captures the rewindable checkpoint bookkeeping of a
+// Recorder, so a solver that must redo a round — the active-set
+// engine's KKT re-expansion protocol — can discard the aborted
+// attempt's trace points and counter advances. Rounds and Cost are
+// deliberately NOT rewound: the redone work and its communication
+// genuinely happened and stay charged; only the convergence-history
+// artifacts of the abandoned iterates are withdrawn.
+type RecorderMark struct {
+	iter                  int
+	points                int
+	finalObj, finalRelErr float64
+	converged             bool
+}
+
+// Mark captures the current rewindable state.
+func (r *Recorder) Mark() RecorderMark {
+	return RecorderMark{
+		iter:     r.Iter,
+		points:   len(r.Series.Points),
+		finalObj: r.FinalObj, finalRelErr: r.FinalRelErr,
+		converged: r.Converged,
+	}
+}
+
+// Rewind restores the state captured by Mark, truncating any trace
+// points appended since. Events are kept — they log incidents that
+// really occurred, the re-expansion itself included.
+func (r *Recorder) Rewind(m RecorderMark) {
+	r.Iter = m.iter
+	if len(r.Series.Points) > m.points {
+		r.Series.Points = r.Series.Points[:m.points]
+	}
+	r.FinalObj, r.FinalRelErr = m.finalObj, m.finalRelErr
+	r.Converged = m.converged
 }
 
 // Checkpoint is CheckpointAt at the Recorder's own counters.

@@ -1,0 +1,35 @@
+package solvercore
+
+import (
+	"github.com/hpcgo/rcsfista/internal/mat"
+)
+
+// ReducedQuad restricts a subproblem to the sorted coordinate set idx:
+// the returned Quad has Hessian hs = H[idx, idx] (the principal
+// submatrix, gathered into caller-owned |idx| x |idx| packed storage)
+// and linear term rs = R[idx]. Because the reduced Hessian is a
+// principal submatrix and the inner solvers only ever touch
+// coordinates of the working set, running FISTA/CD/Cholesky on the
+// reduced Quad reproduces the dense inner solve restricted to idx —
+// this is the subproblem the active-set engine hands to its inner
+// passes.
+//
+// A *mat.SymPacked Hessian is gathered by the packed fast path; any
+// other Hessian implementation falls back to element access.
+func ReducedQuad(q Quad, idx []int, hs *mat.SymPacked, rs []float64) Quad {
+	if sp, ok := q.H.(*mat.SymPacked); ok {
+		sp.GatherSub(hs, idx)
+	} else {
+		if hs.N != len(idx) {
+			panic("solvercore: ReducedQuad dimension mismatch")
+		}
+		for p, ip := range idx {
+			tail := hs.RowTail(p)
+			for qq := p; qq < len(idx); qq++ {
+				tail[qq-p] = q.H.At(ip, idx[qq])
+			}
+		}
+	}
+	mat.Gather(rs, q.R, idx)
+	return Quad{H: hs, R: rs}
+}

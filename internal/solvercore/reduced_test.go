@@ -1,0 +1,118 @@
+package solvercore
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
+)
+
+// reducedTestQuad builds a small SPD subproblem: H = B B^T + I in
+// packed storage, R fixed.
+func reducedTestQuad(d int) Quad {
+	h := mat.NewSymPacked(d)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := 1 / float64(i+j+1)
+			if i == j {
+				v += float64(d)
+			}
+			h.Set(i, j, v)
+		}
+	}
+	r := make([]float64, d)
+	for i := range r {
+		r[i] = float64(i%3) - 1 + 0.5
+	}
+	return Quad{H: h, R: r}
+}
+
+// TestReducedQuadMatchesDenseRestriction: solving the reduced
+// subproblem with each inner solver must reproduce the dense inner
+// solve restricted to the working set, when the dense solve keeps the
+// screened coordinates at zero. With an unregularized SPD system the
+// Cholesky path gives the exact restricted minimizer to compare
+// against.
+func TestReducedQuadMatchesDenseRestriction(t *testing.T) {
+	const d = 10
+	q := reducedTestQuad(d)
+	idx := []int{0, 2, 3, 7, 9}
+	hs := mat.NewSymPacked(len(idx))
+	rs := make([]float64, len(idx))
+	rq := ReducedQuad(q, idx, hs, rs)
+
+	// The reduced Hessian is the principal submatrix, the linear term
+	// the gathered R.
+	for p, ip := range idx {
+		for qq := p; qq < len(idx); qq++ {
+			if got, want := rq.H.At(p, qq), q.H.At(ip, idx[qq]); got != want {
+				t.Fatalf("reduced H(%d,%d) = %g, want %g", p, qq, got, want)
+			}
+		}
+		if rq.R[p] != q.R[ip] {
+			t.Fatalf("reduced R[%d] = %g, want %g", p, rq.R[p], q.R[ip])
+		}
+	}
+
+	// Exact restricted minimizer via the Cholesky inner solver.
+	var c perf.Cost
+	exact := CholInner{}.Solve(rq, prox.Zero{}, make([]float64, len(idx)), 1, &c)
+
+	l := EstimateQuadLipschitz(rq.H, 50, nil)
+	fista := &FISTAInner{Gamma: 1 / l}
+	zf := fista.Solve(rq, prox.Zero{}, make([]float64, len(idx)), 4000, &c)
+	zc := CDInner{Lambda: 0}.Solve(rq, nil, make([]float64, len(idx)), 200, &c)
+	for p := range exact {
+		if diff := math.Abs(zf[p] - exact[p]); diff > 1e-8 {
+			t.Fatalf("FISTA reduced solve off at %d: |%g - %g| = %g", p, zf[p], exact[p], diff)
+		}
+		if diff := math.Abs(zc[p] - exact[p]); diff > 1e-8 {
+			t.Fatalf("CD reduced solve off at %d: |%g - %g| = %g", p, zc[p], exact[p], diff)
+		}
+	}
+}
+
+// TestReducedQuadFallbackMatchesPackedFastPath: a non-SymPacked
+// Hessian takes the element-access fallback; both paths must gather
+// the identical reduced subproblem.
+func TestReducedQuadFallbackMatchesPackedFastPath(t *testing.T) {
+	const d = 8
+	q := reducedTestQuad(d)
+	sp := q.H.(*mat.SymPacked)
+	dense := mat.NewDense(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			dense.Set(i, j, sp.At(i, j))
+		}
+	}
+	idx := []int{1, 4, 5}
+	hsFast := mat.NewSymPacked(len(idx))
+	rsFast := make([]float64, len(idx))
+	fast := ReducedQuad(q, idx, hsFast, rsFast)
+	hsSlow := mat.NewSymPacked(len(idx))
+	rsSlow := make([]float64, len(idx))
+	slow := ReducedQuad(Quad{H: dense, R: q.R}, idx, hsSlow, rsSlow)
+	for p := 0; p < len(idx); p++ {
+		for qq := p; qq < len(idx); qq++ {
+			if fast.H.At(p, qq) != slow.H.At(p, qq) {
+				t.Fatalf("fallback diverges at (%d,%d)", p, qq)
+			}
+		}
+		if fast.R[p] != slow.R[p] {
+			t.Fatalf("fallback R diverges at %d", p)
+		}
+	}
+}
+
+func TestReducedQuadDimensionMismatchPanics(t *testing.T) {
+	q := reducedTestQuad(6)
+	dense := mat.NewDense(6, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	ReducedQuad(Quad{H: dense, R: q.R}, []int{0, 1, 2}, mat.NewSymPacked(2), make([]float64, 2))
+}

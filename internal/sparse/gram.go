@@ -26,12 +26,22 @@ import (
 // to both triangles, so the result is bitwise symmetric — H and its
 // packed counterpart agree element-for-element, which is what makes the
 // packed and dense engine paths produce bit-identical iterates.
+// A nil cols accumulates every column — the FullGram path — without
+// materializing an all-columns index slice.
 func SampledGram(a *CSC, h *mat.Dense, r []float64, y []float64, cols []int, scale float64, c *perf.Cost) {
 	if h.Rows != a.Rows || h.Cols != a.Rows || len(r) != a.Rows || len(y) != a.Cols {
 		panic("sparse: SampledGram dimension mismatch")
 	}
+	n := len(cols)
+	if cols == nil {
+		n = a.Cols
+	}
 	var flops int64
-	for _, j := range cols {
+	for ci := 0; ci < n; ci++ {
+		j := ci
+		if cols != nil {
+			j = cols[ci]
+		}
 		rows, vals := a.Col(j)
 		nz := len(rows)
 		// H += scale * x_j x_j^T over the sparsity pattern of x_j.
@@ -63,12 +73,21 @@ func SampledGram(a *CSC, h *mat.Dense, r []float64, y []float64, cols []int, sca
 // the ~2x Gram-flop saving of exploiting symmetry. The accumulation
 // order per element matches SampledGram exactly, so the packed result
 // equals the dense upper triangle bit for bit.
+// A nil cols accumulates every column (the FullGramPacked path).
 func SampledGramPacked(a *CSC, h *mat.SymPacked, r []float64, y []float64, cols []int, scale float64, c *perf.Cost) {
 	if h.N != a.Rows || len(r) != a.Rows || len(y) != a.Cols {
 		panic("sparse: SampledGramPacked dimension mismatch")
 	}
+	n := len(cols)
+	if cols == nil {
+		n = a.Cols
+	}
 	var flops int64
-	for _, j := range cols {
+	for ci := 0; ci < n; ci++ {
+		j := ci
+		if cols != nil {
+			j = cols[ci]
+		}
 		rows, vals := a.Col(j)
 		nz := len(rows)
 		// Upper triangle of scale * x_j x_j^T: row indices are strictly
@@ -93,26 +112,21 @@ func SampledGramPacked(a *CSC, h *mat.SymPacked, r []float64, y []float64, cols 
 
 // FullGram computes H = scale * A A^T and R = scale * A y from scratch
 // (all columns). H must be Rows x Rows and is cleared first.
+// Allocation-free: the kernel iterates the columns directly instead of
+// materializing an all-columns index slice.
 func FullGram(a *CSC, h *mat.Dense, r []float64, y []float64, scale float64, c *perf.Cost) {
 	h.Zero()
 	mat.Zero(r)
-	all := make([]int, a.Cols)
-	for j := range all {
-		all[j] = j
-	}
-	SampledGram(a, h, r, y, all, scale, c)
+	SampledGram(a, h, r, y, nil, scale, c)
 }
 
 // FullGramPacked computes H = scale * A A^T (upper triangle, packed)
 // and R = scale * A y from scratch. H is cleared first.
+// Allocation-free, like FullGram.
 func FullGramPacked(a *CSC, h *mat.SymPacked, r []float64, y []float64, scale float64, c *perf.Cost) {
 	h.Zero()
 	mat.Zero(r)
-	all := make([]int, a.Cols)
-	for j := range all {
-		all[j] = j
-	}
-	SampledGramPacked(a, h, r, y, all, scale, c)
+	SampledGramPacked(a, h, r, y, nil, scale, c)
 }
 
 // GramApply computes g = scale * A (A^T w) - shift without forming the

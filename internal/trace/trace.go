@@ -26,6 +26,10 @@ type Point struct {
 	ModelSec float64
 	// WallSec is the measured wall-clock time at this point.
 	WallSec float64
+	// Active is the working-set size |A| at this point for solvers
+	// running with dynamic screening (Options.ActiveSet); 0 means the
+	// solver ran dense (no screening).
+	Active int
 }
 
 // Event records one discrete incident along a run — an injected
@@ -166,14 +170,14 @@ func (t *Table) CSV() string {
 }
 
 // SeriesCSV renders a set of series as long-format CSV
-// (series,iter,round,obj,relerr,model_sec,wall_sec).
+// (series,iter,round,obj,relerr,model_sec,wall_sec,active).
 func SeriesCSV(set []*Series) string {
 	var b strings.Builder
-	b.WriteString("series,iter,round,obj,relerr,model_sec,wall_sec\n")
+	b.WriteString("series,iter,round,obj,relerr,model_sec,wall_sec,active\n")
 	for _, s := range set {
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "%s,%d,%d,%.10g,%.10g,%.10g,%.10g\n",
-				s.Name, p.Iter, p.Round, p.Obj, p.RelErr, p.ModelSec, p.WallSec)
+			fmt.Fprintf(&b, "%s,%d,%d,%.10g,%.10g,%.10g,%.10g,%d\n",
+				s.Name, p.Iter, p.Round, p.Obj, p.RelErr, p.ModelSec, p.WallSec, p.Active)
 		}
 	}
 	return b.String()
