@@ -8,8 +8,11 @@ GO ?= go
 FUZZTIME ?= 30s
 COVER_FLOOR ?= 90.0
 COVER_PKGS = ./internal/dist ./internal/solver
+BENCH_PKGS = ./internal/dist ./internal/solver ./internal/mat
+BENCH_THRESHOLD ?= 15
+BENCH_COUNT ?= 3
 
-.PHONY: check vet build test race bench bench-smoke bench-json cover fuzz-smoke staticcheck loc-guard
+.PHONY: check vet build test race bench bench-smoke bench-json bench-baseline bench-compare cover fuzz-smoke staticcheck loc-guard
 
 check: vet staticcheck loc-guard build race cover bench-json fuzz-smoke
 
@@ -60,6 +63,7 @@ cover:
 # Each native fuzz target runs for FUZZTIME; any crasher fails the build.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run NONE -fuzz '^FuzzWireFrame$$' -fuzztime $(FUZZTIME) ./internal/dist
 	$(GO) test -run NONE -fuzz '^FuzzPackedCholesky$$' -fuzztime $(FUZZTIME) ./internal/mat
 	$(GO) test -run NONE -fuzz '^FuzzReadLIBSVM$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run NONE -fuzz '^FuzzLIBSVMIndices$$' -fuzztime $(FUZZTIME) ./internal/data
@@ -78,9 +82,29 @@ bench-smoke:
 # the modeled words metrics) that CI archives per commit. Subsumes
 # bench-smoke in `make check`: a benchmark failure fails the convert.
 bench-json:
-	$(GO) test -run NONE -bench . -benchtime=1x \
-	  ./internal/dist ./internal/solver ./internal/mat > bench.out || \
+	$(GO) test -run NONE -bench . -benchtime=1x $(BENCH_PKGS) > bench.out || \
 	  { cat bench.out; rm -f bench.out; exit 1; }
 	@cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out
+	@rm -f bench.out
+
+# bench-baseline refreshes the committed BENCH_results.json with the
+# minimum of BENCH_COUNT repeats per benchmark — the baseline the
+# bench-compare gate measures regressions against. Re-run and commit
+# it when a change legitimately moves a benchmark.
+bench-baseline:
+	$(GO) test -run NONE -bench . -benchtime=1x -count $(BENCH_COUNT) \
+	  $(BENCH_PKGS) > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out
+	@rm -f bench.out
+
+# bench-compare fails when any benchmark's best-of-BENCH_COUNT ns/op
+# regresses more than BENCH_THRESHOLD percent against the committed
+# baseline. Benchmarks added or retired since the baseline are
+# reported but never fail the gate.
+bench-compare:
+	$(GO) test -run NONE -bench . -benchtime=1x -count $(BENCH_COUNT) \
+	  $(BENCH_PKGS) > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	$(GO) run ./cmd/benchjson -compare BENCH_results.json \
+	  -threshold $(BENCH_THRESHOLD) < bench.out
 	@rm -f bench.out

@@ -310,6 +310,12 @@ func BenchmarkExtensionMachines(b *testing.B) { runExperiment(b, "machines") }
 // artifact).
 func BenchmarkExtensionPipeline(b *testing.B) { runExperiment(b, "pipeline") }
 
+// BenchmarkExtensionTransport runs the same solve on every registered
+// dist backend (in-process channels and localhost TCP), asserts
+// bit-identical results and calibrates alpha/beta/gamma on each
+// (extension artifact).
+func BenchmarkExtensionTransport(b *testing.B) { runExperiment(b, "transport") }
+
 // BenchmarkAblationEpochLen sweeps the variance-reduction epoch length
 // at S = 5: too-long epochs let the switched-Hessian momentum dynamics
 // resonate (DESIGN.md Section 6), too-short epochs waste acceleration.

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Comparison mode: gate a fresh benchmark run against the committed
+// baseline artifact. Benchmarks are matched by full name (package +
+// Benchmark line, including the -N procs suffix); when either side
+// holds repeated runs (`go test -count N`), the minimum ns/op per name
+// is compared — the minimum is the least-noise estimator for a
+// latency-bound microbenchmark, the same convention the transport
+// calibration uses for its ping-pong sweep.
+
+// minNsPerOp collapses a report to the minimum ns/op seen per
+// benchmark name.
+func minNsPerOp(rep *Report) map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		key := b.Package + "." + b.Name
+		if have, ok := out[key]; !ok || ns < have {
+			out[key] = ns
+		}
+	}
+	return out
+}
+
+// Compare checks fresh against base and returns an error when any
+// benchmark regressed by more than thresholdPct percent ns/op.
+// Benchmarks present on only one side are reported but never fail the
+// gate: adding or retiring a benchmark is not a regression.
+func Compare(base, fresh *Report, thresholdPct float64, w io.Writer) error {
+	bm, fm := minNsPerOp(base), minNsPerOp(fresh)
+	names := make([]string, 0, len(bm))
+	for name := range bm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressed []string
+	for _, name := range names {
+		b := bm[name]
+		f, ok := fm[name]
+		if !ok {
+			fmt.Fprintf(w, "  gone     %-60s baseline %.0f ns/op\n", name, b)
+			continue
+		}
+		delta := 100 * (f - b) / b
+		status := "ok"
+		if delta > thresholdPct {
+			status = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s (+%.1f%%)", name, delta))
+		}
+		fmt.Fprintf(w, "  %-9s%-60s %.0f -> %.0f ns/op (%+.1f%%)\n", status, name, b, f, delta)
+	}
+	for name, f := range fm {
+		if _, ok := bm[name]; !ok {
+			fmt.Fprintf(w, "  new      %-60s %.0f ns/op\n", name, f)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %v",
+			len(regressed), thresholdPct, regressed)
+	}
+	fmt.Fprintf(w, "benchjson: no regression beyond %.0f%% across %d benchmarks\n",
+		thresholdPct, len(names))
+	return nil
+}
+
+// validThreshold rejects thresholds that would make the gate
+// meaningless.
+func validThreshold(pct float64) error {
+	if math.IsNaN(pct) || pct <= 0 || pct >= 1000 {
+		return fmt.Errorf("threshold must be in (0, 1000) percent, got %g", pct)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(entries ...Benchmark) *Report {
+	return &Report{Benchmarks: entries}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Package: "p", Iterations: 1,
+		Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompareMinAcrossRepeats(t *testing.T) {
+	// Repeated -count runs: the minimum is what the gate compares, so
+	// one noisy repeat on either side must not trip it.
+	base := mkReport(bench("BenchmarkX", 100), bench("BenchmarkX", 140))
+	fresh := mkReport(bench("BenchmarkX", 180), bench("BenchmarkX", 104))
+	var out strings.Builder
+	if err := Compare(base, fresh, 15, &out); err != nil {
+		t.Fatalf("4%% drift beyond min failed the 15%% gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := mkReport(bench("BenchmarkX", 100), bench("BenchmarkY", 50))
+	fresh := mkReport(bench("BenchmarkX", 130), bench("BenchmarkY", 51))
+	var out strings.Builder
+	err := Compare(base, fresh, 15, &out)
+	if err == nil {
+		t.Fatalf("30%% regression passed the 15%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkX") || strings.Contains(err.Error(), "BenchmarkY") {
+		t.Fatalf("wrong benchmarks blamed: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("missing REGRESSED row:\n%s", out.String())
+	}
+}
+
+func TestCompareAddedAndRemovedAreNotRegressions(t *testing.T) {
+	base := mkReport(bench("BenchmarkOld", 100), bench("BenchmarkKept", 10))
+	fresh := mkReport(bench("BenchmarkKept", 10), bench("BenchmarkNew", 999))
+	var out strings.Builder
+	if err := Compare(base, fresh, 15, &out); err != nil {
+		t.Fatalf("added/removed benchmarks failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "gone") || !strings.Contains(out.String(), "new") {
+		t.Fatalf("added/removed not reported:\n%s", out.String())
+	}
+}
+
+func TestValidThreshold(t *testing.T) {
+	for _, bad := range []float64{0, -5, 1000} {
+		if err := validThreshold(bad); err == nil {
+			t.Fatalf("threshold %g accepted", bad)
+		}
+	}
+	if err := validThreshold(15); err != nil {
+		t.Fatal(err)
+	}
+}

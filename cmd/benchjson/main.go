@@ -25,6 +25,8 @@ import (
 
 func main() {
 	out := "BENCH_results.json"
+	compareTo := ""
+	threshold := 15.0
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -35,8 +37,26 @@ func main() {
 				os.Exit(2)
 			}
 			out = args[i]
+		case "-compare", "--compare":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -compare needs a baseline path")
+				os.Exit(2)
+			}
+			compareTo = args[i]
+		case "-threshold", "--threshold":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -threshold needs a percentage")
+				os.Exit(2)
+			}
+			if _, err := fmt.Sscanf(args[i], "%g", &threshold); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad threshold %q\n", args[i])
+				os.Exit(2)
+			}
 		case "-h", "--help":
-			fmt.Fprintln(os.Stderr, "usage: go test -bench ... | benchjson [-o file.json]")
+			fmt.Fprintln(os.Stderr, "usage: go test -bench ... | benchjson [-o file.json]\n"+
+				"       go test -bench ... | benchjson -compare baseline.json [-threshold 15]")
 			os.Exit(0)
 		default:
 			fmt.Fprintf(os.Stderr, "benchjson: unknown flag %q\n", args[i])
@@ -47,6 +67,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	// Comparison mode gates the fresh run against the committed
+	// baseline instead of writing an artifact.
+	if compareTo != "" {
+		if err := validThreshold(threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		raw, err := os.ReadFile(compareTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		base := &Report{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", compareTo, err)
+			os.Exit(1)
+		}
+		if err := Compare(base, report, threshold, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

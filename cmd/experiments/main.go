@@ -43,6 +43,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	out := flag.String("out", "", "directory for text/CSV outputs (default: stdout only)")
 	seed := flag.Uint64("seed", 42, "base random seed")
+	transport := flag.String("transport", "chan", "dist backend the experiments run on (chan|tcp|auto)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -57,6 +58,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	cfg := expt.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Transport = *transport
 	switch *scale {
 	case "bench":
 		cfg.Scale = expt.Bench

@@ -71,6 +71,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		screenMargin = flag.Float64("screen-margin", 0, "active-set screening safety margin in [0,1) (0: default 0.1)")
 		seed         = flag.Uint64("seed", 42, "random seed")
 		machine      = flag.String("machine", "comet", "cost model: comet|low-latency|high-latency")
+		transport    = flag.String("transport", "chan", "dist backend: chan (in-process)|tcp (one OS process per rank)|auto")
+		rank         = flag.Int("rank", -1, "join an existing multi-process world as this rank (with -peers)")
+		peers        = flag.String("peers", "", "comma-separated host:port roster, one address per rank (with -rank)")
+		calibrate    = flag.Bool("calibrate", false, "measure alpha/beta/gamma on the live transport and model costs on the calibrated machine")
 		refIters     = flag.Int("refiters", 8000, "reference solve iterations for F*")
 		plot         = flag.Bool("plot", true, "print an ASCII convergence plot")
 		saveTo       = flag.String("save", "", "write the fitted model as JSON to this path")
@@ -81,6 +85,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *activeSet && *algo != "rcsfista" && *algo != "sfista" {
 		return fmt.Errorf("-activeset applies to rcsfista/sfista only, not %q", *algo)
+	}
+
+	// Multi-process TCP mode. The parent re-executes this binary once
+	// per rank with the rank roster in the environment and waits;
+	// children detect the roster (or explicit -rank/-peers) and join
+	// the mesh as workers. Everything below the launch branch runs
+	// identically in a worker, except that only rank 0 prints.
+	wrank, wpeers, isWorker := workerRoster(*rank, *peers)
+	if *transport == "tcp" && !isWorker {
+		if !distributedAlgo(*algo) {
+			return fmt.Errorf("-transport tcp runs distributed algorithms only, not %q", *algo)
+		}
+		fmt.Fprintf(out, "launching %d worker processes over localhost tcp\n", *procs)
+		return dist.Launch(ctx, dist.LaunchSpec{P: *procs, Args: args, Stdout: out, Stderr: os.Stderr})
+	}
+	if isWorker && wrank != 0 {
+		out = io.Discard
 	}
 
 	var prob *data.Problem
@@ -128,6 +149,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unknown machine %q", *machine)
 	}
 
+	// Worker mode: join the TCP mesh before any heavy setup so a
+	// misconfigured roster fails fast on every rank.
+	var comm *dist.TCPComm
+	if isWorker {
+		if !distributedAlgo(*algo) {
+			return fmt.Errorf("-rank/-peers run distributed algorithms only, not %q", *algo)
+		}
+		c, err := dist.Connect(wrank, wpeers, mach, dist.TCPOptions{})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		comm = c
+		if *calibrate {
+			cal := dist.Calibrate(comm, dist.CalibrationOptions{})
+			comm.SetMachine(cal.Machine)
+			mach = cal.Machine
+			fmt.Fprint(out, cal.String())
+		}
+	} else if *calibrate {
+		cal, err := calibrateWorld(*transport, *procs, mach)
+		if err != nil {
+			return err
+		}
+		mach = cal.Machine
+		fmt.Fprint(out, cal.String())
+	}
+
 	// Predict-only mode: apply a saved model to the loaded data.
 	if *predict != "" {
 		model, err := solver.LoadModel(*predict)
@@ -172,8 +221,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		opts := cocoa.Options{
 			Lambda: prob.Lambda, Rounds: *maxIter, Tol: *tol, FStar: fstar, Seed: *seed,
 		}
-		w := dist.NewWorld(*procs, mach)
-		res, err = cocoa.SolveDistributedContext(ctx, w, prob.X, prob.Y, opts)
+		if comm != nil {
+			xRows := prob.X.ToCSR()
+			res, err = solveOnComm(comm, func(c dist.Comm) (*solver.Result, error) {
+				return cocoa.SolveContext(ctx, c, cocoa.Partition(xRows, prob.Y, c.Size(), c.Rank()), opts)
+			})
+		} else {
+			w, werr := newWorld(*transport, *procs, mach)
+			if werr != nil {
+				return werr
+			}
+			res, err = cocoa.SolveDistributedContext(ctx, w, prob.X, prob.Y, opts)
+		}
 	case "cd":
 		opts := solver.Defaults()
 		opts.Lambda = prob.Lambda
@@ -213,8 +272,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Tol: *tol, FStar: fstar, Seed: *seed,
 			OuterIter: *maxIter / maxInt(1, *s), InnerIter: maxInt(1, *s), K: *k,
 		}
-		w := dist.NewWorld(*procs, mach)
-		res, err = solver.SolvePNDistributedContext(ctx, w, prob.X, prob.Y, opts)
+		if comm != nil {
+			res, err = solveOnComm(comm, func(c dist.Comm) (*solver.Result, error) {
+				return solver.DistProxNewtonContext(ctx, c, solver.Partition(prob.X, prob.Y, c.Size(), c.Rank()), opts)
+			})
+		} else {
+			w, werr := newWorld(*transport, *procs, mach)
+			if werr != nil {
+				return werr
+			}
+			res, err = solver.SolvePNDistributedContext(ctx, w, prob.X, prob.Y, opts)
+		}
 	case "logistic":
 		// l1-regularized logistic regression via the erm extension.
 		// Labels must be in {-1, +1}; synthetic datasets are converted
@@ -226,15 +294,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				prob.Y[i] = -1
 			}
 		}
-		w := dist.NewWorld(*procs, mach)
-		res, err = solvercore.RunWorld(w, func(c dist.Comm) (*solver.Result, error) {
+		solve := func(c dist.Comm) (*solver.Result, error) {
 			local := erm.Partition(prob.X, prob.Y, c.Size(), c.Rank())
 			return erm.DistProxNewtonContext(ctx, c, local, erm.Options{
 				Loss: erm.Logistic{}, Lambda: prob.Lambda,
 				OuterIter: *maxIter, InnerIter: maxInt(1, *s), B: *b,
 				LineSearch: true, Seed: *seed,
 			})
-		})
+		}
+		if comm != nil {
+			res, err = solveOnComm(comm, solve)
+		} else {
+			w, werr := newWorld(*transport, *procs, mach)
+			if werr != nil {
+				return werr
+			}
+			res, err = solvercore.RunWorld(w, solve)
+		}
 		if res != nil {
 			obj := erm.NewObjective(prob.X, prob.Y, erm.Logistic{})
 			fmt.Fprintf(out, "training accuracy: %.4f\n", obj.Accuracy(res.W))
@@ -257,8 +333,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if *algo == "sfista" {
 			opts.K, opts.S = 1, 1
 		}
-		w := dist.NewWorld(*procs, mach)
-		res, err = solver.SolveDistributedContext(ctx, w, prob.X, prob.Y, opts)
+		if comm != nil {
+			res, err = solveOnComm(comm, func(c dist.Comm) (*solver.Result, error) {
+				return solver.RCSFISTAContext(ctx, c, solver.Partition(prob.X, prob.Y, c.Size(), c.Rank()), opts)
+			})
+		} else {
+			w, werr := newWorld(*transport, *procs, mach)
+			if werr != nil {
+				return werr
+			}
+			res, err = solver.SolveDistributedContext(ctx, w, prob.X, prob.Y, opts)
+		}
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
@@ -273,7 +358,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "\ninterrupted (%v): emitting partial results\n", err)
 	}
 
-	fmt.Fprintf(out, "\nalgorithm %s on P=%d (%s):\n", *algo, *procs, mach)
+	p, tname := *procs, *transport
+	if comm != nil {
+		// Worker ranks always talk real TCP, whatever -transport says.
+		p, tname = comm.Size(), "tcp"
+	}
+	fmt.Fprintf(out, "\nalgorithm %s on P=%d over %s (%s):\n", *algo, p, tname, mach)
 	fmt.Fprintf(out, "  updates: %d, communication rounds: %d, converged: %v\n", res.Iters, res.Rounds, res.Converged)
 	fmt.Fprintf(out, "  F(w) = %.8g", res.FinalObj)
 	if !math.IsNaN(res.FinalRelErr) {

@@ -3,11 +3,29 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"os"
 	"strings"
 	"testing"
 
+	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/solver"
 )
+
+// TestMain doubles as the multi-process worker entry point: when
+// dist.Launch (from the -transport tcp launcher path under test)
+// re-executes this binary with a rank roster in the environment, it
+// runs the real CLI instead of the test suite.
+func TestMain(m *testing.M) {
+	if _, _, ok := dist.LaunchEnv(); ok {
+		if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rcsfista worker: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func runCLI(t *testing.T, args ...string) string {
 	t.Helper()
@@ -75,6 +93,56 @@ func TestCLIPipeline(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{"-algo", "fista", "-pipeline", "-tol", "0"}, &out); err == nil {
 		t.Fatal("-pipeline with -algo fista accepted")
+	}
+}
+
+// TestCLIMultiProcessTCP: -transport tcp spawns one OS process per
+// rank over real localhost sockets, and the solve lands on the same
+// objective bits as the in-process chan backend with the same seed.
+func TestCLIMultiProcessTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	args := fastArgs("-procs", "3", "-k", "4", "-s", "2")
+	inproc := runCLI(t, args...)
+	multi := runCLI(t, append(args, "-transport", "tcp", "-calibrate")...)
+	if !strings.Contains(multi, "launching 3 worker processes over localhost tcp") {
+		t.Fatalf("missing launch notice:\n%s", multi)
+	}
+	if !strings.Contains(multi, "algorithm rcsfista on P=3 over tcp (calibrated(comet)") {
+		t.Fatalf("missing worker summary on the calibrated machine:\n%s", multi)
+	}
+	if !strings.Contains(multi, "calibrated on P=3: alpha=") {
+		t.Fatalf("missing calibration report:\n%s", multi)
+	}
+	// Same seed, same budget: the objective must agree bit for bit
+	// across process boundaries.
+	objOf := func(s string) string {
+		i := strings.Index(s, "F(w) = ")
+		if i < 0 {
+			t.Fatalf("objective line missing:\n%s", s)
+		}
+		return s[i : i+strings.IndexByte(s[i:], '\n')]
+	}
+	if objOf(inproc) != objOf(multi) {
+		t.Fatalf("objectives diverged across transports:\n%s\nvs\n%s", objOf(inproc), objOf(multi))
+	}
+}
+
+// TestCLIWorkerFlags: explicit -rank/-peers join a hand-built roster
+// (the path operators use when ranks live on different commands).
+func TestCLIWorkerFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-rank", "0", "-peers", "x", "-algo", "fista", "-tol", "0"}, &out); err == nil {
+		t.Fatal("-rank with a non-distributed algorithm accepted")
+	}
+	addrs, err := dist.ReserveAddrs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := runCLI(t, fastArgs("-rank", "0", "-peers", addrs[0], "-k", "2", "-s", "1")...)
+	if !strings.Contains(single, "algorithm rcsfista on P=1 over") {
+		t.Fatalf("single-rank worker summary missing:\n%s", single)
 	}
 }
 

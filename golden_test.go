@@ -34,6 +34,23 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current engines")
 
+// -transport selects the dist backend the golden suite runs on. The
+// fixtures are transport-independent by design: `go test -run
+// TestGolden -transport=tcp` must reproduce every record bit for bit
+// over real localhost sockets, which is the cross-transport oracle the
+// TCP backend is held to.
+var goldenTransport = flag.String("transport", "chan", "dist backend to run the golden suite on (chan|tcp|auto)")
+
+// newGoldenWorld creates a p-rank world on the backend selected by
+// -transport, with the fixed Comet machine model the fixtures pin.
+func newGoldenWorld(p int) dist.World {
+	w, err := dist.NewWorldOn(*goldenTransport, p, perf.Comet())
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 const goldenPath = "testdata/golden.json"
 
 // bits renders a float64 as its exact bit pattern; the only encoding
@@ -189,7 +206,7 @@ func goldenFaultPlan() *dist.FaultPlan {
 // runWorld mirrors solver.SolveDistributed for entry points without a
 // world driver of their own.
 func runWorld(p int, f func(c dist.Comm) (*solver.Result, error)) (*solver.Result, error) {
-	w := dist.NewWorld(p, perf.Comet())
+	w := newGoldenWorld(p)
 	results := make([]*solver.Result, p)
 	w.ResetCosts()
 	err := w.Run(func(c dist.Comm) error {
@@ -235,7 +252,7 @@ func goldenConfigs() []goldenConfig {
 							o.Faults = goldenFaultPlan()
 							o.MaxRetries = 2
 						}
-						w := dist.NewWorld(p, perf.Comet())
+						w := newGoldenWorld(p)
 						return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 					})
 				}
@@ -255,7 +272,7 @@ func goldenConfigs() []goldenConfig {
 				{Round: 1, Kind: dist.FaultDrop, Attempts: 0},
 			},
 		}
-		w := dist.NewWorld(4, perf.Comet())
+		w := newGoldenWorld(4)
 		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 	})
 
@@ -263,7 +280,7 @@ func goldenConfigs() []goldenConfig {
 	for _, p := range []int{1, 4, 8} {
 		p := p
 		add(fmt.Sprintf("rcsfista/vr/p%d", p), func(e *goldenEnv) (*solver.Result, error) {
-			w := dist.NewWorld(p, perf.Comet())
+			w := newGoldenWorld(p)
 			return solver.SolveDistributed(w, e.prob.X, e.prob.Y, e.vrOpts())
 		})
 	}
@@ -271,7 +288,7 @@ func goldenConfigs() []goldenConfig {
 		o := e.vrOpts()
 		o.GradMapTol = 1e-4
 		o.MaxIter = 120
-		w := dist.NewWorld(4, perf.Comet())
+		w := newGoldenWorld(4)
 		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 	})
 	add("rcsfista/tol/p4", func(e *goldenEnv) (*solver.Result, error) {
@@ -279,13 +296,13 @@ func goldenConfigs() []goldenConfig {
 		o.Tol = 0.3
 		o.FStar = e.fstar
 		o.MaxIter = 120
-		w := dist.NewWorld(4, perf.Comet())
+		w := newGoldenWorld(4)
 		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 	})
 	add("rcsfista/w0/p4", func(e *goldenEnv) (*solver.Result, error) {
 		o := e.opts()
 		o.W0 = e.w0
-		w := dist.NewWorld(4, perf.Comet())
+		w := newGoldenWorld(4)
 		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 	})
 
@@ -296,7 +313,7 @@ func goldenConfigs() []goldenConfig {
 			o := e.opts()
 			o.S = 1
 			o.UseDeltaForm = true
-			w := dist.NewWorld(p, perf.Comet())
+			w := newGoldenWorld(p)
 			return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 		})
 	}
@@ -355,13 +372,13 @@ func goldenConfigs() []goldenConfig {
 
 	// Distributed PN (delegates to the RC-SFISTA engine).
 	add("pn/dist/p4/k2", func(e *goldenEnv) (*solver.Result, error) {
-		w := dist.NewWorld(4, perf.Comet())
+		w := newGoldenWorld(4)
 		o := solver.DistPNOptions{Lambda: e.prob.Lambda, Gamma: e.gamma, B: 0.25, Seed: 5,
 			OuterIter: 6, InnerIter: 4, K: 2}
 		return solver.SolvePNDistributed(w, e.prob.X, e.prob.Y, o)
 	})
 	add("pn/dist/p8/k1", func(e *goldenEnv) (*solver.Result, error) {
-		w := dist.NewWorld(8, perf.Comet())
+		w := newGoldenWorld(8)
 		o := solver.DistPNOptions{Lambda: e.prob.Lambda, Gamma: e.gamma, B: 0.25, Seed: 5,
 			OuterIter: 6, InnerIter: 4, K: 1}
 		return solver.SolvePNDistributed(w, e.prob.X, e.prob.Y, o)
@@ -429,13 +446,13 @@ func goldenConfigs() []goldenConfig {
 	for _, p := range []int{1, 4, 8} {
 		p := p
 		add(fmt.Sprintf("cocoa/p%d", p), func(e *goldenEnv) (*solver.Result, error) {
-			w := dist.NewWorld(p, perf.Comet())
+			w := newGoldenWorld(p)
 			o := cocoa.Options{Lambda: e.prob.Lambda, Rounds: 12, Seed: 3}
 			return cocoa.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 		})
 	}
 	add("cocoa/p4/localiters+tol", func(e *goldenEnv) (*solver.Result, error) {
-		w := dist.NewWorld(4, perf.Comet())
+		w := newGoldenWorld(4)
 		o := cocoa.Options{Lambda: e.prob.Lambda, Rounds: 12, LocalIters: 5, SigmaPrime: 2,
 			EvalEvery: 3, Tol: 0.5, FStar: e.fstar, Seed: 3}
 		return cocoa.SolveDistributed(w, e.prob.X, e.prob.Y, o)
@@ -445,13 +462,13 @@ func goldenConfigs() []goldenConfig {
 	for _, p := range []int{1, 4} {
 		p := p
 		add(fmt.Sprintf("cabcd/p%d", p), func(e *goldenEnv) (*solver.Result, error) {
-			w := dist.NewWorld(p, perf.Comet())
+			w := newGoldenWorld(p)
 			o := cabcd.Options{Lambda2: 0.05, BlockSize: 3, S: 2, MaxRounds: 10, Seed: 21}
 			return cabcd.SolveDistributed(w, e.prob.X, e.prob.Y, o)
 		})
 	}
 	add("cabcd/p4/s1+tol", func(e *goldenEnv) (*solver.Result, error) {
-		w := dist.NewWorld(4, perf.Comet())
+		w := newGoldenWorld(4)
 		o := cabcd.Options{Lambda2: 0.05, BlockSize: 3, S: 1, MaxRounds: 10, EvalEvery: 2,
 			Tol: 0.5, FStar: e.fstar, Seed: 21}
 		return cabcd.SolveDistributed(w, e.prob.X, e.prob.Y, o)

@@ -317,13 +317,13 @@ func sparseRowDot(ia []int, va []float64, ib []int, vb []float64) float64 {
 
 // SolveDistributed partitions (x, y) across the world and runs CA-BCD
 // on all ranks, mirroring solver.SolveDistributed.
-func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
+func SolveDistributed(w dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
 	return SolveDistributedContext(context.Background(), w, x, y, opts)
 }
 
 // SolveDistributedContext is SolveDistributed under a context, with
 // the partial-result contract of solver.SolveDistributedContext.
-func SolveDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
+func SolveDistributedContext(ctx context.Context, w dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
 	return solvercore.RunWorld(w, func(c dist.Comm) (*solver.Result, error) {
 		local := solver.Partition(x, y, c.Size(), c.Rank())
 		return SolveContext(ctx, c, local, opts)

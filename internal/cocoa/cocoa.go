@@ -274,13 +274,13 @@ func (e *cocoaEngine) MoreAfterNext() bool { return e.rec.Rounds+1 < e.opts.Roun
 // SolveDistributed partitions x by features across the world and runs
 // ProxCoCoA on all ranks, returning rank 0's result with world-level
 // critical-path costs (mirrors solver.SolveDistributed).
-func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
+func SolveDistributed(w dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
 	return SolveDistributedContext(context.Background(), w, x, y, opts)
 }
 
 // SolveDistributedContext is SolveDistributed under a context, with
 // the partial-result contract of solver.SolveDistributedContext.
-func SolveDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
+func SolveDistributedContext(ctx context.Context, w dist.World, x *sparse.CSC, y []float64, opts Options) (*solver.Result, error) {
 	xRows := x.ToCSR()
 	return solvercore.RunWorld(w, func(c dist.Comm) (*solver.Result, error) {
 		local := Partition(xRows, y, c.Size(), c.Rank())

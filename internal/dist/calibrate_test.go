@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// calOpts keeps calibration sweeps small enough for the test suite.
+var calOpts = CalibrationOptions{
+	Sizes:      []int{1, 256, 2048},
+	Reps:       3,
+	GammaFlops: 1 << 16,
+}
+
+// TestCalibrateOverTCP: calibration over the real TCP transport
+// produces a valid machine (all parameters positive and measured, not
+// the assumed baseline), identical bits on every rank, and leaves the
+// cost counters untouched.
+func TestCalibrateOverTCP(t *testing.T) {
+	w, err := NewWorldOn("tcp", 4, perf.Comet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cals := make([]Calibration, 4)
+	if err := w.Run(func(c Comm) error {
+		pre := *c.Cost()
+		cals[c.Rank()] = Calibrate(c, calOpts)
+		if *c.Cost() != pre {
+			t.Errorf("rank %d: calibration charged costs: %+v", c.Rank(), *c.Cost())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := cals[0].Machine
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fitted machine invalid: %v (%+v)", err, m)
+	}
+	base := perf.Comet()
+	if m.Alpha == base.Alpha && m.Beta == base.Beta && m.Gamma == base.Gamma {
+		t.Fatal("calibration returned the assumed baseline untouched")
+	}
+	if m.Name != "calibrated(comet)" {
+		t.Fatalf("machine name %q", m.Name)
+	}
+	for r := 1; r < 4; r++ {
+		mr := cals[r].Machine
+		if math.Float64bits(mr.Alpha) != math.Float64bits(m.Alpha) ||
+			math.Float64bits(mr.Beta) != math.Float64bits(m.Beta) ||
+			math.Float64bits(mr.Gamma) != math.Float64bits(m.Gamma) {
+			t.Fatalf("rank %d machine diverged: %+v vs %+v", r, mr, m)
+		}
+		if len(cals[r].PingPong) != len(calOpts.Sizes) || len(cals[r].Allreduce) != len(calOpts.Sizes) {
+			t.Fatalf("rank %d sweep points missing: %+v", r, cals[r])
+		}
+	}
+	// The samples behind the fit are real timings.
+	for _, pt := range cals[0].PingPong {
+		if pt.Seconds <= 0 {
+			t.Fatalf("non-positive ping-pong sample %+v", pt)
+		}
+	}
+	if cals[0].String() == "" {
+		t.Fatal("empty calibration report")
+	}
+}
+
+// TestCalibrateSingleRank: with nobody to ping-pong with, alpha/beta
+// keep the communicator's assumed values and only gamma is measured.
+func TestCalibrateSingleRank(t *testing.T) {
+	c := NewSelfComm(perf.HighLatency())
+	cal := Calibrate(c, calOpts)
+	if cal.Machine.Alpha != perf.HighLatency().Alpha || cal.Machine.Beta != perf.HighLatency().Beta {
+		t.Fatalf("single-rank alpha/beta should keep the baseline: %+v", cal.Machine)
+	}
+	if cal.Machine.Gamma <= 0 {
+		t.Fatalf("gamma not measured: %+v", cal.Machine)
+	}
+	if err := cal.Machine.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalibrateOnChanBackend: the routine is transport-generic — it
+// must run on the in-process channels backend too (the timings then
+// reflect shared memory, which is exactly what a user calibrating the
+// simulation backend asks for).
+func TestCalibrateOnChanBackend(t *testing.T) {
+	w := NewWorld(2, perf.Comet())
+	if err := w.Run(func(c Comm) error {
+		cal := Calibrate(c, calOpts)
+		return cal.Machine.Validate()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFitAlphaBeta: the least-squares fit recovers planted parameters
+// from exact samples and clamps degenerate fits positive.
+func TestFitAlphaBeta(t *testing.T) {
+	const alpha, beta = 2e-5, 3e-9
+	var pts []CalibrationPoint
+	for _, n := range []int{1, 64, 512, 4096} {
+		pts = append(pts, CalibrationPoint{Words: n, Seconds: alpha + beta*float64(n)})
+	}
+	a, b := fitAlphaBeta(pts)
+	if math.Abs(a-alpha)/alpha > 1e-9 || math.Abs(b-beta)/beta > 1e-9 {
+		t.Fatalf("fit (%g, %g), want (%g, %g)", a, b, alpha, beta)
+	}
+	// Decreasing samples would fit a negative slope; the clamp keeps
+	// the model valid.
+	a, b = fitAlphaBeta([]CalibrationPoint{{1, 5e-6}, {4096, 1e-6}})
+	if a <= 0 || b <= 0 {
+		t.Fatalf("clamp failed: (%g, %g)", a, b)
+	}
+}

@@ -132,33 +132,11 @@ func completedRequest(res []float64) *Request {
 	return &Request{result: res, done: true}
 }
 
-// AllreduceCost returns the alpha-beta-gamma cost one rank is charged
-// for a tree allreduce of words payload words on p ranks. This is the
-// quantity Request.Wait charges and the communication segment the
-// overlap cost model (perf.Machine.Overlap) compares compute against.
-func AllreduceCost(p, words int) perf.Cost {
-	var c perf.Cost
-	chargeTree(&c, p, int64(words), true)
-	return c
-}
-
-// AllreduceScalar is a convenience wrapper reducing a single value.
+// AllreduceScalar is a convenience wrapper reducing a single value. It
+// routes through the backend's Allreduce, so the cost bookkeeping is
+// the shared chargeAllreduce helper on every transport.
 func AllreduceScalar(c Comm, x float64, op Op) float64 {
 	buf := [1]float64{x}
 	c.Allreduce(buf[:], op)
 	return buf[0]
-}
-
-// chargeTree charges the cost of a log2(P)-depth tree collective moving
-// words payload words at each of the lg levels, with optional reduction
-// flops (n adds per level).
-func chargeTree(cost *perf.Cost, p int, words int64, reduceFlops bool) {
-	lg := int64(perf.Log2Ceil(p))
-	if lg == 0 {
-		return
-	}
-	cost.AddMessages(lg, words)
-	if reduceFlops {
-		cost.AddFlops(lg * words)
-	}
 }

@@ -1,0 +1,365 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// Backend conformance suite: every registered transport must present
+// the identical Comm contract — same collective results bit for bit,
+// same cost counters, same abort behavior, no goroutine leaks. New
+// backends get the whole battery for free by registering.
+
+// forEachBackend runs f once per registered backend that supports this
+// environment.
+func forEachBackend(t *testing.T, f func(t *testing.T, b Backend)) {
+	t.Helper()
+	for _, name := range Backends() {
+		b, err := LookupBackend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			if err := b.Supported(); err != nil {
+				t.Skipf("backend %s unsupported here: %v", name, err)
+			}
+			f(t, b)
+		})
+	}
+}
+
+func mustWorld(t *testing.T, b Backend, p int) World {
+	t.Helper()
+	w, err := b.NewWorld(p, unitMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestConformanceRegistry: both shipped backends are registered and
+// resolvable, and "auto" resolves to a supported one.
+func TestConformanceRegistry(t *testing.T) {
+	names := Backends()
+	want := map[string]bool{"chan": false, "tcp": false}
+	for _, n := range names {
+		if _, seen := want[n]; seen {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("backend %q not registered (have %v)", n, names)
+		}
+	}
+	b, err := LookupBackend("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Supported(); err != nil {
+		t.Fatalf("auto selected unsupported backend %s: %v", b.Name(), err)
+	}
+	if _, err := LookupBackend("smoke-signals"); err == nil {
+		t.Fatal("unknown backend name resolved")
+	}
+	if _, err := b.NewWorld(0, unitMachine()); err == nil {
+		t.Fatal("0-rank world created")
+	}
+}
+
+// TestConformanceCollectives: the full collective surface produces
+// correct values on every backend, at P values covering the golden
+// grid.
+func TestConformanceCollectives(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		for _, p := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("P%d", p), func(t *testing.T) {
+				w := mustWorld(t, b, p)
+				err := w.Run(func(c Comm) error {
+					r := float64(c.Rank())
+					// Allreduce sum and max.
+					buf := []float64{r, 1, -r}
+					c.Allreduce(buf, OpSum)
+					pf := float64(p)
+					if buf[1] != pf || buf[0] != pf*(pf-1)/2 {
+						return fmt.Errorf("allreduce sum: %v", buf)
+					}
+					buf = []float64{r}
+					c.Allreduce(buf, OpMax)
+					if buf[0] != pf-1 {
+						return fmt.Errorf("allreduce max: %v", buf)
+					}
+					// AllreduceShared.
+					res := c.AllreduceShared([]float64{r, 2})
+					if res[0] != pf*(pf-1)/2 || res[1] != 2*pf {
+						return fmt.Errorf("allreduce shared: %v", res)
+					}
+					// Nonblocking allreduce, two overlapping rounds.
+					req1 := c.IAllreduceShared([]float64{r})
+					req2 := c.IAllreduceShared([]float64{1})
+					if got := req2.Wait()[0]; got != pf {
+						return fmt.Errorf("iallreduce round 2: %g", got)
+					}
+					if got := req1.Wait()[0]; got != pf*(pf-1)/2 {
+						return fmt.Errorf("iallreduce round 1: %g", got)
+					}
+					// Bcast from a non-zero root.
+					root := (p - 1) % p
+					bc := []float64{r + 1}
+					if c.Rank() == root {
+						bc[0] = 42
+					}
+					c.Bcast(bc, root)
+					if bc[0] != 42 {
+						return fmt.Errorf("bcast: %v", bc)
+					}
+					// Reduce to a non-zero root.
+					rd := []float64{r}
+					c.Reduce(rd, OpSum, root)
+					if c.Rank() == root && rd[0] != pf*(pf-1)/2 {
+						return fmt.Errorf("reduce at root: %v", rd)
+					}
+					if c.Rank() != root && rd[0] != r {
+						return fmt.Errorf("reduce clobbered non-root buf: %v", rd)
+					}
+					// Allgather with ragged lengths.
+					local := make([]float64, c.Rank()+1)
+					for i := range local {
+						local[i] = r
+					}
+					gath := c.Allgather(local)
+					if len(gath) != p*(p+1)/2 {
+						return fmt.Errorf("allgather length %d", len(gath))
+					}
+					idx := 0
+					for src := 0; src < p; src++ {
+						for i := 0; i <= src; i++ {
+							if gath[idx] != float64(src) {
+								return fmt.Errorf("allgather[%d] = %g, want %d", idx, gath[idx], src)
+							}
+							idx++
+						}
+					}
+					// Point-to-point ring.
+					c.Send((c.Rank()+1)%p, []float64{r})
+					got := c.Recv((c.Rank() + p - 1) % p)
+					if got[0] != float64((c.Rank()+p-1)%p) {
+						return fmt.Errorf("ring recv: %v", got)
+					}
+					c.Barrier()
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	})
+}
+
+// TestConformanceCrossBackendBitIdentity: the same reduction-heavy
+// program produces bit-identical results AND bit-identical cost
+// counters on every backend — the property that lets one golden
+// fixture set serve as the oracle for all transports.
+func TestConformanceCrossBackendBitIdentity(t *testing.T) {
+	const p = 4
+	const rounds = 6
+	program := func(w World) ([][]float64, []perf.Cost) {
+		out := make([][]float64, p)
+		err := w.Run(func(c Comm) error {
+			// Ill-conditioned contributions: summation order changes the
+			// bits, so agreement means the combine order matched exactly.
+			state := []float64{1e-16 * float64(c.Rank()+1), 1, 1e16 * float64(c.Rank()%2*2-1)}
+			for i := 0; i < rounds; i++ {
+				res := c.AllreduceShared(state)
+				req := c.IAllreduceShared(res)
+				state = append([]float64(nil), req.Wait()...)
+				state[0] += 0.1 * float64(c.Rank()) * state[1]
+				c.Allreduce(state, OpSum)
+			}
+			out[c.Rank()] = state
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := make([]perf.Cost, p)
+		for r := 0; r < p; r++ {
+			costs[r] = perf.Cost(w.RankCost(r))
+		}
+		return out, costs
+	}
+
+	type result struct {
+		name  string
+		out   [][]float64
+		costs []perf.Cost
+	}
+	var results []result
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		out, costs := program(mustWorld(t, b, p))
+		results = append(results, result{b.Name(), out, costs})
+	})
+	if len(results) < 2 {
+		t.Skip("fewer than two supported backends")
+	}
+	ref := results[0]
+	for _, got := range results[1:] {
+		for r := 0; r < p; r++ {
+			for i := range ref.out[r] {
+				if math.Float64bits(ref.out[r][i]) != math.Float64bits(got.out[r][i]) {
+					t.Fatalf("rank %d word %d: %s=%x %s=%x", r, i,
+						ref.name, math.Float64bits(ref.out[r][i]),
+						got.name, math.Float64bits(got.out[r][i]))
+				}
+			}
+			if ref.costs[r] != got.costs[r] {
+				t.Fatalf("rank %d cost diverged: %s=%+v %s=%+v", r,
+					ref.name, ref.costs[r], got.name, got.costs[r])
+			}
+		}
+	}
+}
+
+// TestConformanceAbort: a failing rank aborts the world on every
+// backend — ranks parked in collectives are released, the error
+// surfaces from Run, and no goroutine survives.
+func TestConformanceAbort(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		baseline := runtime.NumGoroutine()
+		w := mustWorld(t, b, 4)
+		bang := errors.New("bang")
+		err := w.Run(func(c Comm) error {
+			if c.Rank() == 2 {
+				return bang
+			}
+			c.Barrier()
+			c.Allreduce(make([]float64, 8), OpSum)
+			return errors.New("survived an aborted world")
+		})
+		if !errors.Is(err, bang) {
+			t.Fatalf("err = %v, want injected failure", err)
+		}
+		VerifyNoGoroutineLeaks(t, baseline)
+	})
+}
+
+// TestConformancePanicRecovery: a panicking rank is reported as an
+// error, not a process crash, on every backend.
+func TestConformancePanicRecovery(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		baseline := runtime.NumGoroutine()
+		w := mustWorld(t, b, 3)
+		err := w.Run(func(c Comm) error {
+			if c.Rank() == 1 {
+				panic("kaboom")
+			}
+			c.Barrier()
+			return nil
+		})
+		if err == nil {
+			t.Fatal("panic did not surface as a Run error")
+		}
+		VerifyNoGoroutineLeaks(t, baseline)
+	})
+}
+
+// TestConformanceLeakFree: a clean multi-Run lifecycle releases every
+// goroutine and keeps accumulating costs until ResetCosts.
+func TestConformanceLeakFree(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		baseline := runtime.NumGoroutine()
+		w := mustWorld(t, b, 4)
+		for i := 0; i < 3; i++ {
+			if err := w.Run(func(c Comm) error {
+				c.Allreduce(make([]float64, 16), OpSum)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := w.RankCost(0).Messages; got != 3*2 {
+			t.Fatalf("3 runs accumulated %d messages, want 6", got)
+		}
+		w.ResetCosts()
+		if got := w.RankCost(0); got != (perf.Cost{}) {
+			t.Fatalf("ResetCosts left %+v", got)
+		}
+		if len(w.Profile()) == 0 {
+			t.Fatal("profile recorded nothing")
+		}
+		VerifyNoGoroutineLeaks(t, baseline)
+	})
+}
+
+// TestConformanceFaultyComm: the PR 2 fault-injection wrapper is
+// transport-agnostic — the same fault plan yields the same attempt
+// outcomes and the same cost counters on every backend.
+func TestConformanceFaultyComm(t *testing.T) {
+	const p = 4
+	plan := &FaultPlan{
+		Seed: 7,
+		Schedule: []ScheduledFault{
+			{Round: 1, Kind: FaultDrop, Attempts: 1},
+			{Round: 2, Kind: FaultStraggler, Rank: 1, DelaySec: 1.5},
+		},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		res  []float64
+		ok   bool
+		cost perf.Cost
+	}
+	program := func(w World) [][]obs {
+		out := make([][]obs, p)
+		err := w.Run(func(c Comm) error {
+			fc := NewFaultyComm(c, plan, 1.0)
+			for round := 0; round < 4; round++ {
+				res, ok := fc.AttemptAllreduceShared([]float64{float64(c.Rank()), 1}, 0)
+				var cp []float64
+				if res != nil {
+					cp = append([]float64(nil), res...)
+				}
+				out[c.Rank()] = append(out[c.Rank()], obs{res: cp, ok: ok, cost: perf.Cost(*c.Cost())})
+				fc.EndRound()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	var results [][][]obs
+	var names []string
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		results = append(results, program(mustWorld(t, b, p)))
+		names = append(names, b.Name())
+	})
+	if len(results) < 2 {
+		t.Skip("fewer than two supported backends")
+	}
+	for bi := 1; bi < len(results); bi++ {
+		for r := 0; r < p; r++ {
+			for round := range results[0][r] {
+				a, z := results[0][r][round], results[bi][r][round]
+				if a.ok != z.ok || len(a.res) != len(z.res) || a.cost != z.cost {
+					t.Fatalf("rank %d round %d: %s=%+v %s=%+v", r, round, names[0], a, names[bi], z)
+				}
+				for i := range a.res {
+					if math.Float64bits(a.res[i]) != math.Float64bits(z.res[i]) {
+						t.Fatalf("rank %d round %d word %d differs across backends", r, round, i)
+					}
+				}
+			}
+		}
+	}
+}
+

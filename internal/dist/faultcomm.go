@@ -122,7 +122,7 @@ func (f *FaultyComm) resolveAttempt(v Verdict, round, attempt int, res []float64
 		// timeout before declaring the attempt dead. No rank receives
 		// data, and — because the verdict is shared — no rank enters
 		// the underlying collective, so nobody deadlocks.
-		chargeTree(cost, f.Size(), int64(words), true)
+		chargeAllreduce(cost, f.Size(), words)
 		cost.AddStall(f.timeoutSec)
 		stall := f.timeoutSec
 		if v.Kind == FaultCrash && f.plan.Crash != nil &&

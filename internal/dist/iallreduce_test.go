@@ -67,7 +67,7 @@ func TestIAllreduceSharedMatchesBlocking(t *testing.T) {
 func TestIAllreduceSharedMultipleInFlight(t *testing.T) {
 	const p = 4
 	const rounds = 3
-	w := NewWorld(p, unitMachine())
+	w := newChanWorld(p, unitMachine())
 	err := w.Run(func(c Comm) error {
 		reqs := make([]*Request, rounds)
 		locals := make([][]float64, rounds)
@@ -165,7 +165,7 @@ func TestIAllreduceSharedSelfComm(t *testing.T) {
 // of every rank until the World itself was collected.
 func TestFailedRunReleasesCollectiveState(t *testing.T) {
 	const p = 4
-	w := NewWorld(p, unitMachine())
+	w := newChanWorld(p, unitMachine())
 	bang := errors.New("bang")
 	err := w.Run(func(c Comm) error {
 		// A successful collective populates contrib/shared/scratch and
@@ -240,7 +240,7 @@ func TestPendingAttemptMatchesBlockingAttempt(t *testing.T) {
 		res []float64
 		ok  bool
 	}
-	run := func(pending bool) ([][]outcome, *World, []FaultEvent) {
+	run := func(pending bool) ([][]outcome, World, []FaultEvent) {
 		w := NewWorld(p, unitMachine())
 		out := make([][]outcome, p)
 		var events []FaultEvent

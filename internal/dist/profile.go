@@ -49,20 +49,20 @@ type ProfileEntry struct {
 	Words int64
 }
 
-// Profile returns per-collective usage statistics for all runs of this
-// world, sorted by call count (descending, ties by name). Entries with
-// zero calls are omitted.
-func (w *World) Profile() []ProfileEntry {
+// entries returns per-collective usage statistics, sorted by call
+// count (descending, ties by name). Entries with zero calls are
+// omitted.
+func (p *profile) entries() []ProfileEntry {
 	var out []ProfileEntry
 	for k := 0; k < kindCount; k++ {
-		calls := w.prof.calls[k].Load()
+		calls := p.calls[k].Load()
 		if calls == 0 {
 			continue
 		}
 		out = append(out, ProfileEntry{
 			Name:  kindNames[k],
 			Calls: calls,
-			Words: w.prof.words[k].Load(),
+			Words: p.words[k].Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -74,9 +74,9 @@ func (w *World) Profile() []ProfileEntry {
 	return out
 }
 
-// ProfileString renders the profile as a small table.
-func (w *World) ProfileString() string {
-	entries := w.Profile()
+// table renders the profile as a small table.
+func (p *profile) table() string {
+	entries := p.entries()
 	if len(entries) == 0 {
 		return "(no collectives recorded)\n"
 	}
@@ -87,3 +87,10 @@ func (w *World) ProfileString() string {
 	}
 	return b.String()
 }
+
+// Profile returns per-collective usage statistics for all runs of this
+// world.
+func (w *chanWorld) Profile() []ProfileEntry { return w.prof.entries() }
+
+// ProfileString renders the profile as a small table.
+func (w *chanWorld) ProfileString() string { return w.prof.table() }

@@ -1,0 +1,245 @@
+package dist
+
+import "fmt"
+
+// TCP collectives. Every collective is hub-based: contributors send
+// FrameContrib to the hub (rank 0, or the call's root), the hub
+// combines in ascending rank order starting from its own buffer — the
+// exact arithmetic sequence of the chan backend's reductions — and
+// FrameResult carries the combined payload back. All ranks issue
+// collectives in identical program order (the MPI contract the chan
+// backend already relies on), so a single per-rank sequence counter
+// matches the frames up without any extra synchronization. Costs go
+// through the same shared accounting helpers as the chan backend,
+// which is what keeps the golden fixtures' Cost counters bit-identical
+// across transports.
+
+// collSeq consumes the next collective sequence number.
+func (c *TCPComm) collSeq() uint32 {
+	s := c.seq
+	c.seq++
+	return s
+}
+
+// bcastResult sends the hub's combined payload to every other rank.
+func (c *TCPComm) bcastResult(seq uint32, payload []float64) {
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		c.sendTo(r, Frame{Kind: FrameResult, Rank: uint32(c.rank), Seq: seq, Payload: payload})
+	}
+}
+
+// Barrier synchronizes all ranks: a zero-payload gather at rank 0
+// released by a zero-payload result. Charges a log2(P)-depth
+// synchronization, identical to the chan backend.
+func (c *TCPComm) Barrier() {
+	if c.size == 1 {
+		return
+	}
+	seq := c.collSeq()
+	if c.rank == 0 {
+		c.waitContribs(seq)
+		c.bcastResult(seq, nil)
+	} else {
+		c.sendTo(0, Frame{Kind: FrameContrib, Rank: uint32(c.rank), Seq: seq})
+		c.waitResult(seq)
+	}
+	c.prof.record(kindBarrier, 0)
+	chargeBarrier(&c.cost, c.size)
+}
+
+// Allreduce combines buf across ranks element-wise with op and leaves
+// the result in every rank's buf. Rank 0 combines contributions in
+// ascending rank order starting from its own buffer, so the result is
+// bit-identical to the chan backend's.
+func (c *TCPComm) Allreduce(buf []float64, op Op) {
+	if c.size == 1 {
+		return
+	}
+	seq := c.collSeq()
+	if c.rank == 0 {
+		set := c.waitContribs(seq)
+		res := make([]float64, len(buf))
+		copy(res, buf)
+		for r := 1; r < c.size; r++ {
+			if len(set.bufs[r]) != len(buf) {
+				panic(fmt.Sprintf("dist: Allreduce length mismatch: rank 0 has %d, rank %d has %d",
+					len(buf), r, len(set.bufs[r])))
+			}
+			op.combine(res, set.bufs[r])
+		}
+		c.bcastResult(seq, res)
+		copy(buf, res)
+	} else {
+		c.sendTo(0, Frame{Kind: FrameContrib, Rank: uint32(c.rank), Seq: seq, Payload: buf})
+		res := c.waitResult(seq)
+		if len(res) != len(buf) {
+			panic(fmt.Sprintf("dist: Allreduce length mismatch: rank 0 has %d, rank %d has %d",
+				len(res), c.rank, len(buf)))
+		}
+		copy(buf, res)
+	}
+	c.prof.record(kindAllreduce, len(buf))
+	chargeAllreduce(&c.cost, c.size, len(buf))
+}
+
+// AllreduceShared sums local across ranks and returns a freshly
+// allocated result slice every rank must treat as read-only. Values
+// are bit-identical to the chan backend's shared slice; over TCP each
+// rank necessarily holds its own physical copy.
+func (c *TCPComm) AllreduceShared(local []float64) []float64 {
+	if c.size == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return out
+	}
+	seq := c.collSeq()
+	var out []float64
+	if c.rank == 0 {
+		set := c.waitContribs(seq)
+		out = make([]float64, len(local))
+		copy(out, local)
+		for r := 1; r < c.size; r++ {
+			if len(set.bufs[r]) != len(local) {
+				panic(fmt.Sprintf("dist: AllreduceShared length mismatch: rank 0 has %d, rank %d has %d",
+					len(local), r, len(set.bufs[r])))
+			}
+			OpSum.combine(out, set.bufs[r])
+		}
+		c.bcastResult(seq, out)
+	} else {
+		c.sendTo(0, Frame{Kind: FrameContrib, Rank: uint32(c.rank), Seq: seq, Payload: local})
+		out = c.waitResult(seq)
+		if len(out) != len(local) {
+			panic(fmt.Sprintf("dist: AllreduceShared length mismatch: rank 0 has %d, rank %d has %d",
+				len(out), c.rank, len(local)))
+		}
+	}
+	c.prof.record(kindAllreduceShared, len(local))
+	chargeAllreduce(&c.cost, c.size, len(local))
+	return out
+}
+
+// IAllreduceShared posts the nonblocking sum-allreduce. Contributors
+// ship their payload at post time and overlap compute with the wire
+// transfer; the hub defers combining to Wait (every rank posts in the
+// same program order, so the contributions for this sequence number
+// are unambiguous). Cost is charged at Wait, exactly like the chan
+// backend, and the combine order makes the result bit-identical.
+func (c *TCPComm) IAllreduceShared(local []float64) *Request {
+	if c.size == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return completedRequest(out)
+	}
+	seq := c.collSeq()
+	if c.rank != 0 {
+		c.sendTo(0, Frame{Kind: FrameContrib, Rank: uint32(c.rank), Seq: seq, Payload: local})
+		n := len(local)
+		return &Request{wait: func() []float64 {
+			res := c.waitResult(seq)
+			if len(res) != n {
+				panic(fmt.Sprintf("dist: IAllreduceShared length mismatch: rank 0 has %d, rank %d has %d",
+					len(res), c.rank, n))
+			}
+			c.prof.record(kindIAllreduceShared, n)
+			chargeAllreduce(&c.cost, c.size, n)
+			return res
+		}}
+	}
+	return &Request{wait: func() []float64 {
+		set := c.waitContribs(seq)
+		res := make([]float64, len(local))
+		copy(res, local)
+		for r := 1; r < c.size; r++ {
+			if len(set.bufs[r]) != len(local) {
+				panic(fmt.Sprintf("dist: IAllreduceShared length mismatch: rank 0 has %d, rank %d has %d",
+					len(local), r, len(set.bufs[r])))
+			}
+			OpSum.combine(res, set.bufs[r])
+		}
+		c.bcastResult(seq, res)
+		c.prof.record(kindIAllreduceShared, len(local))
+		chargeAllreduce(&c.cost, c.size, len(local))
+		return res
+	}}
+}
+
+// Bcast copies root's buf into every rank's buf.
+func (c *TCPComm) Bcast(buf []float64, root int) {
+	if c.size == 1 {
+		return
+	}
+	seq := c.collSeq()
+	if c.rank == root {
+		c.bcastResult(seq, buf)
+	} else {
+		res := c.waitResult(seq)
+		if len(res) != len(buf) {
+			panic("dist: Bcast length mismatch")
+		}
+		copy(buf, res)
+	}
+	c.prof.record(kindBcast, len(buf))
+	chargeBcast(&c.cost, c.size, len(buf))
+}
+
+// Reduce combines buf across ranks with op into root's buf; other
+// ranks' buffers are unchanged and do not wait for the result. The
+// root combines in ascending rank order (skipping itself), matching
+// the chan backend bit for bit.
+func (c *TCPComm) Reduce(buf []float64, op Op, root int) {
+	if c.size == 1 {
+		return
+	}
+	seq := c.collSeq()
+	if c.rank == root {
+		set := c.waitContribs(seq)
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if len(set.bufs[r]) != len(buf) {
+				panic("dist: Reduce length mismatch")
+			}
+			op.combine(buf, set.bufs[r])
+		}
+	} else {
+		c.sendTo(root, Frame{Kind: FrameContrib, Rank: uint32(c.rank), Seq: seq, Payload: buf})
+	}
+	c.prof.record(kindReduce, len(buf))
+	chargeReduce(&c.cost, c.size, len(buf))
+}
+
+// Allgather concatenates every rank's local slice in rank order and
+// returns the concatenation to all ranks.
+func (c *TCPComm) Allgather(local []float64) []float64 {
+	if c.size == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return out
+	}
+	seq := c.collSeq()
+	var out []float64
+	if c.rank == 0 {
+		set := c.waitContribs(seq)
+		total := len(local)
+		for r := 1; r < c.size; r++ {
+			total += len(set.bufs[r])
+		}
+		out = make([]float64, 0, total)
+		out = append(out, local...)
+		for r := 1; r < c.size; r++ {
+			out = append(out, set.bufs[r]...)
+		}
+		c.bcastResult(seq, out)
+	} else {
+		c.sendTo(0, Frame{Kind: FrameContrib, Rank: uint32(c.rank), Seq: seq, Payload: local})
+		out = c.waitResult(seq)
+	}
+	c.prof.record(kindAllgather, len(local))
+	chargeAllgather(&c.cost, c.size, len(local), len(out))
+	return out
+}

@@ -7,9 +7,12 @@ import (
 	"github.com/hpcgo/rcsfista/internal/perf"
 )
 
-// World owns the shared state of a P-rank run. Create with NewWorld,
-// execute with Run, then inspect per-rank costs.
-type World struct {
+// chanWorld owns the shared state of a P-rank run on the in-process
+// goroutines+channels transport: P ranks execute as P goroutines and
+// collectives move data through shared memory. Create with NewWorld
+// (or the "chan" backend), execute with Run, then inspect per-rank
+// costs.
+type chanWorld struct {
 	size    int
 	machine perf.Machine
 
@@ -31,12 +34,18 @@ type World struct {
 	p2p   map[[2]int]chan []float64
 }
 
-// NewWorld creates a world of p ranks charging costs against machine.
-func NewWorld(p int, machine perf.Machine) *World {
+// NewWorld creates a world of p ranks charging costs against machine
+// on the default in-process channels transport. Transport-selecting
+// callers use NewWorldOn instead.
+func NewWorld(p int, machine perf.Machine) World {
 	if p < 1 {
 		panic("dist: world size must be >= 1")
 	}
-	return &World{
+	return newChanWorld(p, machine)
+}
+
+func newChanWorld(p int, machine perf.Machine) *chanWorld {
+	return &chanWorld{
 		size:    p,
 		machine: machine,
 		bar:     newBarrier(p),
@@ -49,14 +58,14 @@ func NewWorld(p int, machine perf.Machine) *World {
 }
 
 // Size returns the number of ranks.
-func (w *World) Size() int { return w.size }
+func (w *chanWorld) Size() int { return w.size }
 
 // Run executes fn on every rank concurrently and waits for completion.
 // The first non-nil error (or recovered panic) aborts the world: ranks
 // blocked in collectives are released and Run returns the error. A
 // World can be Run multiple times; costs accumulate across runs until
 // ResetCosts.
-func (w *World) Run(fn func(c Comm) error) error {
+func (w *chanWorld) Run(fn func(c Comm) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, w.size)
 	for r := 0; r < w.size; r++ {
@@ -113,11 +122,11 @@ func (w *World) Run(fn func(c Comm) error) error {
 }
 
 // RankCost returns the accumulated cost of rank r.
-func (w *World) RankCost(r int) perf.Cost { return w.costs[r] }
+func (w *chanWorld) RankCost(r int) perf.Cost { return w.costs[r] }
 
 // MaxCost returns the component-wise maximum cost over ranks — the
 // bulk-synchronous critical path.
-func (w *World) MaxCost() perf.Cost {
+func (w *chanWorld) MaxCost() perf.Cost {
 	var m perf.Cost
 	for _, c := range w.costs {
 		m = m.Max(c)
@@ -126,7 +135,7 @@ func (w *World) MaxCost() perf.Cost {
 }
 
 // TotalCost returns the sum of all rank costs.
-func (w *World) TotalCost() perf.Cost {
+func (w *chanWorld) TotalCost() perf.Cost {
 	var t perf.Cost
 	for _, c := range w.costs {
 		t.Add(c)
@@ -136,21 +145,21 @@ func (w *World) TotalCost() perf.Cost {
 
 // ModeledSeconds evaluates the alpha-beta-gamma model on the critical
 // path (max over ranks), the quantity the speedup figures report.
-func (w *World) ModeledSeconds() float64 {
+func (w *chanWorld) ModeledSeconds() float64 {
 	return w.machine.Seconds(w.MaxCost())
 }
 
 // ResetCosts clears all per-rank cost counters.
-func (w *World) ResetCosts() {
+func (w *chanWorld) ResetCosts() {
 	for i := range w.costs {
 		w.costs[i] = perf.Cost{}
 	}
 }
 
 // Machine returns the world's machine model.
-func (w *World) Machine() perf.Machine { return w.machine }
+func (w *chanWorld) Machine() perf.Machine { return w.machine }
 
-func (w *World) channel(from, to int) chan []float64 {
+func (w *chanWorld) channel(from, to int) chan []float64 {
 	key := [2]int{from, to}
 	w.p2pMu.Lock()
 	defer w.p2pMu.Unlock()
@@ -164,7 +173,7 @@ func (w *World) channel(from, to int) chan []float64 {
 
 // worldComm is the per-rank communicator handle.
 type worldComm struct {
-	w      *World
+	w      *chanWorld
 	rank   int
 	iarSeq int // next nonblocking-collective sequence number
 }
@@ -184,7 +193,7 @@ func (c *worldComm) Barrier() {
 	}
 	c.w.bar.wait()
 	c.w.prof.record(kindBarrier, 0)
-	chargeTree(c.Cost(), c.w.size, 1, false)
+	chargeBarrier(c.Cost(), c.w.size)
 }
 
 // Allreduce combines buf across ranks and leaves the result everywhere.
@@ -216,7 +225,7 @@ func (c *worldComm) Allreduce(buf []float64, op Op) {
 	copy(buf, w.shared)
 	w.bar.wait() // all ranks copied before the scratch buffer is reused
 	w.prof.record(kindAllreduce, len(buf))
-	chargeTree(c.Cost(), w.size, int64(len(buf)), true)
+	chargeAllreduce(c.Cost(), w.size, len(buf))
 }
 
 // AllreduceShared sums local across ranks and hands every rank the same
@@ -247,7 +256,7 @@ func (c *worldComm) AllreduceShared(local []float64) []float64 {
 	out := w.shared
 	w.bar.wait()
 	w.prof.record(kindAllreduceShared, len(local))
-	chargeTree(c.Cost(), w.size, int64(len(local)), true)
+	chargeAllreduce(c.Cost(), w.size, len(local))
 	return out
 }
 
@@ -287,7 +296,7 @@ func (rd *iarRound) combine() {
 
 // iarGet returns (creating if needed) the in-flight round with the
 // given sequence number.
-func (w *World) iarGet(seq int) *iarRound {
+func (w *chanWorld) iarGet(seq int) *iarRound {
 	w.iarMu.Lock()
 	defer w.iarMu.Unlock()
 	rd, ok := w.iar[seq]
@@ -335,7 +344,7 @@ func (c *worldComm) IAllreduceShared(local []float64) *Request {
 			panic(rd.errMsg)
 		}
 		w.prof.record(kindIAllreduceShared, n)
-		chargeTree(&w.costs[rank], w.size, int64(n), true)
+		chargeAllreduce(&w.costs[rank], w.size, n)
 		w.iarMu.Lock()
 		rd.waited++
 		if rd.waited == w.size {
@@ -365,7 +374,7 @@ func (c *worldComm) Bcast(buf []float64, root int) {
 	}
 	w.bar.wait()
 	w.prof.record(kindBcast, len(buf))
-	chargeTree(c.Cost(), w.size, int64(len(buf)), false)
+	chargeBcast(c.Cost(), w.size, len(buf))
 }
 
 // Reduce combines buf across ranks into root's buf. Cost: binomial
@@ -390,7 +399,7 @@ func (c *worldComm) Reduce(buf []float64, op Op, root int) {
 	}
 	w.bar.wait()
 	w.prof.record(kindReduce, len(buf))
-	chargeTree(c.Cost(), w.size, int64(len(buf)), true)
+	chargeReduce(c.Cost(), w.size, len(buf))
 }
 
 // Allgather concatenates per-rank slices in rank order. Cost: ring —
@@ -420,11 +429,7 @@ func (c *worldComm) Allgather(local []float64) []float64 {
 	out := w.shared
 	w.bar.wait()
 	w.prof.record(kindAllgather, len(local))
-	// Ring: P-1 messages; charge the exact word total (not a
-	// truncated per-message average).
-	cost := c.Cost()
-	cost.Messages += int64(w.size - 1)
-	cost.Words += int64(len(out) - len(local))
+	chargeAllgather(c.Cost(), w.size, len(local), len(out))
 	return out
 }
 
@@ -437,7 +442,7 @@ func (c *worldComm) Send(to int, msg []float64) {
 	copy(cp, msg)
 	c.w.channel(c.rank, to) <- cp
 	c.w.prof.record(kindSend, len(msg))
-	c.Cost().AddMessages(1, int64(len(msg)))
+	chargeP2P(c.Cost(), len(msg))
 }
 
 // Recv receives the next message sent by rank from. If the world
@@ -450,7 +455,7 @@ func (c *worldComm) Recv(from int) []float64 {
 	select {
 	case msg := <-c.w.channel(from, c.rank):
 		c.w.prof.record(kindRecv, len(msg))
-		c.Cost().AddMessages(1, int64(len(msg)))
+		chargeP2P(c.Cost(), len(msg))
 		return msg
 	case <-c.w.bar.aborting():
 		panic(errAborted)

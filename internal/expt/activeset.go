@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"github.com/hpcgo/rcsfista/internal/data"
-	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solver"
 	"github.com/hpcgo/rcsfista/internal/trace"
@@ -51,7 +50,7 @@ func ActiveSet(cfg Config) *Report {
 		} else {
 			o.TraceName = "dense"
 		}
-		w := dist.NewWorld(p, cfg.Machine)
+		w := cfg.NewWorld(p)
 		res, err := solver.SolveDistributed(w, prob.X, prob.Y, o)
 		if err != nil {
 			panic("expt: activeset: " + err.Error())

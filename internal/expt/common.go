@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/solver"
@@ -35,12 +36,32 @@ type Config struct {
 	Seed uint64
 	// Machine is the cost model to report modeled time against.
 	Machine perf.Machine
+	// Transport names the dist backend experiments run their worlds on
+	// ("chan", "tcp", "auto"); empty means the in-process channels
+	// backend. Results are bit-identical across backends — the choice
+	// only moves the bytes differently.
+	Transport string
 }
 
 // DefaultConfig returns the bench-scale configuration on the paper's
 // Comet machine model.
 func DefaultConfig() Config {
-	return Config{Scale: Bench, Seed: 42, Machine: perf.Comet()}
+	return Config{Scale: Bench, Seed: 42, Machine: perf.Comet(), Transport: "chan"}
+}
+
+// NewWorld builds a p-rank world on the configured transport backend.
+// Every experiment driver creates its worlds through this, so a single
+// -transport flag swaps the substrate under the whole suite.
+func (cfg Config) NewWorld(p int) dist.World {
+	name := cfg.Transport
+	if name == "" {
+		name = "chan"
+	}
+	w, err := dist.NewWorldOn(name, p, cfg.Machine)
+	if err != nil {
+		panic("expt: " + err.Error())
+	}
+	return w
 }
 
 // Report is the rendered outcome of one experiment.

@@ -82,7 +82,7 @@ func Figure2b(cfg Config) *Report {
 		o.TraceName = fmt.Sprintf("k=%d", k)
 		// A real 4-rank world, so the message counter shows the k-fold
 		// latency reduction while the iterates stay identical.
-		w := dist.NewWorld(4, cfg.Machine)
+		w := cfg.NewWorld(4)
 		res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 		if err != nil {
 			panic("expt: figure2b: " + err.Error())

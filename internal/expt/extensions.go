@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solver"
 	"github.com/hpcgo/rcsfista/internal/trace"
@@ -38,7 +37,7 @@ func Scaling(cfg Config) *Report {
 			o.K = k
 			o.VarianceReduced = false
 			o.EvalEvery = iters
-			w := dist.NewWorld(p, cfg.Machine)
+			w := cfg.NewWorld(p)
 			res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 			if err != nil {
 				panic("expt: scaling: " + err.Error())

@@ -75,7 +75,7 @@ func FaultSweep(cfg Config) *Report {
 		o.EvalEvery = 20
 		o.TraceName = sc.name
 		o.Faults = sc.plan
-		w := dist.NewWorld(p, cfg.Machine)
+		w := cfg.NewWorld(p)
 		res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 		if err != nil {
 			panic("expt: faults: " + err.Error())

@@ -51,7 +51,7 @@ func Pipeline(cfg Config) *Report {
 			} else {
 				o.TraceName = fmt.Sprintf("k=%d blocking", k)
 			}
-			w := dist.NewWorld(p, cfg.Machine)
+			w := cfg.NewWorld(p)
 			res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 			if err != nil {
 				panic("expt: pipeline: " + err.Error())

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solver"
 	"github.com/hpcgo/rcsfista/internal/trace"
@@ -66,7 +65,7 @@ func runPN(cfg Config, in *instance, p, k, innerIter, maxOuter int) float64 {
 		InnerIter: innerIter,
 		K:         k,
 	}
-	w := dist.NewWorld(p, cfg.Machine)
+	w := cfg.NewWorld(p)
 	res, err := solver.SolvePNDistributed(w, in.prob.X, in.prob.Y, o)
 	if err != nil {
 		panic("expt: figure7: " + err.Error())
@@ -96,6 +95,7 @@ func All(cfg Config) []*Report {
 		FaultSweep(cfg),
 		Pipeline(cfg),
 		ActiveSet(cfg),
+		Transport(cfg),
 	}
 }
 
@@ -118,6 +118,7 @@ func ByID(id string) func(Config) *Report {
 		"faults":    FaultSweep,
 		"pipeline":  Pipeline,
 		"activeset": ActiveSet,
+		"transport": Transport,
 	}
 	return m[id]
 }
@@ -126,7 +127,7 @@ func ByID(id string) func(Config) *Report {
 func IDs() []string {
 	return []string{"table1", "table2", "bounds", "figure2a", "figure2b",
 		"figure3", "figure4", "figure5", "figure6", "table3", "figure7",
-		"scaling", "machines", "faults", "pipeline", "activeset"}
+		"scaling", "machines", "faults", "pipeline", "activeset", "transport"}
 }
 
 var _ = trace.ByModelTime // keep trace linked for plot axes used above

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solver"
 	"github.com/hpcgo/rcsfista/internal/trace"
@@ -69,7 +68,7 @@ func runFixedIters(cfg Config, in *instance, p, k, iters int) float64 {
 	o.S = 1
 	o.VarianceReduced = false
 	o.EvalEvery = iters
-	w := dist.NewWorld(p, cfg.Machine)
+	w := cfg.NewWorld(p)
 	res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 	if err != nil {
 		panic("expt: figure4: " + err.Error())
@@ -152,7 +151,7 @@ func runToTol(cfg Config, in *instance, p, k, s, maxIter int) float64 {
 	// not quantized to whole k-rounds; the cost already charged for a
 	// partially used batch is correctly included.
 	o.EvalEvery = s
-	w := dist.NewWorld(p, cfg.Machine)
+	w := cfg.NewWorld(p)
 	res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 	if err != nil {
 		panic("expt: runToTol: " + err.Error())

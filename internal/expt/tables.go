@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"github.com/hpcgo/rcsfista/internal/data"
-	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solver"
 	"github.com/hpcgo/rcsfista/internal/trace"
@@ -43,7 +42,7 @@ func Table1(cfg Config) *Report {
 			o.S = 1
 			o.VarianceReduced = false
 			o.EvalEvery = n
-			w := dist.NewWorld(p, cfg.Machine)
+			w := cfg.NewWorld(p)
 			res, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 			if err != nil {
 				panic("expt: table1: " + err.Error())

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"github.com/hpcgo/rcsfista/internal/cocoa"
-	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solver"
 	"github.com/hpcgo/rcsfista/internal/trace"
@@ -52,7 +51,7 @@ func runVersus(cfg Config, name string, p int) versusResult {
 		o.MaxIter = maxIter
 		o.EvalEvery = s
 		o.TraceName = name + " rc-sfista"
-		w := dist.NewWorld(p, cfg.Machine)
+		w := cfg.NewWorld(p)
 		rc, err := solver.SolveDistributed(w, in.prob.X, in.prob.Y, o)
 		if err != nil {
 			panic("expt: versus rc: " + err.Error())
@@ -80,7 +79,7 @@ func runVersus(cfg Config, name string, p int) versusResult {
 		Lambda: in.prob.Lambda, Rounds: ccRounds, Tol: 1e-2, FStar: in.fstar,
 		Seed: cfg.Seed, EvalEvery: 4, TraceName: name + " proxcocoa",
 	}
-	wc := dist.NewWorld(p, cfg.Machine)
+	wc := cfg.NewWorld(p)
 	cc, err := cocoa.SolveDistributed(wc, in.prob.X, in.prob.Y, co)
 	if err != nil {
 		panic("expt: versus cocoa: " + err.Error())

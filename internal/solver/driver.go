@@ -14,7 +14,7 @@ import (
 // world's critical path: component-wise max over ranks, evaluated on
 // the world's machine model. World costs are reset first, so the
 // modeled time covers exactly this solve.
-func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
+func SolveDistributed(w dist.World, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 	return SolveDistributedContext(context.Background(), w, x, y, opts)
 }
 
@@ -22,7 +22,7 @@ func SolveDistributed(w *dist.World, x *sparse.CSC, y []float64, opts Options) (
 // cancellation the ranks agree to stop at the same round boundary and
 // every rank returns a well-formed partial result; rank 0's partial
 // result is returned together with the context's error.
-func SolveDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
+func SolveDistributedContext(ctx context.Context, w dist.World, x *sparse.CSC, y []float64, opts Options) (*Result, error) {
 	return solvercore.RunWorld(w, func(c dist.Comm) (*Result, error) {
 		local := Partition(x, y, c.Size(), c.Rank())
 		return RCSFISTAContext(ctx, c, local, opts)
@@ -31,13 +31,13 @@ func SolveDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, 
 
 // SolvePNDistributed is SolveDistributed for the distributed Proximal
 // Newton driver.
-func SolvePNDistributed(w *dist.World, x *sparse.CSC, y []float64, opts DistPNOptions) (*Result, error) {
+func SolvePNDistributed(w dist.World, x *sparse.CSC, y []float64, opts DistPNOptions) (*Result, error) {
 	return SolvePNDistributedContext(context.Background(), w, x, y, opts)
 }
 
 // SolvePNDistributedContext is SolvePNDistributed under a context,
 // with the partial-result contract of SolveDistributedContext.
-func SolvePNDistributedContext(ctx context.Context, w *dist.World, x *sparse.CSC, y []float64, opts DistPNOptions) (*Result, error) {
+func SolvePNDistributedContext(ctx context.Context, w dist.World, x *sparse.CSC, y []float64, opts DistPNOptions) (*Result, error) {
 	return solvercore.RunWorld(w, func(c dist.Comm) (*Result, error) {
 		local := Partition(x, y, c.Size(), c.Rank())
 		return DistProxNewtonContext(ctx, c, local, opts)

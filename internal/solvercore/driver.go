@@ -20,7 +20,7 @@ import (
 // their partial results. Rank 0's partial result is returned together
 // with the context error. Non-context errors abort the world as
 // before.
-func RunWorld(w *dist.World, solve func(c dist.Comm) (*Result, error)) (*Result, error) {
+func RunWorld(w dist.World, solve func(c dist.Comm) (*Result, error)) (*Result, error) {
 	results := make([]*Result, w.Size())
 	rankErrs := make([]error, w.Size())
 	var mu sync.Mutex
