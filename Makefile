@@ -12,9 +12,9 @@ BENCH_PKGS = ./internal/dist ./internal/solver ./internal/mat
 BENCH_THRESHOLD ?= 15
 BENCH_COUNT ?= 3
 
-.PHONY: check vet build test race bench bench-smoke bench-json bench-baseline bench-compare cover fuzz-smoke staticcheck loc-guard
+.PHONY: check vet build test race bench bench-smoke bench-json bench-baseline bench-compare cover fuzz-smoke staticcheck loc-guard serving-smoke
 
-check: vet staticcheck loc-guard build race cover bench-json fuzz-smoke
+check: vet staticcheck loc-guard build race cover bench-json serving-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +67,15 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz '^FuzzPackedCholesky$$' -fuzztime $(FUZZTIME) ./internal/mat
 	$(GO) test -run NONE -fuzz '^FuzzReadLIBSVM$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run NONE -fuzz '^FuzzLIBSVMIndices$$' -fuzztime $(FUZZTIME) ./internal/data
+
+# serving-smoke is the service-level acceptance gate: loadgen drives an
+# in-process server through the canonical 64-request lambda-path sweep
+# and fails unless every request succeeds and the lambda-path warm-start
+# cache clears a 50% hit rate. The latency-histogram report is the
+# loadgen-report.json artifact CI archives per commit.
+serving-smoke:
+	$(GO) run ./cmd/loadgen -selfserve -n 64 -sweep -sweep-len 16 -conc 4 \
+	  -seed 1 -procs 2 -min-hit-rate 0.5 -o loadgen-report.json
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime=1x .

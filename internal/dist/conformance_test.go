@@ -362,4 +362,3 @@ func TestConformanceFaultyComm(t *testing.T) {
 		}
 	}
 }
-

@@ -12,7 +12,7 @@ import (
 
 func TestIDsResolve(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("%d experiment ids", len(ids))
 	}
 	for _, id := range ids {

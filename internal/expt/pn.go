@@ -96,6 +96,7 @@ func All(cfg Config) []*Report {
 		Pipeline(cfg),
 		ActiveSet(cfg),
 		Transport(cfg),
+		Serving(cfg),
 	}
 }
 
@@ -119,6 +120,7 @@ func ByID(id string) func(Config) *Report {
 		"pipeline":  Pipeline,
 		"activeset": ActiveSet,
 		"transport": Transport,
+		"serving":   Serving,
 	}
 	return m[id]
 }
@@ -127,7 +129,7 @@ func ByID(id string) func(Config) *Report {
 func IDs() []string {
 	return []string{"table1", "table2", "bounds", "figure2a", "figure2b",
 		"figure3", "figure4", "figure5", "figure6", "table3", "figure7",
-		"scaling", "machines", "faults", "pipeline", "activeset", "transport"}
+		"scaling", "machines", "faults", "pipeline", "activeset", "transport", "serving"}
 }
 
 var _ = trace.ByModelTime // keep trace linked for plot axes used above

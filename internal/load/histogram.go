@@ -1,0 +1,88 @@
+package load
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram summarizes a latency sample in the tachymeter style:
+// rank-based percentiles plus a power-of-two bucket breakdown for the
+// long tail.
+type Histogram struct {
+	N      int     `json:"n"`
+	MinMS  float64 `json:"min_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	// Buckets cover [2^i, 2^(i+1)) milliseconds from the smallest
+	// occupied power of two to the largest.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one latency band and its sample count.
+type Bucket struct {
+	LoMS  float64 `json:"lo_ms"`
+	HiMS  float64 `json:"hi_ms"`
+	Count int     `json:"count"`
+}
+
+// percentile returns the nearest-rank percentile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// NewHistogram summarizes latency samples (milliseconds).
+func NewHistogram(samples []float64) Histogram {
+	if len(samples) == 0 {
+		return Histogram{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	h := Histogram{
+		N:      len(sorted),
+		MinMS:  sorted[0],
+		MeanMS: sum / float64(len(sorted)),
+		P50MS:  percentile(sorted, 50),
+		P95MS:  percentile(sorted, 95),
+		P99MS:  percentile(sorted, 99),
+		MaxMS:  sorted[len(sorted)-1],
+	}
+	lo := bucketExp(sorted[0])
+	hi := bucketExp(sorted[len(sorted)-1])
+	for e := lo; e <= hi; e++ {
+		b := Bucket{LoMS: math.Pow(2, float64(e)), HiMS: math.Pow(2, float64(e+1))}
+		for _, v := range sorted {
+			if v >= b.LoMS && v < b.HiMS {
+				b.Count++
+			}
+		}
+		if b.Count > 0 {
+			h.Buckets = append(h.Buckets, b)
+		}
+	}
+	return h
+}
+
+// bucketExp returns the power-of-two band a latency falls in.
+func bucketExp(ms float64) int {
+	if ms <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(ms)))
+}

@@ -1,0 +1,258 @@
+// Package serve implements LASSO-as-a-service: an HTTP/JSON front end
+// that runs the repository's communication-avoiding solvers on a
+// bounded worker pool with admission control, and exploits the
+// regularization-path structure of the workload through two caches:
+//
+//   - a dataset cache (LRU) holding the loaded problem plus its
+//     sampled-Lipschitz step sizes, so repeated fits against the same
+//     data skip the Gram-spectrum power iterations;
+//   - a lambda-path cache keyed by (dataset, solver fingerprint,
+//     lambda bucket) holding the final iterate and support of previous
+//     solves, so a fit at a neighboring lambda warm-starts from the
+//     cached solution — with active-set screening the warm solve's
+//     working set starts at the cached support, and with GradMapTol
+//     stopping a sufficiently close warm start finishes in zero
+//     communication rounds (see solver.Options.W0).
+//
+// Admission control is a queue with a hard cap: when every worker is
+// busy and the queue is full, POST /fit returns 429 immediately
+// instead of building an unbounded backlog. Each admitted request
+// carries a deadline; the context is threaded through
+// solvercore.Loop's round-boundary cancellation consensus, so an
+// expired deadline (or a disconnected client) stops the solve at the
+// next round and still yields a well-formed partial result.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// DatasetRef names a registered synthetic dataset instance. The tuple
+// (Name, Samples, Features, Seed) fully determines the generated
+// problem, so it doubles as the cache key.
+type DatasetRef struct {
+	// Name is a registry name: abalone, susy, covtype, mnist, epsilon.
+	Name string `json:"name"`
+	// Samples and Features override the registered scaled dimensions;
+	// zero keeps the registry defaults.
+	Samples  int `json:"samples,omitempty"`
+	Features int `json:"features,omitempty"`
+	// Seed drives the generator; the same (name, dims, seed) always
+	// yields the same instance.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Key renders the cache key of the referenced instance.
+func (r DatasetRef) Key() string {
+	return fmt.Sprintf("%s/%d/%d/%d", r.Name, r.Samples, r.Features, r.Seed)
+}
+
+// FitRequest is the body of POST /fit. Exactly one of Dataset or
+// LIBSVM selects the training data; exactly one of Lambda or
+// LambdaRatio selects the penalty.
+type FitRequest struct {
+	// Dataset references a registered synthetic instance.
+	Dataset *DatasetRef `json:"dataset,omitempty"`
+	// LIBSVM carries inline training data in LIBSVM format; Features
+	// optionally fixes the dimension (otherwise the max index is used).
+	LIBSVM   string `json:"libsvm,omitempty"`
+	Features int    `json:"features,omitempty"`
+
+	// Lambda is the absolute l1 penalty. LambdaRatio instead selects
+	// lambda = ratio * lambda_max(dataset), with lambda_max =
+	// ||X y / m||_inf, the smallest penalty with an all-zero solution —
+	// the natural parameterization for a regularization-path sweep that
+	// does not need to know the data's scale.
+	Lambda      float64 `json:"lambda,omitempty"`
+	LambdaRatio float64 `json:"lambda_ratio,omitempty"`
+
+	// Solver is "rcsfista" (default), "sfista" (k=s=1) or "fista"
+	// (deterministic: b=1, k=s=1).
+	Solver string `json:"solver,omitempty"`
+	// MaxIter bounds the solution updates; zero selects the server
+	// default.
+	MaxIter int `json:"max_iter,omitempty"`
+	// GradMapTol is the reference-free stopping threshold; zero selects
+	// the server default, negative disables early stopping.
+	GradMapTol float64 `json:"gradmap_tol,omitempty"`
+	// B, K, S are the sampling rate and the paper's batching/reuse
+	// parameters; zero keeps solver defaults (b=0.1, k=s=1).
+	B float64 `json:"b,omitempty"`
+	K int     `json:"k,omitempty"`
+	S int     `json:"s,omitempty"`
+	// EpochLen overrides the variance-reduction epoch length (zero
+	// keeps the solver default). Shorter epochs give the GradMapTol
+	// stop finer granularity, which sharpens warm-start round savings.
+	EpochLen int `json:"epoch_len,omitempty"`
+	// ActiveSet enables dynamic screening (reduced allreduce payloads).
+	ActiveSet bool `json:"active_set,omitempty"`
+	// Procs is the world size the solve runs on; zero selects the
+	// server default. The iterates are invariant to Procs (shared
+	// sample streams), which is why the lambda-path cache can ignore it.
+	Procs int `json:"procs,omitempty"`
+	// Seed drives the sampling streams (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Warm enables the lambda-path warm-start lookup (default true;
+	// pass false to force a cold solve).
+	Warm *bool `json:"warm,omitempty"`
+	// NoStore skips publishing this solve's solution into the
+	// lambda-path cache — useful for load tests that want a clean
+	// cold/warm comparison.
+	NoStore bool `json:"no_store,omitempty"`
+	// DeadlineMS is the per-request deadline in milliseconds; zero
+	// selects the server default, and the server's MaxDeadline caps it.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// ReturnW includes the full coefficient vector in the response
+	// (it can be large; by default only the model id is returned).
+	ReturnW bool `json:"return_w,omitempty"`
+}
+
+// warm reports whether the warm-start lookup is enabled.
+func (r *FitRequest) warm() bool { return r.Warm == nil || *r.Warm }
+
+// FitResponse is the body of a successful (or partial) fit.
+type FitResponse struct {
+	// ModelID retrieves the fitted model via POST /predict.
+	ModelID string `json:"model_id"`
+	// Lambda is the resolved absolute penalty.
+	Lambda float64 `json:"lambda"`
+	// Objective is the final objective F(w); Nnz the support size.
+	Objective float64 `json:"objective"`
+	Nnz       int     `json:"nnz"`
+	// Iters and Rounds report the solve effort; Converged whether the
+	// stopping rule fired before MaxIter.
+	Iters     int  `json:"iters"`
+	Rounds    int  `json:"rounds"`
+	Converged bool `json:"converged"`
+	// Partial marks a deadline-truncated solve: the model is the last
+	// consistent iterate, not a converged solution, and Error carries
+	// the cause. Deadline expiry is a 200 with Partial=true — the
+	// service did useful bounded work, which is the contract.
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	// Warm reports whether a lambda-path warm start was applied, and
+	// WarmFromLambda which cached lambda supplied it.
+	Warm           bool    `json:"warm"`
+	WarmFromLambda float64 `json:"warm_from_lambda,omitempty"`
+	// DatasetCacheHit / PathCacheHit report per-request cache outcomes.
+	DatasetCacheHit bool `json:"dataset_cache_hit"`
+	PathCacheHit    bool `json:"path_cache_hit"`
+
+	// ElapsedMS is wall-clock solve time; ModelSeconds the
+	// alpha-beta-gamma modeled time on the server's machine model.
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	ModelSeconds float64 `json:"model_seconds"`
+
+	// W is the coefficient vector, present only with ReturnW.
+	W []float64 `json:"w,omitempty"`
+}
+
+// PredictRequest is the body of POST /predict. Exactly one of ModelID
+// or W selects the model; exactly one of Dataset or LIBSVM the data.
+type PredictRequest struct {
+	ModelID string    `json:"model_id,omitempty"`
+	W       []float64 `json:"w,omitempty"`
+
+	Dataset  *DatasetRef `json:"dataset,omitempty"`
+	LIBSVM   string      `json:"libsvm,omitempty"`
+	Features int         `json:"features,omitempty"`
+}
+
+// PredictResponse carries predictions X^T w (one per sample) and the
+// RMSE against the data's labels.
+type PredictResponse struct {
+	ModelID     string    `json:"model_id,omitempty"`
+	Predictions []float64 `json:"predictions"`
+	RMSE        float64   `json:"rmse"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Config sizes the service. The zero value is usable: New fills every
+// field with the defaults below.
+type Config struct {
+	// Workers is the number of concurrent solves (default 2).
+	Workers int
+	// QueueCap bounds the admitted-but-waiting fit queue (default 16);
+	// beyond Workers running + QueueCap queued, POST /fit returns 429.
+	QueueCap int
+	// DefaultDeadline applies when a request carries none (default 15s);
+	// MaxDeadline caps client-requested deadlines (default 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Transport names the dist backend solves run on (default "chan").
+	Transport string
+	// Procs is the default world size per solve (default 4).
+	Procs int
+	// Machine is the cost model solves are priced against (default
+	// perf.Comet()).
+	Machine perf.Machine
+	// DatasetCap bounds the dataset cache (default 8 instances, LRU).
+	DatasetCap int
+	// PathCap bounds each (dataset, fingerprint) lambda path's cached
+	// entries (default 64, LRU).
+	PathCap int
+	// ModelCap bounds the fitted-model store (default 256, LRU).
+	ModelCap int
+	// MaxIter / GradMapTol / EpochLen are the solver defaults applied
+	// to requests that leave them zero (defaults 4000 / 1e-5 / 20).
+	MaxIter    int
+	GradMapTol float64
+	EpochLen   int
+	// MaxProcs caps the per-request world size (default 16).
+	MaxProcs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 15 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.Transport == "" {
+		c.Transport = "chan"
+	}
+	if c.Procs <= 0 {
+		c.Procs = 4
+	}
+	if c.Machine == (perf.Machine{}) {
+		c.Machine = perf.Comet()
+	}
+	if c.DatasetCap <= 0 {
+		c.DatasetCap = 8
+	}
+	if c.PathCap <= 0 {
+		c.PathCap = 64
+	}
+	if c.ModelCap <= 0 {
+		c.ModelCap = 256
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 4000
+	}
+	if c.GradMapTol == 0 {
+		c.GradMapTol = 1e-5
+	}
+	if c.EpochLen <= 0 {
+		c.EpochLen = 20
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = 16
+	}
+	return c
+}

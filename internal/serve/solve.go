@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/solver"
+)
+
+// httpError carries a status code chosen at the point the failure is
+// understood.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveDataset returns the prepared dataset a fit/predict request
+// names, via the cache.
+func (s *Server) resolveDataset(ref *DatasetRef, libsvm string, features int) (*dataset, bool, error) {
+	switch {
+	case ref != nil && libsvm != "":
+		return nil, false, badRequest("request must carry either a dataset reference or inline LIBSVM data, not both")
+	case ref != nil:
+		if _, err := data.Lookup(ref.Name); err != nil {
+			return nil, false, &httpError{status: 404, msg: err.Error()}
+		}
+		ds, hit, err := s.datasets.get(ref.Key(), func() (*data.Problem, error) {
+			return data.LoadWith(ref.Name, ref.Samples, ref.Features, ref.Seed)
+		})
+		if err != nil {
+			return nil, false, badRequest("load dataset: %v", err)
+		}
+		return ds, hit, nil
+	case libsvm != "":
+		ds, hit, err := s.datasets.get(inlineKey(libsvm, features), func() (*data.Problem, error) {
+			return data.ReadLIBSVM(strings.NewReader(libsvm), features)
+		})
+		if err != nil {
+			return nil, false, badRequest("parse LIBSVM: %v", err)
+		}
+		return ds, hit, nil
+	default:
+		return nil, false, badRequest("request needs a dataset reference or inline LIBSVM data")
+	}
+}
+
+// fitOptions assembles solver options for a request against a
+// prepared dataset, resolving the lambda and the server defaults.
+func (s *Server) fitOptions(req *FitRequest, ds *dataset) (solver.Options, float64, error) {
+	var zero solver.Options
+	if req.Lambda < 0 || req.LambdaRatio < 0 {
+		return zero, 0, badRequest("lambda and lambda_ratio must be non-negative")
+	}
+	if req.Lambda > 0 && req.LambdaRatio > 0 {
+		return zero, 0, badRequest("set either lambda or lambda_ratio, not both")
+	}
+	lambda := req.Lambda
+	if req.LambdaRatio > 0 {
+		lambda = req.LambdaRatio * ds.lambdaMax
+	}
+	if lambda <= 0 {
+		return zero, 0, badRequest("a positive lambda (or lambda_ratio) is required")
+	}
+
+	o := solver.Defaults()
+	o.Lambda = lambda
+	o.Seed = 42
+	if req.Seed != 0 {
+		o.Seed = req.Seed
+	}
+	if req.B != 0 {
+		if req.B < 0 || req.B > 1 {
+			return zero, 0, badRequest("b = %g out of (0, 1]", req.B)
+		}
+		o.B = req.B
+	}
+	if req.K != 0 {
+		o.K = req.K
+	}
+	if req.S != 0 {
+		o.S = req.S
+	}
+	switch req.Solver {
+	case "", "rcsfista":
+	case "sfista":
+		o.K, o.S = 1, 1
+	case "fista":
+		o.K, o.S, o.B = 1, 1, 1
+	default:
+		return zero, 0, badRequest("unknown solver %q (rcsfista, sfista, fista)", req.Solver)
+	}
+	o.MaxIter = s.cfg.MaxIter
+	if req.MaxIter > 0 {
+		o.MaxIter = req.MaxIter
+	}
+	o.GradMapTol = s.cfg.GradMapTol
+	if req.GradMapTol != 0 {
+		o.GradMapTol = req.GradMapTol
+		if o.GradMapTol < 0 {
+			o.GradMapTol = 0
+		}
+	}
+	o.EpochLen = s.cfg.EpochLen
+	if req.EpochLen > 0 {
+		o.EpochLen = req.EpochLen
+	}
+	o.ActiveSet = req.ActiveSet
+	o.Gamma = ds.gammaFor(o.B)
+	o.TraceName = "serve"
+	if err := o.Validate(); err != nil {
+		return zero, 0, badRequest("%v", err)
+	}
+	return o, lambda, nil
+}
+
+// runFit executes one admitted fit request end to end: dataset
+// resolution, warm-start lookup, the distributed solve under the
+// request context, and cache publication. It never returns a nil
+// response without an error.
+func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, error) {
+	ds, dsHit, err := s.resolveDataset(req.Dataset, req.LIBSVM, req.Features)
+	if err != nil {
+		return nil, err
+	}
+	opts, lambda, err := s.fitOptions(req, ds)
+	if err != nil {
+		return nil, err
+	}
+	procs := s.cfg.Procs
+	if req.Procs != 0 {
+		procs = req.Procs
+	}
+	if procs < 1 || procs > s.cfg.MaxProcs {
+		return nil, badRequest("procs = %d out of [1, %d]", procs, s.cfg.MaxProcs)
+	}
+
+	datasetKey := ds.key
+	fp := fingerprint(datasetKey, req.Solver, opts.B, opts.K, opts.S, opts.ActiveSet, opts.Seed)
+	resp := &FitResponse{Lambda: lambda, DatasetCacheHit: dsHit}
+	if req.warm() {
+		if e := s.paths.lookup(fp, lambda); e != nil {
+			opts.W0 = e.w
+			resp.Warm = true
+			resp.PathCacheHit = true
+			resp.WarmFromLambda = e.lambda
+		}
+	}
+
+	world, err := dist.NewWorldOn(s.cfg.Transport, procs, s.cfg.Machine)
+	if err != nil {
+		return nil, &httpError{status: 500, msg: "create world: " + err.Error()}
+	}
+	start := time.Now()
+	res, serr := solver.SolveDistributedContext(ctx, world, ds.prob.X, ds.prob.Y, opts)
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if serr != nil {
+		if res == nil || (!errors.Is(serr, context.DeadlineExceeded) && !errors.Is(serr, context.Canceled)) {
+			s.stats.failures.Add(1)
+			return nil, &httpError{status: 500, msg: "solve: " + serr.Error()}
+		}
+		// Deadline/cancel: the round-boundary consensus left a
+		// well-formed partial result on every rank.
+		resp.Partial = true
+		resp.Error = serr.Error()
+		s.stats.deadlines.Add(1)
+	}
+
+	resp.Objective = res.FinalObj
+	resp.Iters = res.Iters
+	resp.Rounds = res.Rounds
+	resp.Converged = res.Converged
+	resp.ModelSeconds = res.ModelSeconds
+	for _, v := range res.W {
+		if v != 0 {
+			resp.Nnz++
+		}
+	}
+	if resp.Warm {
+		s.stats.warmFits.Add(1)
+		s.stats.warmRounds.Add(int64(res.Rounds))
+	} else {
+		s.stats.coldFits.Add(1)
+		s.stats.coldRounds.Add(int64(res.Rounds))
+	}
+
+	algo := req.Solver
+	if algo == "" {
+		algo = "rcsfista"
+	}
+	model := solver.NewModel(res, lambda, algo, datasetKey)
+	resp.ModelID = s.models.add(model)
+	if req.ReturnW {
+		resp.W = mat.Clone(res.W)
+	}
+	if !req.NoStore && !resp.Partial && res.Converged {
+		s.paths.put(fp, &pathEntry{
+			lambda:    lambda,
+			w:         mat.Clone(res.W),
+			objective: res.FinalObj,
+			rounds:    res.Rounds,
+			nnz:       resp.Nnz,
+		})
+	}
+	return resp, nil
+}
+
+// runPredict executes POST /predict.
+func (s *Server) runPredict(req *PredictRequest) (*PredictResponse, error) {
+	var model *solver.Model
+	switch {
+	case req.ModelID != "" && len(req.W) > 0:
+		return nil, badRequest("set either model_id or w, not both")
+	case req.ModelID != "":
+		model = s.models.get(req.ModelID)
+		if model == nil {
+			return nil, &httpError{status: 404, msg: fmt.Sprintf("unknown model %q (evicted or never fitted)", req.ModelID)}
+		}
+	case len(req.W) > 0:
+		model = &solver.Model{W: req.W, Algorithm: "inline"}
+	default:
+		return nil, badRequest("request needs a model_id or an inline coefficient vector w")
+	}
+	ds, _, err := s.resolveDataset(req.Dataset, req.LIBSVM, req.Features)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := model.Predict(ds.prob.X)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	rmse, err := model.RMSE(ds.prob.X, ds.prob.Y)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return &PredictResponse{ModelID: req.ModelID, Predictions: pred, RMSE: rmse}, nil
+}

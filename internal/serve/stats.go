@@ -1,0 +1,98 @@
+package serve
+
+import "sync/atomic"
+
+// Stats holds the service counters. All fields are updated atomically
+// by the handlers, the worker pool and the caches; Snapshot reads a
+// consistent-enough view for the /stats endpoint (individual counters
+// are exact, cross-counter ratios are approximate under load, which is
+// all a monitoring endpoint promises).
+type Stats struct {
+	fits        atomic.Int64
+	predicts    atomic.Int64
+	rejected    atomic.Int64
+	badRequests atomic.Int64
+	deadlines   atomic.Int64
+	failures    atomic.Int64
+	activeFits  atomic.Int64
+	queuedFits  atomic.Int64
+
+	datasetHits      atomic.Int64
+	datasetMisses    atomic.Int64
+	datasetEvictions atomic.Int64
+	pathHits         atomic.Int64
+	pathMisses       atomic.Int64
+	pathEvictions    atomic.Int64
+
+	warmFits   atomic.Int64
+	coldFits   atomic.Int64
+	warmRounds atomic.Int64
+	coldRounds atomic.Int64
+}
+
+// StatsSnapshot is the JSON shape of GET /stats.
+type StatsSnapshot struct {
+	// Request outcomes.
+	Fits        int64 `json:"fits"`
+	Predicts    int64 `json:"predicts"`
+	Rejected    int64 `json:"rejected"`
+	BadRequests int64 `json:"bad_requests"`
+	Deadlines   int64 `json:"deadlines"`
+	Failures    int64 `json:"failures"`
+	// ActiveFits counts solves running right now; QueuedFits counts
+	// admitted jobs waiting for a worker.
+	ActiveFits int64 `json:"active_fits"`
+	QueuedFits int64 `json:"queued_fits"`
+
+	// Dataset (Gram/step-size) cache counters.
+	DatasetHits      int64 `json:"dataset_hits"`
+	DatasetMisses    int64 `json:"dataset_misses"`
+	DatasetEvictions int64 `json:"dataset_evictions"`
+	// Lambda-path (warm-start) cache counters.
+	PathHits      int64 `json:"path_hits"`
+	PathMisses    int64 `json:"path_misses"`
+	PathEvictions int64 `json:"path_evictions"`
+
+	// Warm-start effectiveness: communication rounds spent by
+	// warm-started vs cold fits.
+	WarmFits   int64 `json:"warm_fits"`
+	ColdFits   int64 `json:"cold_fits"`
+	WarmRounds int64 `json:"warm_rounds"`
+	ColdRounds int64 `json:"cold_rounds"`
+}
+
+// Snapshot reads the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Fits:        s.fits.Load(),
+		Predicts:    s.predicts.Load(),
+		Rejected:    s.rejected.Load(),
+		BadRequests: s.badRequests.Load(),
+		Deadlines:   s.deadlines.Load(),
+		Failures:    s.failures.Load(),
+		ActiveFits:  s.activeFits.Load(),
+		QueuedFits:  s.queuedFits.Load(),
+
+		DatasetHits:      s.datasetHits.Load(),
+		DatasetMisses:    s.datasetMisses.Load(),
+		DatasetEvictions: s.datasetEvictions.Load(),
+		PathHits:         s.pathHits.Load(),
+		PathMisses:       s.pathMisses.Load(),
+		PathEvictions:    s.pathEvictions.Load(),
+
+		WarmFits:   s.warmFits.Load(),
+		ColdFits:   s.coldFits.Load(),
+		WarmRounds: s.warmRounds.Load(),
+		ColdRounds: s.coldRounds.Load(),
+	}
+}
+
+// PathHitRate returns the lambda-path cache hit rate in [0, 1], or 0
+// when no lookups happened.
+func (sn StatsSnapshot) PathHitRate() float64 {
+	total := sn.PathHits + sn.PathMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(sn.PathHits) / float64(total)
+}

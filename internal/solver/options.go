@@ -84,7 +84,11 @@ type Options struct {
 	EpochLen int
 
 	// W0 optionally warm-starts the solve; nil starts from zero
-	// (Algorithm 5 line 1). The slice is copied, not retained.
+	// (Algorithm 5 line 1). The slice is copied, not retained. With
+	// GradMapTol set, a warm start that already satisfies the
+	// gradient-mapping stop returns before the first communication
+	// round (zero rounds) — the fast path the serving layer's
+	// lambda-path cache relies on for neighboring-lambda solves.
 	W0 []float64
 	// Seed drives the shared sampling streams.
 	Seed uint64

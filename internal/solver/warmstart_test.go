@@ -1,0 +1,129 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// warmPathOpts builds the solver configuration the serving layer uses
+// for lambda-path fits: variance reduction with the reference-free
+// GradMapTol stop, so warm and cold solves terminate by the same
+// criterion without a precomputed F*.
+func warmPathOpts(p *data.Problem, lambda float64, activeSet bool) Options {
+	o := Defaults()
+	o.Lambda = lambda
+	o.Gamma = GammaFromLipschitz(SampledLipschitz(p.X, p.Y, o.B, 8, 777))
+	o.MaxIter = 6000
+	o.GradMapTol = 1e-8
+	o.EpochLen = 20
+	o.ActiveSet = activeSet
+	o.Seed = 42
+	return o
+}
+
+// TestWarmStartPathEquivalence is the golden-grade warm-start contract
+// the lambda-path cache relies on: walking a regularization path with
+// each solve warm-started from its predecessor's iterate must land on
+// the same final support and the same objective (to 1e-10) as solving
+// every point cold, for single- and multi-rank worlds, with and
+// without active-set screening.
+func TestWarmStartPathEquivalence(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 30, M: 500, Density: 0.4, Lambda: 0.1, Seed: 31, NoiseStd: 0.01})
+	// Geometric path from 2*lambda down, ratio ~0.7 per step.
+	path := make([]float64, 5)
+	path[0] = 2 * p.Lambda
+	for i := 1; i < len(path); i++ {
+		path[i] = path[i-1] * 0.7
+	}
+
+	for _, tc := range []struct {
+		name      string
+		procs     int
+		activeSet bool
+	}{
+		{"p1/packed", 1, false},
+		{"p4/packed", 4, false},
+		{"p1/activeset", 1, true},
+		{"p4/activeset", 4, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cold := make([]*Result, len(path))
+			for i, lam := range path {
+				o := warmPathOpts(p, lam, tc.activeSet)
+				w := dist.NewWorld(tc.procs, perf.Comet())
+				res, err := SolveDistributed(w, p.X, p.Y, o)
+				if err != nil {
+					t.Fatalf("cold solve lambda=%g: %v", lam, err)
+				}
+				if !res.Converged {
+					t.Fatalf("cold solve lambda=%g did not converge in %d iters", lam, res.Iters)
+				}
+				cold[i] = res
+			}
+
+			prev := cold[0] // the path head has no warm-start source
+			for i := 1; i < len(path); i++ {
+				o := warmPathOpts(p, path[i], tc.activeSet)
+				o.W0 = prev.W
+				w := dist.NewWorld(tc.procs, perf.Comet())
+				res, err := SolveDistributed(w, p.X, p.Y, o)
+				if err != nil {
+					t.Fatalf("warm solve lambda=%g: %v", path[i], err)
+				}
+				if !res.Converged {
+					t.Fatalf("warm solve lambda=%g did not converge in %d iters", path[i], res.Iters)
+				}
+				if diff := math.Abs(res.FinalObj - cold[i].FinalObj); diff > 1e-10 {
+					t.Errorf("lambda=%g: warm objective %.15g vs cold %.15g (|diff|=%.3g > 1e-10)",
+						path[i], res.FinalObj, cold[i].FinalObj, diff)
+				}
+				cs, ws := support(cold[i].W), support(res.W)
+				if !sameSupport(cs, ws) {
+					t.Errorf("lambda=%g: warm support %v != cold support %v", path[i], ws, cs)
+				}
+				if res.Rounds > cold[i].Rounds {
+					t.Errorf("lambda=%g: warm start used %d rounds, cold used %d — warm must not cost more",
+						path[i], res.Rounds, cold[i].Rounds)
+				}
+				prev = res
+			}
+		})
+	}
+}
+
+// TestWarmStartZeroRoundExit pins the fast path: a warm start that
+// already satisfies GradMapTol must finish before the first
+// communication round, identically on every world size.
+func TestWarmStartZeroRoundExit(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 20, M: 300, Density: 0.5, Lambda: 0.1, Seed: 32, NoiseStd: 0.01})
+	o := warmPathOpts(p, p.Lambda, false)
+	w := dist.NewWorld(2, perf.Comet())
+	first, err := SolveDistributed(w, p.X, p.Y, o)
+	if err != nil || !first.Converged {
+		t.Fatalf("setup solve: err=%v converged=%v", err, first != nil && first.Converged)
+	}
+
+	for _, procs := range []int{1, 4} {
+		o2 := warmPathOpts(p, p.Lambda, false)
+		o2.W0 = first.W
+		w2 := dist.NewWorld(procs, perf.Comet())
+		res, err := SolveDistributed(w2, p.X, p.Y, o2)
+		if err != nil {
+			t.Fatalf("p=%d resolve at same lambda: %v", procs, err)
+		}
+		if !res.Converged || res.Iters != 0 {
+			t.Fatalf("p=%d: re-solving from the optimum ran %d iters (converged=%v), want 0",
+				procs, res.Iters, res.Converged)
+		}
+		if res.Rounds != 0 {
+			t.Fatalf("p=%d: zero-round exit still spent %d communication rounds", procs, res.Rounds)
+		}
+		if math.Abs(res.FinalObj-first.FinalObj) > 1e-12 {
+			t.Fatalf("p=%d: fast-path objective %.15g != source %.15g", procs, res.FinalObj, first.FinalObj)
+		}
+	}
+}
