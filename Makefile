@@ -110,7 +110,10 @@ bench-baseline:
 # bench-compare fails when any benchmark's best-of-BENCH_COUNT ns/op
 # regresses more than BENCH_THRESHOLD percent against the committed
 # baseline. Benchmarks added or retired since the baseline are
-# reported but never fail the gate.
+# reported but never fail the gate. It also enforces the cross-run
+# wall-clock claim: BenchmarkActiveSetSolve must not exceed
+# BenchmarkDenseSolveBaseline ns/op within the fresh run — screening
+# has to win on measured time, not just modeled words.
 bench-compare:
 	$(GO) test -run NONE -bench . -benchtime=1x -count $(BENCH_COUNT) \
 	  $(BENCH_PKGS) > bench.out || { cat bench.out; rm -f bench.out; exit 1; }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 )
 
 // Comparison mode: gate a fresh benchmark run against the committed
@@ -69,8 +70,70 @@ func Compare(base, fresh *Report, thresholdPct float64, w io.Writer) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %v",
 			len(regressed), thresholdPct, regressed)
 	}
+	if err := crossGates(fm, w); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "benchjson: no regression beyond %.0f%% across %d benchmarks\n",
 		thresholdPct, len(names))
+	return nil
+}
+
+// crossGate asserts an ordering between two benchmarks within the SAME
+// fresh run: `faster` must not exceed `slower` in min ns/op. Unlike the
+// baseline comparison this survives machine changes — it is a claim
+// about the code, not about one host's clock.
+type crossGate struct {
+	faster, slower string
+}
+
+// The screening claim the repo makes in the activeset experiment,
+// enforced on measured wall clock: a screened solve must beat the dense
+// solve on the same problem, else the reduced payload bought nothing.
+var wallClockGates = []crossGate{
+	{faster: "BenchmarkActiveSetSolve", slower: "BenchmarkDenseSolveBaseline"},
+}
+
+// crossGates applies wallClockGates to the fresh run's per-name minima.
+// Names carry the -N GOMAXPROCS suffix, so matching is by prefix up to
+// the dash. A run that includes neither side of a pair (a partial
+// -bench invocation) skips the gate with a note; a run with exactly one
+// side fails — that is what a renamed benchmark quietly disabling the
+// claim looks like.
+func crossGates(fresh map[string]float64, w io.Writer) error {
+	lookup := func(prefix string) (float64, bool) {
+		best, found := math.Inf(1), false
+		for name, ns := range fresh {
+			// name is "pkg.BenchmarkFoo-N"; match the benchmark part.
+			i := strings.LastIndex(name, ".")
+			bench := name[i+1:]
+			if bench == prefix || strings.HasPrefix(bench, prefix+"-") {
+				found = true
+				if ns < best {
+					best = ns
+				}
+			}
+		}
+		return best, found
+	}
+	for _, g := range wallClockGates {
+		f, fok := lookup(g.faster)
+		s, sok := lookup(g.slower)
+		if !fok && !sok {
+			// The run did not include the gated package at all (a partial
+			// -bench invocation); nothing to claim.
+			fmt.Fprintf(w, "  gate     %s <= %s skipped: benchmarks not in this run\n", g.faster, g.slower)
+			continue
+		}
+		if fok != sok {
+			return fmt.Errorf("cross gate %s <= %s: half the pair missing from run (found %v/%v) — renamed benchmark?",
+				g.faster, g.slower, fok, sok)
+		}
+		if f > s {
+			return fmt.Errorf("cross gate failed: %s %.0f ns/op exceeds %s %.0f ns/op",
+				g.faster, f, g.slower, s)
+		}
+		fmt.Fprintf(w, "  gate     %s %.0f ns/op <= %s %.0f ns/op\n", g.faster, f, g.slower, s)
+	}
 	return nil
 }
 

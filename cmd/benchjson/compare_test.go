@@ -56,6 +56,51 @@ func TestCompareAddedAndRemovedAreNotRegressions(t *testing.T) {
 	}
 }
 
+func TestCompareCrossGateOrdersActiveVsDense(t *testing.T) {
+	// The wall-clock gate: ActiveSetSolve must not exceed
+	// DenseSolveBaseline in the SAME fresh run. Matching tolerates the
+	// -N GOMAXPROCS suffix and takes the minimum over repeats.
+	mk := func(activeNs, denseNs float64) *Report {
+		return mkReport(
+			bench("BenchmarkKept", 10),
+			bench("BenchmarkActiveSetSolve-16", activeNs),
+			bench("BenchmarkActiveSetSolve-16", activeNs*1.4),
+			bench("BenchmarkDenseSolveBaseline-16", denseNs),
+		)
+	}
+	// Baseline is slower than every fresh run below, so only the cross
+	// gate (which ignores the baseline) can fail these comparisons.
+	base := mk(2000, 2000)
+	var out strings.Builder
+	if err := Compare(base, mk(900, 1000), 1000, &out); err != nil {
+		t.Fatalf("active faster than dense failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gate") {
+		t.Fatalf("gate row not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := Compare(base, mk(1100, 1000), 1000, &out)
+	if err == nil || !strings.Contains(err.Error(), "cross gate failed") {
+		t.Fatalf("active slower than dense passed the gate: %v\n%s", err, out.String())
+	}
+
+	// Half the pair missing is a failure (renamed benchmark), while a
+	// run without either is a skip (partial -bench invocation).
+	half := mkReport(bench("BenchmarkKept", 10), bench("BenchmarkActiveSetSolve-16", 5))
+	if err := Compare(mkReport(bench("BenchmarkKept", 10)), half, 1000, &out); err == nil {
+		t.Fatalf("half-missing pair passed the gate:\n%s", out.String())
+	}
+	out.Reset()
+	neither := mkReport(bench("BenchmarkKept", 10))
+	if err := Compare(neither, neither, 1000, &out); err != nil {
+		t.Fatalf("gate did not skip on a run without the pair: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Fatalf("skip not reported:\n%s", out.String())
+	}
+}
+
 func TestValidThreshold(t *testing.T) {
 	for _, bad := range []float64{0, -5, 1000} {
 		if err := validThreshold(bad); err == nil {

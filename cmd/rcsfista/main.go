@@ -69,6 +69,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pipeline     = flag.Bool("pipeline", false, "overlap Gram fill with the in-flight Hessian allreduce (rcsfista/sfista only)")
 		activeSet    = flag.Bool("activeset", false, "screen to an active working set and ship reduced Gram batches (rcsfista/sfista only)")
 		screenMargin = flag.Float64("screen-margin", 0, "active-set screening safety margin in [0,1) (0: default 0.1)")
+		kktEvery     = flag.Int("kkt-every", 0, "exact KKT scan cadence in rounds under -activeset (0: default; backs off adaptively)")
+		compress     = flag.Bool("compress", false, "ship the Hessian allreduce as float32 with error feedback (rcsfista/sfista only)")
 		seed         = flag.Uint64("seed", 42, "random seed")
 		machine      = flag.String("machine", "comet", "cost model: comet|low-latency|high-latency")
 		transport    = flag.String("transport", "chan", "dist backend: chan (in-process)|tcp (one OS process per rank)|auto")
@@ -85,6 +87,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *activeSet && *algo != "rcsfista" && *algo != "sfista" {
 		return fmt.Errorf("-activeset applies to rcsfista/sfista only, not %q", *algo)
+	}
+	if *compress && *algo != "rcsfista" && *algo != "sfista" {
+		return fmt.Errorf("-compress applies to rcsfista/sfista only, not %q", *algo)
 	}
 
 	// Multi-process TCP mode. The parent re-executes this binary once
@@ -330,6 +335,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		opts.Pipeline = *pipeline
 		opts.ActiveSet = *activeSet
 		opts.ScreenMargin = *screenMargin
+		opts.KKTEvery = *kktEvery
+		opts.CompressPayload = *compress
 		if *algo == "sfista" {
 			opts.K, opts.S = 1, 1
 		}

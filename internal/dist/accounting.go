@@ -62,6 +62,20 @@ func chargeP2P(cost *perf.Cost, words int) {
 	cost.AddMessages(1, int64(words))
 }
 
+// chargeAllreduceF32 charges a compressed allreduce of n float32
+// payload values on p ranks: the same log2(P) message count, but each
+// level moves ceil(n/2) 64-bit words — two float32 values pack into
+// one accounting word — while the reduction still runs (and is
+// charged) at n float64 adds per level.
+func chargeAllreduceF32(cost *perf.Cost, p int, n int) {
+	lg := int64(perf.Log2Ceil(p))
+	if lg == 0 {
+		return
+	}
+	cost.AddMessages(lg, int64((n+1)/2))
+	cost.AddFlops(lg * int64(n))
+}
+
 // AllreduceCost returns the alpha-beta-gamma cost one rank is charged
 // for a tree allreduce of words payload words on p ranks. This is the
 // quantity Request.Wait charges and the communication segment the
@@ -69,5 +83,13 @@ func chargeP2P(cost *perf.Cost, words int) {
 func AllreduceCost(p, words int) perf.Cost {
 	var c perf.Cost
 	chargeAllreduce(&c, p, words)
+	return c
+}
+
+// AllreduceCostF32 is AllreduceCost for the compressed collective: n
+// float32 values charged at ceil(n/2) 64-bit words per tree level.
+func AllreduceCostF32(p, n int) perf.Cost {
+	var c perf.Cost
+	chargeAllreduceF32(&c, p, n)
 	return c
 }

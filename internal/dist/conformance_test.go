@@ -226,6 +226,99 @@ func TestConformanceCrossBackendBitIdentity(t *testing.T) {
 	}
 }
 
+// TestConformanceCompressedAllreduce: every backend exposes the
+// compressed collective, its results are bit-identical across backends
+// (rounded contributions, rank-order float64 sum, rounded result), and
+// the cost counters reflect the halved wire footprint — ceil(n/2)
+// 64-bit words per tree level instead of n.
+func TestConformanceCompressedAllreduce(t *testing.T) {
+	const p = 4
+	const rounds = 5
+	program := func(w World) ([][]float64, []perf.Cost) {
+		out := make([][]float64, p)
+		err := w.Run(func(c Comm) error {
+			f32, ok := c.(F32Allreducer)
+			if !ok {
+				return fmt.Errorf("backend comm %T does not implement F32Allreducer", c)
+			}
+			// Values that stress the quantizer: magnitudes float32 cannot
+			// hold exactly, a signed zero, an odd payload length (the
+			// ceil(n/2) word charge), and feedback across rounds.
+			state := []float64{math.Pi * float64(c.Rank()+1), 1.0 / 3, math.Copysign(0, -1),
+				1e-30 * float64(c.Rank()), 3}
+			for i := 0; i < rounds; i++ {
+				if i > 0 {
+					// Diverge the contributions between rounds so later
+					// rounds re-exercise the quantizer.
+					state[0] += 1e-4 * float64(c.Rank()) * state[4]
+				}
+				res := f32.AllreduceSharedF32(state)
+				req := f32.IAllreduceSharedF32(res)
+				state = append([]float64(nil), req.Wait()...)
+			}
+			out[c.Rank()] = state
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := make([]perf.Cost, p)
+		for r := 0; r < p; r++ {
+			costs[r] = perf.Cost(w.RankCost(r))
+		}
+		return out, costs
+	}
+
+	type result struct {
+		name  string
+		out   [][]float64
+		costs []perf.Cost
+	}
+	var results []result
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		out, costs := program(mustWorld(t, b, p))
+		results = append(results, result{b.Name(), out, costs})
+	})
+	if len(results) == 0 {
+		t.Skip("no supported backends")
+	}
+	// Every result word must be exactly float32-representable (the final
+	// rounding is part of the collective's contract), and the charged
+	// words must be the compressed footprint.
+	lg := int64(perf.Log2Ceil(p))
+	wantWords := 2 * rounds * lg * int64((5+1)/2) // 2 collectives/round, 5 f32 values each
+	for _, res := range results {
+		for r := 0; r < p; r++ {
+			for i, v := range res.out[r] {
+				if math.Float64bits(F32Round(v)) != math.Float64bits(v) {
+					t.Fatalf("%s rank %d word %d not float32-representable: %x",
+						res.name, r, i, math.Float64bits(v))
+				}
+			}
+			if res.costs[r].Words != wantWords {
+				t.Fatalf("%s rank %d charged %d words, want compressed %d",
+					res.name, r, res.costs[r].Words, wantWords)
+			}
+		}
+	}
+	ref := results[0]
+	for _, got := range results[1:] {
+		for r := 0; r < p; r++ {
+			for i := range ref.out[r] {
+				if math.Float64bits(ref.out[r][i]) != math.Float64bits(got.out[r][i]) {
+					t.Fatalf("rank %d word %d: %s=%x %s=%x", r, i,
+						ref.name, math.Float64bits(ref.out[r][i]),
+						got.name, math.Float64bits(got.out[r][i]))
+				}
+			}
+			if ref.costs[r] != got.costs[r] {
+				t.Fatalf("rank %d cost diverged: %s=%+v %s=%+v", r,
+					ref.name, ref.costs[r], got.name, got.costs[r])
+			}
+		}
+	}
+}
+
 // TestConformanceAbort: a failing rank aborts the world on every
 // backend — ranks parked in collectives are released, the error
 // surfaces from Run, and no goroutine survives.

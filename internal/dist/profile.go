@@ -13,6 +13,8 @@ const (
 	kindAllreduce
 	kindAllreduceShared
 	kindIAllreduceShared
+	kindAllreduceSharedF32
+	kindIAllreduceSharedF32
 	kindBcast
 	kindReduce
 	kindAllgather
@@ -23,6 +25,7 @@ const (
 
 var kindNames = [kindCount]string{
 	"barrier", "allreduce", "allreduce_shared", "iallreduce_shared",
+	"allreduce_shared_f32", "iallreduce_shared_f32",
 	"bcast", "reduce", "allgather", "send", "recv",
 }
 

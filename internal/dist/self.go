@@ -45,6 +45,23 @@ func (c *SelfComm) IAllreduceShared(local []float64) *Request {
 	return completedRequest(out)
 }
 
+// AllreduceSharedF32 returns local rounded through the compressed
+// wire's float32 precision: a single rank still observes the
+// quantization the collective semantics promise, so P = 1 and P > 1
+// runs of a compressed solve agree on what reaches the iterates.
+func (c *SelfComm) AllreduceSharedF32(local []float64) []float64 {
+	out := make([]float64, len(local))
+	combineF32(out, [][]float64{local})
+	return out
+}
+
+// IAllreduceSharedF32 returns an already-completed compressed request.
+func (c *SelfComm) IAllreduceSharedF32(local []float64) *Request {
+	out := make([]float64, len(local))
+	combineF32(out, [][]float64{local})
+	return completedRequest(out)
+}
+
 // Bcast is a no-op.
 func (c *SelfComm) Bcast(buf []float64, root int) {}
 

@@ -167,6 +167,99 @@ func (c *TCPComm) IAllreduceShared(local []float64) *Request {
 	}}
 }
 
+// AllreduceSharedF32 sums local across ranks over the compressed wire:
+// contributions travel as FrameContribF32 (each float64 rounded to a
+// 32-bit pattern by the codec), the hub sums the rounded values in rank
+// order in float64 — its own contribution rounded through the identical
+// F32Round the codec applies — and the float32-rounded sum returns as
+// FrameResultF32, which re-encodes it exactly. Bit-identical to the
+// chan backend's in-process arithmetic.
+func (c *TCPComm) AllreduceSharedF32(local []float64) []float64 {
+	if c.size == 1 {
+		out := make([]float64, len(local))
+		combineF32(out, [][]float64{local})
+		return out
+	}
+	seq := c.collSeq()
+	var out []float64
+	if c.rank == 0 {
+		out = c.combineContribsF32(seq, local)
+		c.bcastResultF32(seq, out)
+	} else {
+		c.sendTo(0, Frame{Kind: FrameContribF32, Rank: uint32(c.rank), Seq: seq, Payload: local})
+		out = c.waitResult(seq)
+		if len(out) != len(local) {
+			panic(fmt.Sprintf("dist: AllreduceSharedF32 length mismatch: rank 0 has %d, rank %d has %d",
+				len(out), c.rank, len(local)))
+		}
+	}
+	c.prof.record(kindAllreduceSharedF32, len(local))
+	chargeAllreduceF32(&c.cost, c.size, len(local))
+	return out
+}
+
+// IAllreduceSharedF32 posts the compressed allreduce nonblocking:
+// contributors ship their FrameContribF32 at post time, the hub defers
+// combining to Wait, and costs charge at Wait — the same split-phase
+// shape as IAllreduceShared.
+func (c *TCPComm) IAllreduceSharedF32(local []float64) *Request {
+	if c.size == 1 {
+		out := make([]float64, len(local))
+		combineF32(out, [][]float64{local})
+		return completedRequest(out)
+	}
+	seq := c.collSeq()
+	if c.rank != 0 {
+		c.sendTo(0, Frame{Kind: FrameContribF32, Rank: uint32(c.rank), Seq: seq, Payload: local})
+		n := len(local)
+		return &Request{wait: func() []float64 {
+			res := c.waitResult(seq)
+			if len(res) != n {
+				panic(fmt.Sprintf("dist: IAllreduceSharedF32 length mismatch: rank 0 has %d, rank %d has %d",
+					len(res), c.rank, n))
+			}
+			c.prof.record(kindIAllreduceSharedF32, n)
+			chargeAllreduceF32(&c.cost, c.size, n)
+			return res
+		}}
+	}
+	return &Request{wait: func() []float64 {
+		res := c.combineContribsF32(seq, local)
+		c.bcastResultF32(seq, res)
+		c.prof.record(kindIAllreduceSharedF32, len(local))
+		chargeAllreduceF32(&c.cost, c.size, len(local))
+		return res
+	}}
+}
+
+// combineContribsF32 is the hub half of the compressed allreduce: wait
+// for the P-1 decoded (pre-rounded) remote contributions and run the
+// shared combineF32 arithmetic over [own, remotes...] in rank order.
+func (c *TCPComm) combineContribsF32(seq uint32, local []float64) []float64 {
+	set := c.waitContribs(seq)
+	for r := 1; r < c.size; r++ {
+		if len(set.bufs[r]) != len(local) {
+			panic(fmt.Sprintf("dist: AllreduceSharedF32 length mismatch: rank 0 has %d, rank %d has %d",
+				len(local), r, len(set.bufs[r])))
+		}
+	}
+	set.bufs[c.rank] = local
+	res := make([]float64, len(local))
+	combineF32(res, set.bufs)
+	return res
+}
+
+// bcastResultF32 sends the hub's combined payload to every other rank
+// as a compressed result frame.
+func (c *TCPComm) bcastResultF32(seq uint32, payload []float64) {
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		c.sendTo(r, Frame{Kind: FrameResultF32, Rank: uint32(c.rank), Seq: seq, Payload: payload})
+	}
+}
+
 // Bcast copies root's buf into every rank's buf.
 func (c *TCPComm) Bcast(buf []float64, root int) {
 	if c.size == 1 {

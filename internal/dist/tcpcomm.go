@@ -241,9 +241,9 @@ func (c *TCPComm) readLoop(peer int, conn net.Conn) {
 			return
 		}
 		switch f.Kind {
-		case FrameContrib:
+		case FrameContrib, FrameContribF32:
 			c.addContrib(f.Seq, int(f.Rank), f.Payload)
-		case FrameResult:
+		case FrameResult, FrameResultF32:
 			c.resultCh(f.Seq) <- f.Payload
 		case FrameP2P:
 			select {

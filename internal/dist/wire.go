@@ -29,14 +29,24 @@ type FrameKind uint8
 // Frame kinds. Hello opens a mesh connection and authenticates the
 // dialer's rank; Contrib carries a rank's collective contribution to
 // the combining hub; Result carries the hub's rank-order-combined
-// result back; P2P carries a Send/Recv message.
+// result back; P2P carries a Send/Recv message. The F32 variants are
+// the compressed-payload collective frames: the payload ships as
+// 32-bit IEEE-754 words (the header's length field counts those 4-byte
+// words), halving the wire footprint of a Hessian batch.
 const (
 	FrameHello FrameKind = 1 + iota
 	FrameContrib
 	FrameResult
 	FrameP2P
+	FrameContribF32
+	FrameResultF32
 	frameKindEnd // one past the last valid kind
 )
+
+// isF32 reports whether k's payload is encoded as 4-byte float32 words.
+func (k FrameKind) isF32() bool {
+	return k == FrameContribF32 || k == FrameResultF32
+}
 
 const (
 	wireMagic0  = 'r'
@@ -87,6 +97,14 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	binary.LittleEndian.PutUint32(hdr[8:12], f.Seq)
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
 	dst = append(dst, hdr[:]...)
+	if f.Kind.isF32() {
+		for _, v := range f.Payload {
+			var w [4]byte
+			binary.LittleEndian.PutUint32(w[:], f32ToWire(v))
+			dst = append(dst, w[:]...)
+		}
+		return dst
+	}
 	for _, v := range f.Payload {
 		var w [8]byte
 		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
@@ -129,7 +147,11 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 	if err != nil {
 		return Frame{}, 0, err
 	}
-	total := WireHeaderLen + 8*nwords
+	wordLen := 8
+	if kind.isF32() {
+		wordLen = 4
+	}
+	total := WireHeaderLen + wordLen*nwords
 	if len(buf) < total {
 		return Frame{}, 0, io.ErrUnexpectedEOF
 	}
@@ -137,6 +159,10 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 	if nwords > 0 {
 		f.Payload = make([]float64, nwords)
 		for i := range f.Payload {
+			if kind.isF32() {
+				f.Payload[i] = f32FromWire(binary.LittleEndian.Uint32(buf[WireHeaderLen+4*i:]))
+				continue
+			}
 			bits := binary.LittleEndian.Uint64(buf[WireHeaderLen+8*i:])
 			f.Payload[i] = math.Float64frombits(bits)
 		}
@@ -159,7 +185,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	f := Frame{Kind: kind, Rank: rank, Seq: seq}
 	if nwords > 0 {
-		body := make([]byte, 8*nwords)
+		wordLen := 8
+		if kind.isF32() {
+			wordLen = 4
+		}
+		body := make([]byte, wordLen*nwords)
 		if _, err := io.ReadFull(r, body); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
@@ -168,6 +198,10 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		}
 		f.Payload = make([]float64, nwords)
 		for i := range f.Payload {
+			if kind.isF32() {
+				f.Payload[i] = f32FromWire(binary.LittleEndian.Uint32(body[4*i:]))
+				continue
+			}
 			f.Payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
 		}
 	}

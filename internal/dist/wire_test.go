@@ -139,6 +139,8 @@ func TestWireFrameStreaming(t *testing.T) {
 func FuzzWireFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, Frame{Kind: FrameContrib, Rank: 2, Seq: 9, Payload: []float64{1.5, -2.5}}))
 	f.Add(AppendFrame(nil, Frame{Kind: FrameHello, Rank: 1}))
+	f.Add(AppendFrame(nil, Frame{Kind: FrameContribF32, Rank: 3, Seq: 4, Payload: []float64{0.25, -8, math.NaN()}}))
+	f.Add(AppendFrame(nil, Frame{Kind: FrameResultF32, Rank: 0, Seq: 4, Payload: []float64{1e30, 5e-324, math.Copysign(0, -1)}}))
 	f.Add([]byte("rf\x01\x02garbage"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

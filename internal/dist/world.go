@@ -262,20 +262,24 @@ func (c *worldComm) AllreduceShared(local []float64) []float64 {
 
 // iarRound is the shared state of one in-flight nonblocking allreduce:
 // the per-rank contributions, the combined result, and a done channel
-// the background combiner closes when the result is published.
+// the background combiner closes when the result is published. f32
+// selects the compressed-collective arithmetic; every rank posts the
+// same sequence of collectives, so the flag is fixed at creation.
 type iarRound struct {
 	contrib [][]float64
 	posted  int
 	waited  int
+	f32     bool
 	res     []float64
 	errMsg  string
 	done    chan struct{}
 }
 
 // combine reduces the round's contributions in rank order on a fresh
-// slice — the exact arithmetic sequence of AllreduceShared, so the
-// nonblocking result is bit-identical to the blocking collective. It
-// runs after every rank has posted, so contrib is read without a lock.
+// slice — the exact arithmetic sequence of AllreduceShared (or of the
+// compressed AllreduceSharedF32 when f32 is set), so the nonblocking
+// result is bit-identical to the blocking collective. It runs after
+// every rank has posted, so contrib is read without a lock.
 func (rd *iarRound) combine() {
 	defer close(rd.done)
 	n := len(rd.contrib[0])
@@ -287,21 +291,25 @@ func (rd *iarRound) combine() {
 		}
 	}
 	res := make([]float64, n)
-	copy(res, rd.contrib[0])
-	for r := 1; r < len(rd.contrib); r++ {
-		OpSum.combine(res, rd.contrib[r])
+	if rd.f32 {
+		combineF32(res, rd.contrib)
+	} else {
+		copy(res, rd.contrib[0])
+		for r := 1; r < len(rd.contrib); r++ {
+			OpSum.combine(res, rd.contrib[r])
+		}
 	}
 	rd.res = res
 }
 
 // iarGet returns (creating if needed) the in-flight round with the
 // given sequence number.
-func (w *chanWorld) iarGet(seq int) *iarRound {
+func (w *chanWorld) iarGet(seq int, f32 bool) *iarRound {
 	w.iarMu.Lock()
 	defer w.iarMu.Unlock()
 	rd, ok := w.iar[seq]
 	if !ok {
-		rd = &iarRound{contrib: make([][]float64, w.size), done: make(chan struct{})}
+		rd = &iarRound{contrib: make([][]float64, w.size), f32: f32, done: make(chan struct{})}
 		w.iar[seq] = rd
 	}
 	return rd
@@ -315,15 +323,26 @@ func (w *chanWorld) iarGet(seq int) *iarRound {
 // in post order per rank; every posted request must be waited before
 // the rank's Run function returns.
 func (c *worldComm) IAllreduceShared(local []float64) *Request {
+	return c.iallreduceShared(local, false)
+}
+
+// iallreduceShared is the shared nonblocking post/wait machinery of the
+// full-precision and compressed collectives; f32 picks the arithmetic
+// and the accounting.
+func (c *worldComm) iallreduceShared(local []float64, f32 bool) *Request {
 	w := c.w
 	if w.size == 1 {
 		out := make([]float64, len(local))
-		copy(out, local)
+		if f32 {
+			combineF32(out, [][]float64{local})
+		} else {
+			copy(out, local)
+		}
 		return completedRequest(out)
 	}
 	seq := c.iarSeq
 	c.iarSeq++
-	rd := w.iarGet(seq)
+	rd := w.iarGet(seq, f32)
 	w.iarMu.Lock()
 	rd.contrib[c.rank] = local
 	rd.posted++
@@ -343,8 +362,13 @@ func (c *worldComm) IAllreduceShared(local []float64) *Request {
 		if rd.errMsg != "" {
 			panic(rd.errMsg)
 		}
-		w.prof.record(kindIAllreduceShared, n)
-		chargeAllreduce(&w.costs[rank], w.size, n)
+		if f32 {
+			w.prof.record(kindIAllreduceSharedF32, n)
+			chargeAllreduceF32(&w.costs[rank], w.size, n)
+		} else {
+			w.prof.record(kindIAllreduceShared, n)
+			chargeAllreduce(&w.costs[rank], w.size, n)
+		}
 		w.iarMu.Lock()
 		rd.waited++
 		if rd.waited == w.size {

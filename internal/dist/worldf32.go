@@ -1,0 +1,61 @@
+package dist
+
+import "fmt"
+
+// combineF32 is the single definition of the compressed-collective
+// arithmetic: round rank 0's contribution to float32 and copy it in,
+// add the remaining float32-rounded contributions in rank order in
+// float64, round the sum to float32. Rounding is idempotent, so a hub
+// that receives pre-rounded wire contributions and a backend that holds
+// the original float64 slices produce the identical bit pattern —
+// including the sign of zero, which a sum-into-zeros would lose.
+func combineF32(res []float64, contrib [][]float64) {
+	for i, v := range contrib[0] {
+		res[i] = F32Round(v)
+	}
+	for r := 1; r < len(contrib); r++ {
+		for i, v := range contrib[r] {
+			res[i] += F32Round(v)
+		}
+	}
+	for i, v := range res {
+		res[i] = F32Round(v)
+	}
+}
+
+// AllreduceSharedF32 is the compressed-collective counterpart of
+// AllreduceShared: no bytes move in process, but the arithmetic is the
+// wire's — contributions and result round through F32Round — and the
+// cost is the halved AllreduceCostF32 footprint.
+func (c *worldComm) AllreduceSharedF32(local []float64) []float64 {
+	w := c.w
+	if w.size == 1 {
+		out := make([]float64, len(local))
+		combineF32(out, [][]float64{local})
+		return out
+	}
+	w.contrib[c.rank] = local
+	w.bar.wait()
+	if c.rank == 0 {
+		res := make([]float64, len(local))
+		for r := 1; r < w.size; r++ {
+			if len(w.contrib[r]) != len(local) {
+				panic(fmt.Sprintf("dist: AllreduceSharedF32 length mismatch: rank 0 has %d, rank %d has %d",
+					len(local), r, len(w.contrib[r])))
+			}
+		}
+		combineF32(res, w.contrib)
+		w.shared = res
+	}
+	w.bar.wait()
+	out := w.shared
+	w.bar.wait()
+	w.prof.record(kindAllreduceSharedF32, len(local))
+	chargeAllreduceF32(c.Cost(), w.size, len(local))
+	return out
+}
+
+// IAllreduceSharedF32 posts the compressed allreduce nonblocking.
+func (c *worldComm) IAllreduceSharedF32(local []float64) *Request {
+	return c.iallreduceShared(local, true)
+}

@@ -19,7 +19,10 @@ import (
 // k(|A|(|A|+1)/2 + d) as the iterate support settles — while the
 // round-boundary exact KKT check keeps the trajectory on the dense
 // optimum (the report panics if the final objectives diverge beyond
-// 1e-10 or the payload fails to shrink below a quarter of dense).
+// 1e-10 or the payload fails to shrink below a quarter of dense). A
+// third run stacks Options.CompressPayload on the screened engine: the
+// reduced batch ships as float32 with error feedback, which must halve
+// the remaining batch words and stay within 1e-6 of the dense optimum.
 func ActiveSet(cfg Config) *Report {
 	const p = 8
 	d, m, maxIter := 96, 4000, 1600
@@ -33,7 +36,7 @@ func ActiveSet(cfg Config) *Report {
 	l := solver.SampledLipschitz(prob.X, prob.Y, 0.2, 8, 777)
 	_, fstar := solver.Reference(prob.X, prob.Y, prob.Lambda, 4000)
 
-	run := func(active bool) *solver.Result {
+	run := func(active, compress bool) *solver.Result {
 		o := solver.Defaults()
 		o.Lambda = prob.Lambda
 		o.Gamma = solver.GammaFromLipschitz(l)
@@ -45,9 +48,13 @@ func ActiveSet(cfg Config) *Report {
 		o.S = 2
 		o.EvalEvery = o.K * o.S // one checkpoint per round: |A| per round
 		o.ActiveSet = active
-		if active {
+		o.CompressPayload = compress
+		switch {
+		case active && compress:
+			o.TraceName = "active-set+f32"
+		case active:
 			o.TraceName = "active-set"
-		} else {
+		default:
 			o.TraceName = "dense"
 		}
 		w := cfg.NewWorld(p)
@@ -57,20 +64,30 @@ func ActiveSet(cfg Config) *Report {
 		}
 		return res
 	}
-	dense := run(false)
-	act := run(true)
+	dense := run(false, false)
+	act := run(true, false)
+	comp := run(true, true)
 
 	if diff := math.Abs(act.FinalObj - dense.FinalObj); diff > 1e-10 {
 		// Screening must be exact, not approximate; a drifted optimum is
 		// a bug, not a data point.
 		panic(fmt.Sprintf("expt: activeset: |F_active - F_dense| = %g > 1e-10", diff))
 	}
+	if diff := math.Abs(comp.FinalObj - dense.FinalObj); diff > 1e-6 {
+		// The float32 error-feedback path is lossy by design but must
+		// track the full-precision optimum to quantization tolerance.
+		panic(fmt.Sprintf("expt: activeset: |F_compressed - F_dense| = %g > 1e-6", diff))
+	}
+	if comp.Cost.Words >= act.Cost.Words {
+		panic(fmt.Sprintf("expt: activeset: compressed run shipped %d words, uncompressed active %d — compression must shrink the wire",
+			comp.Cost.Words, act.Cost.Words))
+	}
 
 	const k = 4
 	denseWords := int64(k * (d*(d+1)/2 + d))
 	tbl := &trace.Table{
 		Title:   fmt.Sprintf("Active-set screening: per-round batch payload (sparse synthetic, d=%d, P=%d, k=%d)", d, p, k),
-		Headers: []string{"round", "|A|", "batch words", "dense words", "ratio", "relerr"},
+		Headers: []string{"round", "|A|", "batch words", "f32 words", "dense words", "ratio", "relerr"},
 	}
 	var lastRatio float64
 	step := len(act.Trace.Points)/12 + 1
@@ -89,6 +106,7 @@ func ActiveSet(cfg Config) *Report {
 			fmt.Sprintf("%d", pt.Round),
 			fmt.Sprintf("%d", pt.Active),
 			fmt.Sprintf("%d", words),
+			fmt.Sprintf("%d", perf.ActiveSetRoundWordsF32(d, k, pt.Active)),
 			fmt.Sprintf("%d", denseWords),
 			fmt.Sprintf("%.2f", float64(words)/float64(denseWords)),
 			fmt.Sprintf("%.2e", pt.RelErr),
@@ -99,7 +117,7 @@ func ActiveSet(cfg Config) *Report {
 			100*lastRatio))
 	}
 
-	series := []*trace.Series{dense.Trace, act.Trace}
+	series := []*trace.Series{dense.Trace, act.Trace, comp.Trace}
 	var text strings.Builder
 	text.WriteString(tbl.Render())
 	text.WriteByte('\n')
@@ -111,16 +129,21 @@ func ActiveSet(cfg Config) *Report {
 			expands++
 		}
 	}
-	fmt.Fprintf(&text, "\ntotal words: dense %d, active %d (%.1fx less); "+
-		"final objectives agree to %.1e; %d KKT re-expansion(s)\n",
+	fmt.Fprintf(&text, "\ntotal words: dense %d, active %d (%.1fx less), active+f32 %d (%.1fx less); "+
+		"final objectives agree to %.1e (f32 to %.1e); %d KKT re-expansion(s)\n",
 		dense.Cost.Words, act.Cost.Words,
 		float64(dense.Cost.Words)/float64(act.Cost.Words),
-		math.Abs(act.FinalObj-dense.FinalObj), expands)
+		comp.Cost.Words,
+		float64(dense.Cost.Words)/float64(comp.Cost.Words),
+		math.Abs(act.FinalObj-dense.FinalObj),
+		math.Abs(comp.FinalObj-dense.FinalObj), expands)
 	text.WriteString("\nThe working set starts at d (nothing screenable at w = 0 beyond the " +
 		"gradient rule) and collapses to the optimum's support plus the margin band; the " +
 		"batch payload shrinks quadratically with it. The exact round-boundary KKT check " +
 		"makes the screen safe — any violation rewinds and redoes the round on the expanded " +
-		"set — so the screened trajectory lands on the dense optimum, not near it.\n")
+		"set — so the screened trajectory lands on the dense optimum, not near it. " +
+		"Stacking CompressPayload on top ships the reduced batch as float32 with error " +
+		"feedback, halving the remaining batch words at quantization-level (1e-6) accuracy.\n")
 
 	return &Report{
 		ID:     "activeset",

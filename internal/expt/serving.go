@@ -77,6 +77,17 @@ func Serving(cfg Config) *Report {
 	if rep.Errors != 0 || rep.Rejected != 0 {
 		panic(fmt.Sprintf("expt: serving: %d errors, %d rejections under a closed loop", rep.Errors, rep.Rejected))
 	}
+	// The experiment deadline is wide open, so every solve must complete:
+	// a partial here means the warm/cold round means exclude fits they
+	// should have counted. Both the client-side tally and the server's
+	// own counter must agree on zero.
+	if rep.Partial != 0 {
+		panic(fmt.Sprintf("expt: serving: %d deadline-clipped fits under a %s deadline", rep.Partial, exptDeadline))
+	}
+	if rep.ServerStats != nil && rep.ServerStats.PartialFits != 0 {
+		panic(fmt.Sprintf("expt: serving: server counted %d partial fits under a %s deadline",
+			rep.ServerStats.PartialFits, exptDeadline))
+	}
 	if rep.PathHitRate < 0.5 {
 		panic(fmt.Sprintf("expt: serving: lambda-path hit rate %.2f below the 0.5 acceptance bar", rep.PathHitRate))
 	}

@@ -63,23 +63,47 @@ func NewHistogram(samples []float64) Histogram {
 		P99MS:  percentile(sorted, 99),
 		MaxMS:  sorted[len(sorted)-1],
 	}
-	lo := bucketExp(sorted[0])
-	hi := bucketExp(sorted[len(sorted)-1])
-	for e := lo; e <= hi; e++ {
-		b := Bucket{LoMS: math.Pow(2, float64(e)), HiMS: math.Pow(2, float64(e+1))}
-		for _, v := range sorted {
-			if v >= b.LoMS && v < b.HiMS {
-				b.Count++
-			}
+	// Zero samples are real under a millisecond-resolution clock but
+	// have no power-of-two band: they get an explicit underflow bucket
+	// [0, 2^lo) below the smallest occupied band, so every sample lands
+	// in exactly one bucket and the counts sum to N.
+	pos := sorted
+	for len(pos) > 0 && pos[0] <= 0 {
+		pos = pos[1:]
+	}
+	if zeros := len(sorted) - len(pos); zeros > 0 {
+		hiMS := 1.0
+		if len(pos) > 0 {
+			hiMS = math.Pow(2, float64(bucketExp(pos[0])))
 		}
-		if b.Count > 0 {
-			h.Buckets = append(h.Buckets, b)
+		h.Buckets = append(h.Buckets, Bucket{LoMS: 0, HiMS: hiMS, Count: zeros})
+	}
+	if len(pos) == 0 {
+		return h
+	}
+	// Band membership is decided by bucketExp itself (not by range
+	// comparison against the recomputed 2^e edges), so a sample whose
+	// Log2 rounds across a power-of-two boundary still lands in exactly
+	// the band its exponent names.
+	lo := bucketExp(pos[0])
+	hi := bucketExp(pos[len(pos)-1])
+	counts := make([]int, hi-lo+1)
+	for _, v := range pos {
+		counts[bucketExp(v)-lo]++
+	}
+	for e := lo; e <= hi; e++ {
+		if c := counts[e-lo]; c > 0 {
+			h.Buckets = append(h.Buckets, Bucket{
+				LoMS: math.Pow(2, float64(e)), HiMS: math.Pow(2, float64(e+1)), Count: c,
+			})
 		}
 	}
 	return h
 }
 
-// bucketExp returns the power-of-two band a latency falls in.
+// bucketExp returns the power-of-two band a positive latency falls in.
+// Non-positive samples have no band; NewHistogram routes them to the
+// underflow bucket before exponents are taken.
 func bucketExp(ms float64) int {
 	if ms <= 0 {
 		return 0

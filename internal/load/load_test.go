@@ -3,6 +3,7 @@ package load
 import (
 	"context"
 	"math"
+	"math/rand"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -113,6 +114,69 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 	if z := NewHistogram(nil); z.N != 0 {
 		t.Fatalf("empty histogram: %+v", z)
+	}
+}
+
+// TestHistogramBucketsPartitionSamples is the conservation property:
+// every sample lands in exactly one bucket, so the bucket counts sum
+// to N. Zero-millisecond samples (a sub-resolution timer reading) used
+// to fall below the smallest power-of-two band and vanish from the
+// breakdown; they now land in an explicit [0, 2^lo) underflow bucket.
+func TestHistogramBucketsPartitionSamples(t *testing.T) {
+	sum := func(h Histogram) int {
+		var n int
+		for _, b := range h.Buckets {
+			n += b.Count
+		}
+		return n
+	}
+
+	// The regression case: zeros mixed with ordinary latencies.
+	h := NewHistogram([]float64{0, 0, 0.3, 1.5, 7, 64})
+	if got := sum(h); got != h.N {
+		t.Fatalf("buckets cover %d of %d samples", got, h.N)
+	}
+	if h.Buckets[0].LoMS != 0 || h.Buckets[0].Count != 2 {
+		t.Fatalf("underflow bucket wrong: %+v", h.Buckets[0])
+	}
+	if h.Buckets[0].HiMS != h.Buckets[1].LoMS {
+		t.Fatalf("underflow bucket does not abut the first band: %+v", h.Buckets[:2])
+	}
+
+	// All-zero input: one underflow bucket holding everything.
+	if h := NewHistogram([]float64{0, 0, 0}); sum(h) != 3 || len(h.Buckets) != 1 {
+		t.Fatalf("all-zero histogram: %+v", h)
+	}
+
+	// Property over random samples, including exact powers of two
+	// (where Log2 rounding is touchiest), sub-millisecond values and a
+	// sprinkling of zeros.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		samples := make([]float64, n)
+		for i := range samples {
+			switch rng.Intn(4) {
+			case 0:
+				samples[i] = 0
+			case 1:
+				samples[i] = math.Pow(2, float64(rng.Intn(20)-8))
+			default:
+				samples[i] = rng.ExpFloat64() * 50
+			}
+		}
+		h := NewHistogram(samples)
+		if got := sum(h); got != n {
+			t.Fatalf("trial %d: buckets cover %d of %d samples (%+v)", trial, got, n, h.Buckets)
+		}
+		for i, b := range h.Buckets {
+			if b.LoMS == 0 && i != 0 {
+				t.Fatalf("trial %d: underflow bucket not first: %+v", trial, h.Buckets)
+			}
+			if b.LoMS != 0 && b.HiMS != 2*b.LoMS {
+				t.Fatalf("trial %d: bucket not a power-of-two band: %+v", trial, b)
+			}
+		}
 	}
 }
 

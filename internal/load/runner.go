@@ -203,11 +203,16 @@ func summarize(cfg Config, outcomes []Outcome, wall time.Duration) *Report {
 		} else {
 			rep.PathMisses++
 		}
-		if o.Fit.Warm {
+		// Round means mirror the server's warm/cold accounting: a
+		// deadline-clipped solve's round count measures the deadline, not
+		// convergence, so partials stay out of both buckets.
+		switch {
+		case o.Fit.Partial:
+		case o.Fit.Warm:
 			rep.WarmFits++
 			warmRounds += o.Fit.Rounds
 			warmN++
-		} else {
+		default:
 			coldRounds += o.Fit.Rounds
 			coldN++
 		}

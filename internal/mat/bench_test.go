@@ -26,3 +26,25 @@ func BenchmarkSymPackedMulVec(b *testing.B) {
 		h.MulVec(y, x, nil)
 	}
 }
+
+// BenchmarkCholeskyPacked times the left-looking packed factorization
+// at the engine's default Hessian size. One factor allocation per op is
+// the contract (the factor is the result); the sweep itself is
+// unit-stride with no temporaries.
+func BenchmarkCholeskyPacked(b *testing.B) {
+	const d = 96
+	h := NewSymPacked(d)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			h.Set(i, j, 1/float64(i+j+1))
+		}
+		h.Set(i, i, h.At(i, i)+2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CholeskyPacked(h, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -84,28 +84,39 @@ func (a *SymPacked) Clone() *SymPacked {
 	return out
 }
 
-// MulVec computes y = A*x for the full symmetric operator. The flop
-// count is the same 2n^2 as the dense kernel — packing halves storage
-// and bandwidth, not the matvec work — and the per-row summation order
-// (j = 0..n-1) matches Dense.MulVec exactly, so a packed matrix and its
-// dense expansion produce bit-identical products.
+// MulVec computes y = A*x for the full symmetric operator, overwriting
+// y (x and y must not alias). The flop count is the same 2n^2 as the
+// dense kernel — packing halves storage and bandwidth, not the matvec
+// work.
+//
+// The kernel is a single unit-stride sweep of the packed triangle: each
+// stored element (i, j) is loaded once and contributes to both y[i] and
+// y[j], instead of the naive per-row form whose j < i half walks column
+// i with a shrinking stride and reads every element twice. The
+// contributions to each y[i] still land in ascending-j order — row
+// tails are consumed i = 0..n-1 and each row's tail left to right — so
+// the summation association matches Dense.MulVec exactly and a packed
+// matrix and its dense expansion produce bit-identical products.
 func (a *SymPacked) MulVec(y, x []float64, c *perf.Cost) {
 	n := a.N
 	if len(x) != n || len(y) != n {
 		panic("mat: SymPacked MulVec dimension mismatch")
 	}
+	Zero(y)
+	base := 0
 	for i := 0; i < n; i++ {
-		var s float64
-		// Columns j < i live in earlier rows' tails: element (j, i).
-		for j := 0; j < i; j++ {
-			s += a.Data[a.rowStart(j)+i-j] * x[j]
+		tail := a.Data[base : base+n-i]
+		base += n - i
+		xi := x[i]
+		// y[i] already holds the j < i contributions scattered by earlier
+		// rows; continue the same left-associated sum with j = i..n-1.
+		yi := y[i] + tail[0]*xi
+		for jj := 1; jj < len(tail); jj++ {
+			v := tail[jj]
+			yi += v * x[i+jj]
+			y[i+jj] += v * xi
 		}
-		// Columns j >= i are this row's contiguous tail.
-		tail := a.Data[a.rowStart(i) : a.rowStart(i)+n-i]
-		for jj, v := range tail {
-			s += v * x[i+jj]
-		}
-		y[i] = s
+		y[i] = yi
 	}
 	c.AddFlops(int64(2 * n * n))
 }
@@ -179,23 +190,40 @@ func SymPackedFromDense(a *Dense) *SymPacked {
 // is returned in packed storage (the strict lower triangle of U is zero
 // by construction and not stored). Flops charged: n^3/3, as for the
 // dense factorization.
+//
+// The sweep is left-looking by row: row i of U starts as row i of A and
+// subtracts rank-1 contributions of the finished rows k < i in one
+// unit-stride pass each, then scales by the pivot — no strided At/Set
+// walks. Every element still receives its k = 0..i-1 subtractions in
+// ascending order and the same sqrt/divide, so the factor is bit
+// identical to the textbook column-major form, including which diagonal
+// trips ErrNotSPD first (diagonals are checked in ascending index order
+// either way).
 func CholeskyPacked(a *SymPacked, c *perf.Cost) (*SymPacked, error) {
 	n := a.N
 	u := NewSymPacked(n)
-	for j := 0; j < n; j++ {
-		for i := 0; i <= j; i++ {
-			s := a.At(i, j)
-			for k := 0; k < i; k++ {
-				s -= u.At(k, i) * u.At(k, j)
+	for i := 0; i < n; i++ {
+		rs := u.rowStart(i)
+		ui := u.Data[rs : rs+n-i]
+		copy(ui, a.Data[rs:rs+n-i])
+		for k := 0; k < i; k++ {
+			// Row k's entries for columns i..n-1 sit at offset i-k of its
+			// tail, contiguous; uki = U(k, i) multiplies all of them.
+			ks := u.rowStart(k)
+			rk := u.Data[ks+i-k : ks+n-k]
+			uki := rk[0]
+			for jj := range ui {
+				ui[jj] -= uki * rk[jj]
 			}
-			if i == j {
-				if s <= 0 || math.IsNaN(s) {
-					return nil, ErrNotSPD
-				}
-				u.Set(j, j, math.Sqrt(s))
-			} else {
-				u.Set(i, j, s/u.At(i, i))
-			}
+		}
+		s := ui[0]
+		if s <= 0 || math.IsNaN(s) {
+			return nil, ErrNotSPD
+		}
+		d := math.Sqrt(s)
+		ui[0] = d
+		for jj := 1; jj < len(ui); jj++ {
+			ui[jj] /= d
 		}
 	}
 	c.AddFlops(int64(n) * int64(n) * int64(n) / 3)

@@ -23,6 +23,19 @@ func ActiveSetRoundWords(d, k, a int) int64 {
 	return bitmap + int64(k)*slot + int64(d)
 }
 
+// ActiveSetRoundWordsF32 is ActiveSetRoundWords with the batched
+// reduced slots shipped as float32 (Options.CompressPayload): the k·slot
+// batch packs two values per 64-bit wire word, ceil(k·slot/2); the
+// bitmap and the exact-gradient check stay full-width.
+func ActiveSetRoundWordsF32(d, k, a int) int64 {
+	if k < 1 {
+		k = 1
+	}
+	bitmap := int64((d + 63) / 64)
+	slot := int64(a)*int64(a+1)/2 + int64(d)
+	return bitmap + (int64(k)*slot+1)/2 + int64(d)
+}
+
 // ActiveSetRoundCosts is RCSFISTARoundCosts under screening with
 // working-set size a: the stage-B fills touch only the a(a+1)/2 reduced
 // Gram entries, and the round runs three tree collectives (bitmap

@@ -221,6 +221,38 @@ func TestWarmStartOverHTTP(t *testing.T) {
 	}
 }
 
+// TestSolverNameCanonicalInCache: "" and "rcsfista" name the same
+// algorithm, so they must share one warm-start cache population. The
+// fingerprint is taken from the canonical name — fingerprinting the
+// raw request string split the cache in two and a default-solver fit
+// could never warm-start a fit that spelled the name out (or vice
+// versa).
+func TestSolverNameCanonicalInCache(t *testing.T) {
+	_, ts := newTestServer(t, fastConfig())
+	client := ts.Client()
+
+	cold := doFit(t, client, ts.URL, &serve.FitRequest{Dataset: smallRef(), LambdaRatio: 0.3, Solver: ""})
+	if cold.Warm {
+		t.Fatal("first fit reported warm")
+	}
+	warm := doFit(t, client, ts.URL, &serve.FitRequest{Dataset: smallRef(), LambdaRatio: 0.25, Solver: "rcsfista"})
+	if !warm.Warm || !warm.PathCacheHit || warm.WarmFromLambda != cold.Lambda {
+		t.Fatalf("explicit rcsfista fit missed the cache entry stored by the default-solver fit: %+v", warm)
+	}
+	// And the other direction: a default-name fit hits entries stored
+	// under the explicit name.
+	warm2 := doFit(t, client, ts.URL, &serve.FitRequest{Dataset: smallRef(), LambdaRatio: 0.2, Solver: ""})
+	if !warm2.Warm || !warm2.PathCacheHit {
+		t.Fatalf("default-solver fit missed the cache: %+v", warm2)
+	}
+
+	// A genuinely different solver still gets its own population.
+	other := doFit(t, client, ts.URL, &serve.FitRequest{Dataset: smallRef(), LambdaRatio: 0.25, Solver: "fista"})
+	if other.Warm || other.PathCacheHit {
+		t.Fatalf("fista fit warm-started from an rcsfista entry: %+v", other)
+	}
+}
+
 // slowFit is a request that cannot finish inside the test's patience:
 // a big iteration budget with early stopping disabled.
 func slowFit(deadlineMS int) *serve.FitRequest {
@@ -248,8 +280,16 @@ func TestDeadlineReturnsPartialResult(t *testing.T) {
 	if fr.ModelID == "" || fr.Converged {
 		t.Fatalf("partial result malformed: %+v", fr)
 	}
-	if sn := sv.Stats().Snapshot(); sn.Deadlines != 1 {
+	sn := sv.Stats().Snapshot()
+	if sn.Deadlines != 1 {
 		t.Fatalf("deadlines counter = %d, want 1", sn.Deadlines)
+	}
+	// A clipped solve is a partial, not a cold fit: its round count
+	// reflects the deadline and must not pollute the warm/cold round
+	// economics.
+	if sn.PartialFits != 1 || sn.ColdFits != 0 || sn.ColdRounds != 0 || sn.WarmFits != 0 {
+		t.Fatalf("partial fit leaked into warm/cold counters: partial=%d cold=%d coldRounds=%d warm=%d",
+			sn.PartialFits, sn.ColdFits, sn.ColdRounds, sn.WarmFits)
 	}
 }
 

@@ -146,8 +146,17 @@ func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, err
 		return nil, badRequest("procs = %d out of [1, %d]", procs, s.cfg.MaxProcs)
 	}
 
+	// Canonicalize the solver name before it reaches the cache
+	// fingerprint: "" and "rcsfista" are the same algorithm, and
+	// fingerprinting the raw request string would split their warm-start
+	// entries into two cache populations that never hit each other.
+	algo := req.Solver
+	if algo == "" {
+		algo = "rcsfista"
+	}
+
 	datasetKey := ds.key
-	fp := fingerprint(datasetKey, req.Solver, opts.B, opts.K, opts.S, opts.ActiveSet, opts.Seed)
+	fp := fingerprint(datasetKey, algo, opts.B, opts.K, opts.S, opts.ActiveSet, opts.Seed)
 	resp := &FitResponse{Lambda: lambda, DatasetCacheHit: dsHit}
 	if req.warm() {
 		if e := s.paths.lookup(fp, lambda); e != nil {
@@ -187,18 +196,21 @@ func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, err
 			resp.Nnz++
 		}
 	}
-	if resp.Warm {
+	// Warm-start effectiveness is measured on completed solves only: a
+	// deadline-clipped fit stops at whatever round the clock ran out on,
+	// so its round count says nothing about warm vs cold convergence and
+	// would drag both averages toward the deadline budget.
+	switch {
+	case resp.Partial:
+		s.stats.partialFits.Add(1)
+	case resp.Warm:
 		s.stats.warmFits.Add(1)
 		s.stats.warmRounds.Add(int64(res.Rounds))
-	} else {
+	default:
 		s.stats.coldFits.Add(1)
 		s.stats.coldRounds.Add(int64(res.Rounds))
 	}
 
-	algo := req.Solver
-	if algo == "" {
-		algo = "rcsfista"
-	}
 	model := solver.NewModel(res, lambda, algo, datasetKey)
 	resp.ModelID = s.models.add(model)
 	if req.ReturnW {

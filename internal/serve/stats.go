@@ -24,10 +24,11 @@ type Stats struct {
 	pathMisses       atomic.Int64
 	pathEvictions    atomic.Int64
 
-	warmFits   atomic.Int64
-	coldFits   atomic.Int64
-	warmRounds atomic.Int64
-	coldRounds atomic.Int64
+	warmFits    atomic.Int64
+	coldFits    atomic.Int64
+	warmRounds  atomic.Int64
+	coldRounds  atomic.Int64
+	partialFits atomic.Int64
 }
 
 // StatsSnapshot is the JSON shape of GET /stats.
@@ -54,11 +55,15 @@ type StatsSnapshot struct {
 	PathEvictions int64 `json:"path_evictions"`
 
 	// Warm-start effectiveness: communication rounds spent by
-	// warm-started vs cold fits.
-	WarmFits   int64 `json:"warm_fits"`
-	ColdFits   int64 `json:"cold_fits"`
-	WarmRounds int64 `json:"warm_rounds"`
-	ColdRounds int64 `json:"cold_rounds"`
+	// warm-started vs cold fits. Only completed solves count — a
+	// deadline-clipped fit's round count reflects the deadline, not
+	// convergence, so partials are tallied separately and contribute to
+	// neither rounds bucket.
+	WarmFits    int64 `json:"warm_fits"`
+	ColdFits    int64 `json:"cold_fits"`
+	WarmRounds  int64 `json:"warm_rounds"`
+	ColdRounds  int64 `json:"cold_rounds"`
+	PartialFits int64 `json:"partial_fits"`
 }
 
 // Snapshot reads the current counter values.
@@ -80,10 +85,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		PathMisses:       s.pathMisses.Load(),
 		PathEvictions:    s.pathEvictions.Load(),
 
-		WarmFits:   s.warmFits.Load(),
-		ColdFits:   s.coldFits.Load(),
-		WarmRounds: s.warmRounds.Load(),
-		ColdRounds: s.coldRounds.Load(),
+		WarmFits:    s.warmFits.Load(),
+		ColdFits:    s.coldFits.Load(),
+		WarmRounds:  s.warmRounds.Load(),
+		ColdRounds:  s.coldRounds.Load(),
+		PartialFits: s.partialFits.Load(),
 	}
 }
 

@@ -87,8 +87,34 @@ type activeState struct {
 	redoBuf []float64
 	posRedo []int
 
-	// Round-entry snapshots for the re-expansion rewind.
+	// view is the row-filtered local matrix for the current working set,
+	// rebuilt lazily when gen moves (viewGen trails gen; -1 = unbuilt).
+	// Fills under the canonical layout go through it; redo fills under a
+	// transient expanded layout fall back to the per-column filter.
+	view    sparse.ActiveView
+	viewGen int
+
+	// Round-entry snapshots for the re-expansion rewind. Under the
+	// legacy protocol (KKTEvery = 1) a mark is taken every round; under
+	// the incremental protocol one mark is live per scan window.
 	mW, mWPrev, mSnap, mFG []float64
+
+	// Incremental-scan state (KKTEvery > 1): rounds since the last exact
+	// KKT scan, the window mark and the bases of the rounds run since the
+	// last certified scan (the rewind/redo unit), and the iterate-support
+	// fingerprint at the last scan — a support change forces an early
+	// scan so the working set never goes stale against the keep rule.
+	sinceScan int
+	winMark   activeMark
+	winBases  []int
+	suppBits  []uint64
+	// scanGap is the adaptive scan interval: it starts at KKTEvery and
+	// doubles after every clean cadence scan (no violations, no support
+	// motion) up to 8x KKTEvery, and resets to KKTEvery the moment a scan
+	// finds a violation or was forced by a support change. Steady-state
+	// windows stretch while the certificate is holding; the backstop
+	// tightens itself as soon as the iterate starts moving again.
+	scanGap int
 }
 
 // activeMark is the scalar half of a round-entry snapshot; the vector
@@ -131,6 +157,7 @@ func (e *engine) initActiveSet() {
 		valScratch: make([][]float64, k),
 		posRedo:    make([]int, d),
 		mW:         make([]float64, d), mWPrev: make([]float64, d),
+		viewGen: -1,
 	}
 	for i := range as.pos {
 		as.pos[i] = -1
@@ -146,12 +173,17 @@ func (e *engine) initActiveSet() {
 		as.mFG = make([]float64, d)
 	}
 	e.as = as
+	if e.opts.KKTEvery > 1 {
+		as.suppBits = make([]uint64, (d+63)/64)
+		as.scanGap = e.opts.KKTEvery
+	}
 	if e.opts.VarianceReduced {
 		copy(as.gExact, e.fullGrad)
 	} else {
 		e.exactGradient(as.gExact)
 	}
 	e.deriveActive()
+	as.snapSupport(e.wCurr)
 	as.actGood = as.act
 	e.rec.Active = len(as.act)
 }
@@ -159,7 +191,7 @@ func (e *engine) initActiveSet() {
 // fillSlotActive is fillSlotAt under a reduced layout: the slot holds
 // the |A| x |A| packed principal Gram submatrix followed by the
 // full-length R.
-func (e *engine) fillSlotActive(j, base int, buf []float64, layout, pos []int, cost *perf.Cost) {
+func (e *engine) fillSlotActive(j, base int, buf []float64, layout, pos []int, view *sparse.ActiveView, cost *perf.Cost) {
 	global := e.sampleSlot(base + j)
 	cols := e.local.LocalCols(global)
 	a := len(layout)
@@ -167,6 +199,11 @@ func (e *engine) fillSlotActive(j, base int, buf []float64, layout, pos []int, c
 	slotLen := pl + e.d
 	slot := buf[j*slotLen : (j+1)*slotLen]
 	h := mat.SymPackedOf(a, slot[:pl])
+	if view != nil {
+		sparse.SampledGramPackedView(e.local.X, view, h, slot[pl:], e.local.Y, cols,
+			1/float64(e.mbar), cost)
+		return
+	}
 	sparse.SampledGramPackedRows(e.local.X, h, slot[pl:], e.local.Y, cols,
 		layout, pos, e.as.rowScratch[j], e.as.valScratch[j], 1/float64(e.mbar), cost)
 }
@@ -190,8 +227,9 @@ func (e *engine) Refill(buf []float64) perf.Cost {
 	fr.act = as.act
 	var fill perf.Cost
 	mat.Zero(buf)
+	view := e.activeView()
 	for j := 0; j < e.opts.K; j++ {
-		e.fillSlotActive(j, fr.base, buf, as.act, as.pos, &fill)
+		e.fillSlotActive(j, fr.base, buf, as.act, as.pos, view, &fill)
 	}
 	e.c.Cost().Add(fill)
 	return fill
@@ -218,7 +256,7 @@ func (e *engine) refillBatch(base int, layout []int) []float64 {
 	mat.Zero(buf)
 	cost := e.c.Cost()
 	for j := 0; j < e.opts.K; j++ {
-		e.fillSlotActive(j, base, buf, layout, as.posRedo, cost)
+		e.fillSlotActive(j, base, buf, layout, as.posRedo, nil, cost)
 	}
 	return buf
 }
@@ -258,10 +296,12 @@ func (e *engine) rewindActive(m activeMark) {
 }
 
 // processActive is stage D under screening: run the round's k*S reduced
-// updates, then the exact KKT check; on a violation rewind, expand,
+// updates, then — every round under the legacy KKTEvery = 1 protocol,
+// every KKTEvery rounds (or on support change or stop) under the
+// incremental one — the exact KKT check; on a violation rewind, expand,
 // re-exchange and redo until the working set is KKT-consistent. All
-// branch decisions derive from allreduced quantities, so every rank
-// issues the identical collective sequence.
+// branch decisions derive from allreduced quantities and deterministic
+// counters, so every rank issues the identical collective sequence.
 func (e *engine) processActive(shared []float64) bool {
 	as := e.as
 	fr := as.popFill()
@@ -273,6 +313,9 @@ func (e *engine) processActive(shared []float64) bool {
 		layout = as.actGood
 	} else {
 		as.actGood = layout
+	}
+	if e.opts.KKTEvery > 1 {
+		return e.processIncremental(fr.base, shared, layout)
 	}
 	mark := e.markActive()
 	for {
@@ -312,6 +355,19 @@ func (e *engine) processActive(shared []float64) bool {
 		layout = expanded
 		shared = sharedRedo
 	}
+}
+
+// scanGradient refreshes gExact for a scan. When the round's last
+// update landed on a variance-reduction snapshot refresh, fullGrad is
+// the exact gradient at wCurr computed by the identical arithmetic —
+// reuse it and save the d-word allreduce; otherwise pay the exact
+// evaluation.
+func (e *engine) scanGradient() {
+	if e.opts.VarianceReduced && e.sinceSnap == 0 {
+		copy(e.as.gExact, e.fullGrad)
+		return
+	}
+	e.exactGradient(e.as.gExact)
 }
 
 // runActiveRound runs one attempt's k*S reduced updates with the same

@@ -1,0 +1,134 @@
+package solver
+
+// The incremental (KKTEvery > 1) screening protocol: between exact
+// scans the working set is frozen and rounds pay zero screening
+// collectives; a scan certifies the whole window at once and the
+// adaptive cadence backs off geometrically while scans come back
+// clean. The legacy per-round protocol and the shared state/rewind
+// machinery live in activeset.go; DESIGN.md §14 has the design notes.
+
+import (
+	"fmt"
+
+	"github.com/hpcgo/rcsfista/internal/sparse"
+)
+
+// snapSupport fingerprints supp(wCurr) at a certified scan; a later
+// supportChanged compares against it to trigger an early scan. Support
+// is always a subset of the working set (screened coordinates are
+// frozen at zero between scans), so walking act covers every
+// coordinate that can differ.
+func (as *activeState) snapSupport(w []float64) {
+	if as.suppBits == nil {
+		return
+	}
+	for i := range as.suppBits {
+		as.suppBits[i] = 0
+	}
+	for _, i := range as.act {
+		if w[i] != 0 {
+			as.suppBits[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// supportChanged reports whether supp(wCurr) moved since the last
+// snapSupport. Pure bookkeeping over replicated state: every rank
+// reaches the identical verdict without communicating.
+func (as *activeState) supportChanged(w []float64) bool {
+	for _, i := range as.act {
+		if (w[i] != 0) != (as.suppBits[i>>6]&(1<<uint(i&63)) != 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// activeView returns the row-filtered view of the local matrix for the
+// current working set, rebuilding it if the set moved since the last
+// fill. Called once per batch before any concurrent slot fills start, so
+// the workers share an immutable snapshot.
+func (e *engine) activeView() *sparse.ActiveView {
+	as := e.as
+	if as.viewGen != as.gen {
+		as.view.Build(e.local.X, as.pos)
+		as.viewGen = as.gen
+	}
+	return &as.view
+}
+
+// processIncremental is the KKTEvery > 1 round protocol: the working
+// set is frozen between exact scans, so a non-scan round pays zero
+// screening collectives — no exact-gradient allreduce, no bitmap — and
+// the active path's per-round collective count drops to the dense
+// engine's (the cancellation consensus plus the batch itself). A scan
+// fires on the adaptive cadence (starts at KKTEvery, doubles after
+// every clean scan up to 8x, resets on a violation or support-change
+// trigger), on any iterate-support change, and on
+// stop, and certifies every round since the previous scan at once: a
+// violation rewinds the whole window and redoes it on the expanded set,
+// so the exactness guarantee of the legacy protocol is kept at scan
+// granularity. Only runs on the reliable network (Validate rejects
+// KKTEvery > 1 with Faults), so layout always equals the current
+// working set and exchanges cannot be lost.
+func (e *engine) processIncremental(base int, shared []float64, layout []int) bool {
+	as := e.as
+	if len(as.winBases) == 0 {
+		as.winMark = e.markActive()
+	}
+	as.winBases = append(as.winBases, base)
+	stop := e.runActiveRound(shared, layout)
+	as.sinceScan++
+	suppTrig := as.supportChanged(e.wCurr)
+	if !stop && as.sinceScan < as.scanGap && !suppTrig {
+		return false
+	}
+	return e.certifyWindow(layout, stop, suppTrig)
+}
+
+// certifyWindow runs the exact KKT scan over the rounds accumulated
+// since the last certification. On violations the window is rewound to
+// its entry mark and every round is redone — same sample slots, one
+// refill exchange each — on the expanded set, then rescanned; the set
+// only grows across redos, so the loop terminates.
+func (e *engine) certifyWindow(layout []int, stop, suppTrig bool) bool {
+	as := e.as
+	clean := !suppTrig
+	for {
+		e.scanGradient()
+		viol := e.kktViolations(layout)
+		if len(viol) == 0 {
+			break
+		}
+		clean = false
+		expanded := unionSorted(layout, viol)
+		e.rewindActive(as.winMark)
+		e.rec.RecordRecovery("expand", e.rec.Rounds,
+			fmt.Sprintf("KKT violation on %d screened coords: |A| %d -> %d, %d-round window redone",
+				len(viol), len(layout), len(expanded), len(as.winBases)))
+		stop = false
+		for _, b := range as.winBases {
+			redo := e.refillBatch(b, expanded)
+			e.rec.Rounds++
+			if stop = e.runActiveRound(e.exch.Exchange(redo), expanded); stop {
+				break
+			}
+		}
+		as.actGood = expanded
+		layout = expanded
+	}
+	if clean {
+		if as.scanGap < 8*e.opts.KKTEvery {
+			as.scanGap *= 2
+		}
+	} else {
+		as.scanGap = e.opts.KKTEvery
+	}
+	as.sinceScan = 0
+	as.winBases = as.winBases[:0]
+	as.snapSupport(e.wCurr)
+	if !stop {
+		e.deriveActive()
+	}
+	return stop
+}

@@ -160,6 +160,41 @@ type Options struct {
 	// coordinates and trigger fewer KKT re-expansions. Zero selects the
 	// default 0.1; must lie in [0, 1).
 	ScreenMargin float64
+	// KKTEvery is the cadence (in communication rounds) of the active-set
+	// engine's exact full-gradient KKT scan. 1 is the legacy protocol:
+	// scan + bitmap agreement allreduce every round. Values > 1 run the
+	// incremental protocol: between scans the working set is frozen and
+	// rounds pay zero screening collectives; a scan still fires early
+	// whenever the iterate support changes or the solve stops, and a scan
+	// that finds violations rewinds and redoes every round since the last
+	// certified scan on the expanded set, so the exactness guarantee is
+	// unchanged — only its granularity moves from rounds to scan windows.
+	// When a snapshot refresh landed on the scan boundary its exact full
+	// gradient is reused instead of recomputed, saving the d-word
+	// allreduce; the working set is then derived locally (it is a pure
+	// function of allreduced state, like the shared sample streams), so
+	// the bitmap allreduce disappears too. The cadence is adaptive: a
+	// scan that certifies its window clean (no violations, not forced by
+	// a support change) doubles the gap to the next one, up to
+	// 8*KKTEvery; any violation or support-change-triggered scan resets
+	// the gap to KKTEvery. Zero selects the default: 4 under ActiveSet
+	// on a reliable network, 1 under a FaultPlan (the per-round scan is
+	// the degradation backstop); explicit values > 1 are incompatible
+	// with Faults. Ignored without ActiveSet.
+	KKTEvery int
+	// CompressPayload encodes the batched Hessian allreduce as float32
+	// on the wire with per-rank error-feedback residuals: each rank
+	// quantizes local+residual to float32, ships the 32-bit words (the
+	// cost model charges (n+1)/2 64-bit words per payload), and keeps
+	// the quantization error to add into the next round's contribution,
+	// so the compression error is recycled rather than accumulated and
+	// iterates track the uncompressed trajectory to ~1e-6 in objective.
+	// Only the batch allreduce is compressed; the exact-gradient,
+	// bitmap, consensus and eval collectives stay full precision.
+	// Default off: every existing configuration is bit-identical to its
+	// golden fixture. Incompatible with Faults (the fault injector's
+	// attempt protocol is defined over full-precision payloads).
+	CompressPayload bool
 	// PackedHessian selects the packed symmetric wire format for the
 	// batched Hessian allreduce: each slot ships d(d+1)/2 + d words (the
 	// upper triangle of H plus R) instead of the dense d^2 + d. Packed
@@ -255,6 +290,17 @@ func (o *Options) Validate() error {
 	if o.ScreenMargin < 0 || o.ScreenMargin >= 1 || math.IsNaN(o.ScreenMargin) {
 		return errors.New("solver: ScreenMargin must lie in [0, 1)")
 	}
+	if o.KKTEvery < 0 {
+		return errors.New("solver: KKTEvery must be non-negative (0 selects the default)")
+	}
+	if o.KKTEvery > 1 && o.Faults != nil {
+		return errors.New("solver: KKTEvery > 1 is incompatible with Faults " +
+			"(the per-round KKT scan is the fault-degradation backstop; use KKTEvery = 1)")
+	}
+	if o.CompressPayload && o.Faults != nil {
+		return errors.New("solver: CompressPayload is incompatible with Faults " +
+			"(the fault injector's attempt protocol is defined over full-precision payloads)")
+	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
 	}
@@ -305,6 +351,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ActiveSet && o.ScreenMargin == 0 {
 		o.ScreenMargin = 0.1
+	}
+	if o.ActiveSet && o.KKTEvery == 0 {
+		if o.Faults != nil {
+			o.KKTEvery = 1
+		} else {
+			o.KKTEvery = 4
+		}
 	}
 	return o
 }

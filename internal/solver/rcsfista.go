@@ -13,7 +13,6 @@ import (
 	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/rng"
 	"github.com/hpcgo/rcsfista/internal/solvercore"
-	"github.com/hpcgo/rcsfista/internal/sparse"
 )
 
 // LocalData is one rank's column (sample) block of the global problem,
@@ -62,6 +61,11 @@ func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Opt
 	if local.X == nil || local.X.Cols != len(local.Y) {
 		return nil, fmt.Errorf("solver: inconsistent local data")
 	}
+	if opts.CompressPayload {
+		if _, ok := c.(dist.F32Allreducer); !ok {
+			return nil, fmt.Errorf("solver: CompressPayload requires a transport with a compressed collective (chan, tcp or self)")
+		}
+	}
 
 	e := newEngine(c, local, opts)
 	var pass solvercore.InnerPass = e
@@ -98,11 +102,17 @@ func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Opt
 		Pipeline: opts.Pipeline,
 		CommCost: dist.AllreduceCost(e.c.Size(), e.BatchLen()),
 	}
+	if opts.CompressPayload {
+		spec.CommCost = dist.AllreduceCostF32(e.c.Size(), e.BatchLen())
+	}
 	if opts.ActiveSet {
 		// The batch length moves with the working set; price each
 		// overlapped collective at its actual in-flight length. Left nil
 		// on the dense path so golden modeled costs are untouched.
 		spec.CommCostOf = func(n int) perf.Cost {
+			if opts.CompressPayload {
+				return dist.AllreduceCostF32(e.c.Size(), n)
+			}
 			return dist.AllreduceCost(e.c.Size(), n)
 		}
 	}
@@ -231,56 +241,6 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 	return e
 }
 
-// exchanger picks stage C: the plain allreduce on the reliable path,
-// the retry/degrade/skip machine under a FaultPlan.
-func (e *engine) exchanger() solvercore.Exchanger {
-	if e.exch == nil {
-		if e.fc == nil {
-			e.exch = solvercore.AllreduceExchanger{C: e.c}
-		} else {
-			e.exch = &solvercore.FaultExchanger{
-				FC:         e.fc,
-				Rec:        e.rec,
-				MaxRetries: e.opts.MaxRetries,
-				Backoff:    e.opts.RetryBackoff,
-			}
-		}
-	}
-	return e.exch
-}
-
-// sampleSlot returns the global sample index set of Hessian slot h.
-// Identical on every rank: a pure function of (seed, h).
-func (e *engine) sampleSlot(h int) []int {
-	return solvercore.StreamSampler{
-		Src: e.src, Epoch: 1, N: e.m, Draw: e.mbar, FullWhenSaturated: true,
-	}.Sample(h)
-}
-
-// fillSlotAt computes the local partial (H, R) Gram instance of batch
-// slot j (global Hessian index base+j) into buf, charging flops to
-// cost. Stage A (sampling) is a pure function of (seed, base+j) and
-// stage B writes only slot j's region of buf, so distinct slots are
-// safe to fill concurrently. Under ActiveSet the slot holds the reduced
-// |A| x |A| packed Gram plus the full-length R.
-func (e *engine) fillSlotAt(j, base int, buf []float64, cost *perf.Cost) {
-	if e.as != nil {
-		e.fillSlotActive(j, base, buf, e.as.act, e.as.pos, cost)
-		return
-	}
-	global := e.sampleSlot(base + j)
-	cols := e.local.LocalCols(global)
-	slot := buf[j*e.slotLen : (j+1)*e.slotLen]
-	scale := 1 / float64(e.mbar)
-	if e.packed {
-		h := mat.SymPackedOf(e.d, slot[:e.hLen])
-		sparse.SampledGramPacked(e.local.X, h, slot[e.hLen:], e.local.Y, cols, scale, cost)
-	} else {
-		h := mat.DenseOf(e.d, e.d, slot[:e.hLen])
-		sparse.SampledGram(e.local.X, h, slot[e.hLen:], e.local.Y, cols, scale, cost)
-	}
-}
-
 // BatchLen is the wire length of one k-slot batch. Under ActiveSet it
 // shrinks with the current working set: k * (|A|(|A|+1)/2 + d) words.
 func (e *engine) BatchLen() int {
@@ -304,6 +264,7 @@ func (e *engine) Fill(buf []float64) perf.Cost {
 	base := e.hIdx
 	if e.as != nil {
 		e.as.pushFill(base)
+		e.activeView()
 	}
 	mat.Zero(buf)
 	var fill perf.Cost

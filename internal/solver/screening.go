@@ -48,16 +48,23 @@ func (e *engine) deriveActive() {
 			as.bits[i>>6] |= 1 << uint(i&63)
 		}
 	}
-	// Agreement allreduce: every rank built the identical bitmap from
-	// allreduced quantities, so OpMax over the raw bit patterns leaves
-	// them unchanged (v > dst is false for equal or NaN patterns) — the
-	// collective only charges the coordination its wire cost.
-	for w := range as.bits {
-		as.bitmap[w] = math.Float64frombits(as.bits[w])
-	}
-	e.c.Allreduce(as.bitmap, dist.OpMax)
-	for w := range as.bits {
-		as.bits[w] = math.Float64bits(as.bitmap[w])
+	// Working-set agreement. The bitmap is a pure function of allreduced
+	// quantities (gExact and the replicated iterates), so every rank has
+	// already built the identical bit pattern — the same rationale that
+	// lets the shared sample streams skip coordination. The legacy
+	// KKTEvery = 1 protocol still ships it through an OpMax allreduce
+	// (a pure identity on equal patterns: v > dst is false for equal or
+	// NaN bits) to charge the per-round coordination its historical wire
+	// cost; the incremental protocol derives locally and pays nothing,
+	// which is where the screening engine's collective count drops.
+	if e.opts.KKTEvery <= 1 {
+		for w := range as.bits {
+			as.bitmap[w] = math.Float64frombits(as.bits[w])
+		}
+		e.c.Allreduce(as.bitmap, dist.OpMax)
+		for w := range as.bits {
+			as.bits[w] = math.Float64bits(as.bitmap[w])
+		}
 	}
 	n := 0
 	same := true

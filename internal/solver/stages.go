@@ -1,0 +1,71 @@
+package solver
+
+// Per-slot stage plumbing for the engine: the stage-C Exchanger
+// selection (plain / compressed / faulty) and the stage-A/B sampled
+// Gram fill of a single batch slot. The round loop and engine state
+// live in rcsfista.go.
+
+import (
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
+	"github.com/hpcgo/rcsfista/internal/sparse"
+)
+
+// exchanger picks stage C: the plain allreduce on the reliable path,
+// the float32 error-feedback path under CompressPayload, the
+// retry/degrade/skip machine under a FaultPlan.
+func (e *engine) exchanger() solvercore.Exchanger {
+	if e.exch == nil {
+		if e.opts.CompressPayload {
+			f32, ok := e.c.(dist.F32Allreducer)
+			if !ok {
+				panic("solver: CompressPayload requires a communicator implementing dist.F32Allreducer")
+			}
+			e.exch = &solvercore.CompressedExchanger{C: f32}
+		} else if e.fc == nil {
+			e.exch = solvercore.AllreduceExchanger{C: e.c}
+		} else {
+			e.exch = &solvercore.FaultExchanger{
+				FC:         e.fc,
+				Rec:        e.rec,
+				MaxRetries: e.opts.MaxRetries,
+				Backoff:    e.opts.RetryBackoff,
+			}
+		}
+	}
+	return e.exch
+}
+
+// sampleSlot returns the global sample index set of Hessian slot h.
+// Identical on every rank: a pure function of (seed, h).
+func (e *engine) sampleSlot(h int) []int {
+	return solvercore.StreamSampler{
+		Src: e.src, Epoch: 1, N: e.m, Draw: e.mbar, FullWhenSaturated: true,
+	}.Sample(h)
+}
+
+// fillSlotAt computes the local partial (H, R) Gram instance of batch
+// slot j (global Hessian index base+j) into buf, charging flops to
+// cost. Stage A (sampling) is a pure function of (seed, base+j) and
+// stage B writes only slot j's region of buf, so distinct slots are
+// safe to fill concurrently. Under ActiveSet the slot holds the reduced
+// |A| x |A| packed Gram plus the full-length R.
+func (e *engine) fillSlotAt(j, base int, buf []float64, cost *perf.Cost) {
+	if e.as != nil {
+		e.fillSlotActive(j, base, buf, e.as.act, e.as.pos, &e.as.view, cost)
+		return
+	}
+	global := e.sampleSlot(base + j)
+	cols := e.local.LocalCols(global)
+	slot := buf[j*e.slotLen : (j+1)*e.slotLen]
+	scale := 1 / float64(e.mbar)
+	if e.packed {
+		h := mat.SymPackedOf(e.d, slot[:e.hLen])
+		sparse.SampledGramPacked(e.local.X, h, slot[e.hLen:], e.local.Y, cols, scale, cost)
+	} else {
+		h := mat.DenseOf(e.d, e.d, slot[:e.hLen])
+		sparse.SampledGram(e.local.X, h, slot[e.hLen:], e.local.Y, cols, scale, cost)
+	}
+}

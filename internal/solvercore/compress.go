@@ -1,0 +1,74 @@
+package solvercore
+
+import "github.com/hpcgo/rcsfista/internal/dist"
+
+// CompressedExchanger is the stage-C path behind Options.
+// CompressPayload: the batched Hessian allreduce ships as float32 with
+// per-rank error feedback. Each round the rank adds its carried
+// quantization residual into the local batch, quantizes the sum to
+// float32 (dist.F32Round — the exact value the wire codec would
+// produce), ships the quantized batch through the communicator's
+// compressed collective, and keeps the quantization error to inject
+// into the next round's contribution:
+//
+//	z = local + resid
+//	q = F32Round(z)        // what crosses the wire
+//	resid = z - q          // carried to the next round
+//
+// Error feedback keeps the quantization noise from accumulating in the
+// iterates: the error made on round t re-enters the sum on round t+1,
+// so over a window the shipped totals track the full-precision totals
+// to float32 round-off rather than drifting. The residual is per-rank
+// local state and never communicated.
+//
+// The residual buffer is keyed to the batch length: an active-set
+// layout change (a different |A| reslices the packed Hessian) makes
+// the old residual's coordinates meaningless, so the residual resets
+// to zero on any length change. Every rank derives the same layout
+// sequence from allreduced state, so the resets are symmetric and the
+// collective stays well-formed.
+type CompressedExchanger struct {
+	C dist.F32Allreducer
+
+	resid []float64
+	quant []float64
+}
+
+// prepare folds the carried residual into local and quantizes, leaving
+// the wire payload in quant and the new residual in resid. local is
+// not modified.
+func (e *CompressedExchanger) prepare(local []float64) []float64 {
+	if len(e.resid) != len(local) {
+		e.resid = make([]float64, len(local))
+		if cap(e.quant) < len(local) {
+			e.quant = make([]float64, len(local))
+		}
+	}
+	q := e.quant[:len(local)]
+	for i, v := range local {
+		z := v + e.resid[i]
+		qi := dist.F32Round(z)
+		q[i] = qi
+		e.resid[i] = z - qi
+	}
+	return q
+}
+
+// Exchange runs one blocking compressed round.
+func (e *CompressedExchanger) Exchange(local []float64) []float64 {
+	return e.C.AllreduceSharedF32(e.prepare(local))
+}
+
+// Post quantizes and posts the compressed allreduce nonblocking. The
+// quantized buffer is owned by the exchanger and stays untouched until
+// Resolve, satisfying the nonblocking-collective contract; the caller's
+// local batch is free immediately.
+func (e *CompressedExchanger) Post(local []float64) Pending {
+	q := e.prepare(local)
+	return Pending{req: e.C.IAllreduceSharedF32(q), buf: q}
+}
+
+// Resolve blocks on the posted compressed allreduce.
+func (e *CompressedExchanger) Resolve(p Pending) []float64 {
+	return p.req.Wait()
+}

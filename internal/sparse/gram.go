@@ -92,14 +92,27 @@ func SampledGramPacked(a *CSC, h *mat.SymPacked, r []float64, y []float64, cols 
 		nz := len(rows)
 		// Upper triangle of scale * x_j x_j^T: row indices are strictly
 		// increasing, so for q >= p element (rows[p], rows[q]) lies in
-		// the contiguous tail of packed row rows[p].
-		for p := 0; p < nz; p++ {
-			base := rows[p]
-			tail := h.RowTail(base)
-			sv := scale * vals[p]
-			for q := p; q < nz; q++ {
-				tail[rows[q]-base] += sv * vals[q]
+		// the contiguous tail of packed row rows[p]. The sweep is
+		// register-blocked two rows at a time — one (rows[q], vals[q])
+		// load feeds both rows' accumulations. Each packed element
+		// receives exactly one contribution sv_p*vals[q] per column, so
+		// the blocked order is bit-identical to the row-at-a-time form.
+		p := 0
+		for ; p+1 < nz; p += 2 {
+			b0, b1 := rows[p], rows[p+1]
+			t0, t1 := h.RowTail(b0), h.RowTail(b1)
+			sv0, sv1 := scale*vals[p], scale*vals[p+1]
+			t0[0] += sv0 * vals[p]
+			t0[b1-b0] += sv0 * vals[p+1]
+			t1[0] += sv1 * vals[p+1]
+			for q := p + 2; q < nz; q++ {
+				rq, vq := rows[q], vals[q]
+				t0[rq-b0] += sv0 * vq
+				t1[rq-b1] += sv1 * vq
 			}
+		}
+		if p < nz {
+			h.RowTail(rows[p])[0] += scale * vals[p] * vals[p]
 		}
 		sy := scale * y[j]
 		for p := 0; p < nz; p++ {

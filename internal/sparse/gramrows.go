@@ -69,14 +69,26 @@ func SampledGramPackedRows(a *CSC, h *mat.SymPacked, r []float64, y []float64, c
 			}
 		}
 		ar, av := rowScratch[:na], valScratch[:na]
-		// Upper triangle of the reduced scale * x_j x_j^T.
-		for p := 0; p < na; p++ {
-			base := ar[p]
-			tail := h.RowTail(base)
-			sv := scale * av[p]
-			for q := p; q < na; q++ {
-				tail[ar[q]-base] += sv * av[q]
+		// Upper triangle of the reduced scale * x_j x_j^T, register-
+		// blocked two rows at a time like SampledGramPacked: each packed
+		// element gets exactly one contribution per column, so the
+		// blocked order is bit-identical to the row-at-a-time sweep.
+		p := 0
+		for ; p+1 < na; p += 2 {
+			b0, b1 := ar[p], ar[p+1]
+			t0, t1 := h.RowTail(b0), h.RowTail(b1)
+			sv0, sv1 := scale*av[p], scale*av[p+1]
+			t0[0] += sv0 * av[p]
+			t0[b1-b0] += sv0 * av[p+1]
+			t1[0] += sv1 * av[p+1]
+			for q := p + 2; q < na; q++ {
+				rq, vq := ar[q], av[q]
+				t0[rq-b0] += sv0 * vq
+				t1[rq-b1] += sv1 * vq
 			}
+		}
+		if p < na {
+			h.RowTail(ar[p])[0] += scale * av[p] * av[p]
 		}
 		// R += scale * y_j * x_j over the FULL sparsity pattern.
 		sy := scale * y[j]
