@@ -44,6 +44,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	out := flag.String("out", "", "directory for text/CSV outputs (default: stdout only)")
 	seed := flag.Uint64("seed", 42, "base random seed")
 	transport := flag.String("transport", "chan", "dist backend the experiments run on (chan|tcp|auto)")
+	reg := flag.String("reg", "", "restrict the scenarios experiment to one regularizer (l1|en|ridge|group)")
+	l2 := flag.Float64("l2", 0, "quadratic strength override for the scenarios experiment (en/ridge rows)")
+	groups := flag.String("groups", "", "group partition override for the scenarios experiment (group rows)")
+	loss := flag.String("loss", "", "restrict the scenarios experiment to one loss (ls|logistic|huber|quantile)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -59,6 +63,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg := expt.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Transport = *transport
+	cfg.Reg = *reg
+	cfg.L2 = *l2
+	cfg.Groups = *groups
+	cfg.Loss = *loss
 	switch *scale {
 	case "bench":
 		cfg.Scale = expt.Bench

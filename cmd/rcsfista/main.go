@@ -34,6 +34,7 @@ import (
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/erm"
 	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/scenario"
 	"github.com/hpcgo/rcsfista/internal/solver"
 	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/trace"
@@ -64,6 +65,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		s            = flag.Int("s", 1, "Hessian-reuse inner loop parameter")
 		b            = flag.Float64("b", 0.1, "sampling rate in (0,1]")
 		lambda       = flag.Float64("lambda", -1, "l1 penalty (negative: dataset default)")
+		regName      = flag.String("reg", "l1", "regularizer: l1|en|ridge|group")
+		l2           = flag.Float64("l2", 0, "quadratic strength for -reg en|ridge")
+		groupsSpec   = flag.String("groups", "", "group-lasso partition for -reg group (\"size:4\" or \"0-3,4-7\")")
+		lossName     = flag.String("loss", "ls", "loss: ls|logistic|huber|quantile (non-ls runs the proximal newton engine)")
+		huberDelta   = flag.Float64("huber-delta", 0, "huber knee for -loss huber (0: default 1)")
+		quantileTau  = flag.Float64("quantile-tau", 0, "quantile level for -loss quantile (0: default 0.5)")
+		quantileEps  = flag.Float64("quantile-eps", 0, "quantile smoothing width for -loss quantile (0: default 0.5)")
 		maxIter      = flag.Int("maxiter", 2000, "maximum updates")
 		tol          = flag.Float64("tol", 1e-2, "relative objective error tolerance (0: run to maxiter)")
 		pipeline     = flag.Bool("pipeline", false, "overlap Gram fill with the in-flight Hessian allreduce (rcsfista/sfista only)")
@@ -90,6 +98,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *compress && *algo != "rcsfista" && *algo != "sfista" {
 		return fmt.Errorf("-compress applies to rcsfista/sfista only, not %q", *algo)
+	}
+	if *lossName == "" {
+		*lossName = "ls"
+	}
+	if *lossName != "ls" {
+		if *algo != "rcsfista" {
+			return fmt.Errorf("-loss %s runs on the proximal newton engine; leave -algo at its default", *lossName)
+		}
+		if *activeSet || *pipeline || *compress {
+			return fmt.Errorf("-loss %s does not support -activeset/-pipeline/-compress", *lossName)
+		}
 	}
 
 	// Multi-process TCP mode. The parent re-executes this binary once
@@ -130,6 +149,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		prob.Lambda = *lambda
 	}
 	if err := prob.Validate(); err != nil {
+		return err
+	}
+	regOp, err := buildScenarioReg(*algo, *regName, *l2, *groupsSpec, prob)
+	if err != nil {
 		return err
 	}
 	if *procs < 1 {
@@ -198,9 +221,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return nil
 	}
 
-	// Reference optimum for the relative-error stopping criterion.
+	// Reference optimum for the relative-error stopping criterion. The
+	// TFOCS stand-in solves the l1 least-squares objective, so any
+	// other scenario skips it — its F* would never match and the run
+	// would always exhaust -maxiter. Non-ls losses stop on the step
+	// norm instead; non-l1 regularizers run the fixed -maxiter budget.
 	fstar := math.NaN()
-	if *tol > 0 {
+	if *tol > 0 && *lossName == "ls" && regOp != nil {
+		fmt.Fprintf(out, "no l1 reference optimum under -reg %s: running the fixed -maxiter budget\n", *regName)
+		*tol = 0
+	}
+	if *tol > 0 && *lossName == "ls" {
 		fmt.Fprintf(out, "computing reference optimum (TFOCS stand-in, %d iterations)...\n", *refIters)
 		_, fstar = solver.Reference(prob.X, prob.Y, prob.Lambda, *refIters)
 		fmt.Fprintf(out, "F(w*) = %.8g\n", fstar)
@@ -220,8 +251,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			*k, *s, rec.PredictedSpeedup)
 	}
 
+	// Non-least-squares losses run one dedicated branch of the switch;
+	// -loss was validated to only combine with the default algorithm.
+	algoLabel := *algo
+	if *lossName != "ls" {
+		*algo = "loss-pn"
+		algoLabel = "pn-" + *lossName
+	}
+
 	var res *solver.Result
 	switch *algo {
+	case "loss-pn":
+		// Generalized-loss proximal newton (huber, quantile, logistic
+		// via -loss) with any scenario regularizer; see scenario.go.
+		pn := &lossPNRun{
+			prob: prob, reg: regOp, comm: comm, transport: *transport,
+			procs: *procs, mach: mach,
+			loss:    scenario.LossSpec{Name: *lossName, Delta: *huberDelta, Tau: *quantileTau, Eps: *quantileEps},
+			maxIter: *maxIter, inner: maxInt(1, *s), b: *b, seed: *seed,
+		}
+		res, err = pn.solve(ctx, out)
 	case "cocoa":
 		opts := cocoa.Options{
 			Lambda: prob.Lambda, Rounds: *maxIter, Tol: *tol, FStar: fstar, Seed: *seed,
@@ -240,6 +289,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	case "cd":
 		opts := solver.Defaults()
+		opts.Reg = regOp
 		opts.Lambda = prob.Lambda
 		opts.MaxIter = *maxIter
 		opts.Tol = *tol
@@ -248,6 +298,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "prox-svrg":
 		l := solver.SampledLipschitz(prob.X, prob.Y, *b, 8, *seed)
 		opts := solver.Defaults()
+		opts.Reg = regOp
 		opts.Lambda = prob.Lambda
 		opts.Gamma = solver.GammaFromLipschitz(l)
 		opts.MaxIter = *maxIter
@@ -259,6 +310,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "fista", "ista":
 		l := solver.SampledLipschitz(prob.X, prob.Y, 1, 1, *seed)
 		opts := solver.Defaults()
+		opts.Reg = regOp
 		opts.Lambda = prob.Lambda
 		opts.Gamma = solver.GammaFromLipschitz(l)
 		opts.MaxIter = *maxIter
@@ -302,7 +354,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		solve := func(c dist.Comm) (*solver.Result, error) {
 			local := erm.Partition(prob.X, prob.Y, c.Size(), c.Rank())
 			return erm.DistProxNewtonContext(ctx, c, local, erm.Options{
-				Loss: erm.Logistic{}, Lambda: prob.Lambda,
+				Loss: erm.Logistic{}, Reg: regOp, Lambda: prob.Lambda,
 				OuterIter: *maxIter, InnerIter: maxInt(1, *s), B: *b,
 				LineSearch: true, Seed: *seed,
 			})
@@ -323,6 +375,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "rcsfista", "sfista":
 		l := solver.SampledLipschitz(prob.X, prob.Y, *b, 8, *seed)
 		opts := solver.Defaults()
+		opts.Reg = regOp
 		opts.Lambda = prob.Lambda
 		opts.Gamma = solver.GammaFromLipschitz(l)
 		opts.MaxIter = *maxIter
@@ -370,7 +423,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		// Worker ranks always talk real TCP, whatever -transport says.
 		p, tname = comm.Size(), "tcp"
 	}
-	fmt.Fprintf(out, "\nalgorithm %s on P=%d over %s (%s):\n", *algo, p, tname, mach)
+	fmt.Fprintf(out, "\nalgorithm %s on P=%d over %s (%s):\n", algoLabel, p, tname, mach)
 	fmt.Fprintf(out, "  updates: %d, communication rounds: %d, converged: %v\n", res.Iters, res.Rounds, res.Converged)
 	fmt.Fprintf(out, "  F(w) = %.8g", res.FinalObj)
 	if !math.IsNaN(res.FinalRelErr) {
@@ -387,7 +440,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  solution: %d/%d non-zero coordinates\n", nz, len(res.W))
 	if *saveTo != "" {
-		model := solver.NewModel(res, prob.Lambda, *algo, prob.Name)
+		model := solver.NewModel(res, prob.Lambda, algoLabel, prob.Name)
 		if err := solver.SaveModel(*saveTo, model); err != nil {
 			return err
 		}

@@ -29,6 +29,7 @@ import (
 	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/erm"
 	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/solver"
 )
 
@@ -472,6 +473,78 @@ func goldenConfigs() []goldenConfig {
 		o := cabcd.Options{Lambda2: 0.05, BlockSize: 3, S: 1, MaxRounds: 10, EvalEvery: 2,
 			Tol: 0.5, FStar: e.fstar, Seed: 21}
 		return cabcd.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+
+	// Scenario matrix: non-l1 regularizers on the RC-SFISTA engine
+	// (dense and screened) and the generalized losses on the erm
+	// Proximal Newton engine. These pin the prox.Screener refactor and
+	// the huber/quantile code paths across transports.
+	scenarioGroups := func(e *goldenEnv) [][]int {
+		groups, err := prox.ParseGroups("size:4", e.prob.X.Rows)
+		if err != nil {
+			panic(err)
+		}
+		return groups
+	}
+	add("scenario/rcsfista/en/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.Reg = prox.ElasticNet{Lambda1: e.prob.Lambda, Lambda2: 0.01}
+		w := newGoldenWorld(4)
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("scenario/rcsfista/en/active/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.Reg = prox.ElasticNet{Lambda1: e.prob.Lambda, Lambda2: 0.01}
+		o.ActiveSet = true
+		w := newGoldenWorld(4)
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("scenario/rcsfista/ridge/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.Reg = prox.Ridge{Lambda: 0.05}
+		w := newGoldenWorld(4)
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("scenario/rcsfista/group/p1", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.Reg = prox.GroupL2{Lambda: e.prob.Lambda, Groups: scenarioGroups(e)}
+		w := newGoldenWorld(1)
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("scenario/rcsfista/group/active/p4", func(e *goldenEnv) (*solver.Result, error) {
+		o := e.opts()
+		o.Reg = prox.GroupL2{Lambda: e.prob.Lambda, Groups: scenarioGroups(e)}
+		o.ActiveSet = true
+		w := newGoldenWorld(4)
+		return solver.SolveDistributed(w, e.prob.X, e.prob.Y, o)
+	})
+	add("erm/seq/quantile", func(e *goldenEnv) (*solver.Result, error) {
+		o := ermBase(e)
+		o.Loss = erm.Quantile{Tau: 0.7, Eps: 0.2}
+		return erm.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("erm/seq/huber+groupreg", func(e *goldenEnv) (*solver.Result, error) {
+		o := ermBase(e)
+		o.Loss = erm.Huber{Delta: 0.5}
+		o.Reg = prox.GroupL2{Lambda: e.prob.Lambda, Groups: scenarioGroups(e)}
+		return erm.ProxNewton(e.prob.X, e.prob.Y, o)
+	})
+	add("erm/dist/p4/huber+linesearch", func(e *goldenEnv) (*solver.Result, error) {
+		return runWorld(4, func(c dist.Comm) (*solver.Result, error) {
+			local := erm.Partition(e.prob.X, e.prob.Y, c.Size(), c.Rank())
+			o := ermBase(e)
+			o.Loss = erm.Huber{Delta: 0.5}
+			o.LineSearch = true
+			return erm.DistProxNewton(c, local, o)
+		})
+	})
+	add("erm/dist/p8/quantile", func(e *goldenEnv) (*solver.Result, error) {
+		return runWorld(8, func(c dist.Comm) (*solver.Result, error) {
+			local := erm.Partition(e.prob.X, e.prob.Y, c.Size(), c.Rank())
+			o := ermBase(e)
+			o.Loss = erm.Quantile{Tau: 0.7, Eps: 0.2}
+			return erm.DistProxNewton(c, local, o)
+		})
 	})
 
 	return cfgs

@@ -44,6 +44,11 @@ type Options struct {
 	StepTol float64
 	// Seed drives Hessian sampling.
 	Seed uint64
+	// W0 optionally warm-starts the outer loop; nil starts from zero.
+	// The slice is copied, not retained. A good W0 shrinks the first
+	// Newton step, which is what lets the serving layer's lambda-path
+	// cache help non-least-squares fits too.
+	W0 []float64
 	// TraceName overrides the recorded series name.
 	TraceName string
 }
@@ -132,6 +137,13 @@ func DistProxNewtonContext(ctx context.Context, c dist.Comm, local LocalData, op
 	if mbar < 1 {
 		mbar = 1
 	}
+	w0 := make([]float64, d)
+	if opts.W0 != nil {
+		if len(opts.W0) != d {
+			return nil, fmt.Errorf("erm: W0 length %d != d = %d", len(opts.W0), d)
+		}
+		copy(w0, opts.W0)
+	}
 	cost := c.Cost()
 	localObj := NewObjective(local.X, local.Y, opts.Loss)
 	sampler := solvercore.StreamSampler{
@@ -154,7 +166,7 @@ func DistProxNewtonContext(ctx context.Context, c dist.Comm, local LocalData, op
 		Comm:       c,
 		Rec:        rec,
 		D:          d,
-		W:          make([]float64, d),
+		W:          w0,
 		OuterIter:  opts.OuterIter,
 		InnerIter:  opts.InnerIter,
 		Reg:        opts.Reg,

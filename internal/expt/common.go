@@ -41,6 +41,14 @@ type Config struct {
 	// backend. Results are bit-identical across backends — the choice
 	// only moves the bytes differently.
 	Transport string
+	// Reg and Loss filter the scenarios experiment to one regularizer
+	// or loss family (scenario.RegNames / scenario.LossNames spellings;
+	// empty runs the whole matrix). L2 and Groups override the
+	// scenario's quadratic strength and group partition.
+	Reg    string
+	L2     float64
+	Groups string
+	Loss   string
 }
 
 // DefaultConfig returns the bench-scale configuration on the paper's

@@ -12,7 +12,7 @@ import (
 
 func TestIDsResolve(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("%d experiment ids", len(ids))
 	}
 	for _, id := range ids {
@@ -48,6 +48,30 @@ func TestBoundsDriverAnchors(t *testing.T) {
 	}
 	if !strings.Contains(rep.Text, "mnist S bound (Eq. 27, k=1) = 6.5") {
 		t.Fatalf("mnist anchor missing:\n%s", rep.Text)
+	}
+}
+
+// TestScenariosDriverFiltered runs the scenarios experiment restricted
+// to its most demanding cells — the group-lasso screening comparison
+// (whose exactness and words assertions panic on violation) and the
+// quantile Proximal Newton fit — so `go test ./...` exercises the
+// matrix contract without paying for the full sweep.
+func TestScenariosDriverFiltered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reg = "group"
+	cfg.Loss = "quantile"
+	rep := Scenarios(cfg)
+	if rep.ID != "scenarios" || len(rep.Tables) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rows := len(rep.Tables[0].Rows); rows != 3 {
+		t.Fatalf("reg table has %d rows, want 3 (P in {1,4,8})", rows)
+	}
+	if rows := len(rep.Tables[1].Rows); rows != 1 {
+		t.Fatalf("loss table has %d rows, want 1", rows)
+	}
+	if !strings.Contains(rep.Text, "group") || !strings.Contains(rep.Text, "quantile") {
+		t.Fatalf("filtered rows missing:\n%s", rep.Text)
 	}
 }
 

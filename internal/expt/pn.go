@@ -97,6 +97,7 @@ func All(cfg Config) []*Report {
 		ActiveSet(cfg),
 		Transport(cfg),
 		Serving(cfg),
+		Scenarios(cfg),
 	}
 }
 
@@ -121,6 +122,7 @@ func ByID(id string) func(Config) *Report {
 		"activeset": ActiveSet,
 		"transport": Transport,
 		"serving":   Serving,
+		"scenarios": Scenarios,
 	}
 	return m[id]
 }
@@ -129,7 +131,7 @@ func ByID(id string) func(Config) *Report {
 func IDs() []string {
 	return []string{"table1", "table2", "bounds", "figure2a", "figure2b",
 		"figure3", "figure4", "figure5", "figure6", "table3", "figure7",
-		"scaling", "machines", "faults", "pipeline", "activeset", "transport", "serving"}
+		"scaling", "machines", "faults", "pipeline", "activeset", "transport", "serving", "scenarios"}
 }
 
 var _ = trace.ByModelTime // keep trace linked for plot axes used above

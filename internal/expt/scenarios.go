@@ -1,0 +1,199 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/erm"
+	"github.com/hpcgo/rcsfista/internal/prox"
+	"github.com/hpcgo/rcsfista/internal/scenario"
+	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
+	"github.com/hpcgo/rcsfista/internal/trace"
+)
+
+// Scenarios sweeps the loss x regularizer matrix the scenario package
+// names and pins the two properties that make it trustworthy:
+//
+//   - Generalized screening is exact AND cheaper: for every screenable
+//     regularizer (l1, elastic net, group lasso) the active-set run
+//     must land on the dense optimum to 1e-8 at every world size in
+//     {1, 4, 8} and ship strictly fewer allreduce words than the dense
+//     run whenever P > 1 (at P = 1 the allreduce is a no-op and ships
+//     nothing either way). The report panics on any violation —
+//     divergence is a bug, not a data point.
+//   - The generalized losses converge: huber, quantile and logistic
+//     run the sampled-Hessian Proximal Newton engine to completion and
+//     report their communication footprint next to the least-squares
+//     baseline.
+//
+// Config.Reg / Config.Loss restrict the matrix to one row each;
+// Config.L2 / Config.Groups override the elastic-net strength and the
+// group partition.
+func Scenarios(cfg Config) *Report {
+	d, m, maxIter := 48, 1500, 900
+	if cfg.Scale == Full {
+		d, m, maxIter = 96, 4000, 2400
+	}
+	prob := data.Generate(data.GenSpec{
+		Name: "scenario-synthetic", D: d, M: m, Density: 0.25, TrueNnz: d / 8,
+		NoiseStd: 0.02, Lambda: 0.02, Seed: cfg.Seed,
+	})
+	l := solver.SampledLipschitz(prob.X, prob.Y, 0.2, 8, 777)
+	gamma := solver.GammaFromLipschitz(l)
+
+	l2 := cfg.L2
+	if l2 <= 0 {
+		l2 = 0.01
+	}
+	groupSpec := cfg.Groups
+	if groupSpec == "" {
+		groupSpec = "size:4"
+	}
+	buildReg := func(name string) prox.Operator {
+		op, err := scenario.BuildReg(scenario.RegSpec{
+			Name: name, Lambda: prob.Lambda, L2: l2, Groups: groupSpec,
+		}, d)
+		if err != nil {
+			panic("expt: scenarios: " + err.Error())
+		}
+		return op
+	}
+
+	regs := scenario.RegNames
+	if cfg.Reg != "" {
+		regs = []string{cfg.Reg}
+	}
+	losses := []string{"ls", "logistic", "huber", "quantile"}
+	if cfg.Loss != "" {
+		losses = []string{cfg.Loss}
+	}
+
+	// Part 1: screening exactness and payload economy per regularizer.
+	runLS := func(reg prox.Operator, p int, active bool) *solver.Result {
+		o := solver.Defaults()
+		o.Lambda = prob.Lambda
+		o.Reg = reg
+		o.Gamma = gamma
+		o.Tol = 0 // fixed budget: equal-work comparison
+		o.MaxIter = maxIter
+		o.B = 0.2
+		o.K = 4
+		o.S = 2
+		o.Seed = cfg.Seed
+		o.ActiveSet = active
+		o.TraceName = "scenario"
+		w := cfg.NewWorld(p)
+		res, err := solver.SolveDistributed(w, prob.X, prob.Y, o)
+		if err != nil {
+			panic("expt: scenarios: " + err.Error())
+		}
+		return res
+	}
+
+	regTbl := &trace.Table{
+		Title:   fmt.Sprintf("Scenario matrix, regularizers (d=%d, m=%d, lambda=%g, fixed %d updates)", d, m, prob.Lambda, maxIter),
+		Headers: []string{"reg", "P", "F dense", "F active", "|diff|", "dense words", "active words", "ratio"},
+	}
+	for _, name := range regs {
+		reg := buildReg(name)
+		_, screenable := reg.(prox.Screener)
+		for _, p := range []int{1, 4, 8} {
+			dense := runLS(reg, p, false)
+			if !screenable {
+				// Ridge has no sparsity to screen; report the dense fit only.
+				regTbl.AddRow(name, fmt.Sprintf("%d", p), fmt.Sprintf("%.8g", dense.FinalObj),
+					"-", "-", fmt.Sprintf("%d", dense.Cost.Words), "-", "-")
+				continue
+			}
+			act := runLS(reg, p, true)
+			diff := math.Abs(act.FinalObj - dense.FinalObj)
+			if diff > 1e-8 {
+				panic(fmt.Sprintf("expt: scenarios: %s active-set run diverged from dense at P=%d: |diff| = %g > 1e-8",
+					name, p, diff))
+			}
+			if p > 1 && act.Cost.Words >= dense.Cost.Words {
+				panic(fmt.Sprintf("expt: scenarios: %s active-set run shipped %d words at P=%d, dense %d — screening must cut communication",
+					name, act.Cost.Words, p, dense.Cost.Words))
+			}
+			ratio := "-"
+			if dense.Cost.Words > 0 {
+				ratio = fmt.Sprintf("%.2f", float64(act.Cost.Words)/float64(dense.Cost.Words))
+			}
+			regTbl.AddRow(name, fmt.Sprintf("%d", p),
+				fmt.Sprintf("%.8g", dense.FinalObj), fmt.Sprintf("%.8g", act.FinalObj),
+				fmt.Sprintf("%.1e", diff),
+				fmt.Sprintf("%d", dense.Cost.Words), fmt.Sprintf("%d", act.Cost.Words), ratio)
+		}
+	}
+
+	// Part 2: generalized losses on the Proximal Newton engine at P=4.
+	const pnProcs = 4
+	lossTbl := &trace.Table{
+		Title:   fmt.Sprintf("Scenario matrix, losses (proximal newton, P=%d, l1 lambda=%g)", pnProcs, prob.Lambda),
+		Headers: []string{"loss", "engine", "outer iters", "rounds", "words", "F(w)", "nnz", "converged"},
+	}
+	for _, name := range losses {
+		loss, err := scenario.BuildLoss(scenario.LossSpec{Name: name})
+		if err != nil {
+			panic("expt: scenarios: " + err.Error())
+		}
+		y := prob.Y
+		if name == "logistic" {
+			y = make([]float64, len(prob.Y))
+			for i, v := range prob.Y {
+				if v >= 0 {
+					y[i] = 1
+				} else {
+					y[i] = -1
+				}
+			}
+		}
+		eopts := erm.Options{
+			Loss: loss, Lambda: prob.Lambda,
+			OuterIter: 80, InnerIter: 30, B: 0.5,
+			LineSearch: true, Seed: cfg.Seed,
+		}
+		res, err := solvercore.RunWorld(cfg.NewWorld(pnProcs), func(c dist.Comm) (*solver.Result, error) {
+			return erm.DistProxNewton(c, erm.Partition(prob.X, y, c.Size(), c.Rank()), eopts)
+		})
+		if err != nil {
+			panic("expt: scenarios: " + err.Error())
+		}
+		if !res.Converged {
+			panic(fmt.Sprintf("expt: scenarios: %s proximal newton run did not converge in %d outer iterations (F = %g)",
+				name, eopts.OuterIter, res.FinalObj))
+		}
+		nnz := 0
+		for _, v := range res.W {
+			if v != 0 {
+				nnz++
+			}
+		}
+		lossTbl.AddRow(name, "pn", fmt.Sprintf("%d", res.Iters), fmt.Sprintf("%d", res.Rounds),
+			fmt.Sprintf("%d", res.Cost.Words), fmt.Sprintf("%.8g", res.FinalObj),
+			fmt.Sprintf("%d/%d", nnz, d), fmt.Sprintf("%v", res.Converged))
+	}
+
+	var text strings.Builder
+	text.WriteString(regTbl.Render())
+	text.WriteByte('\n')
+	text.WriteString(lossTbl.Render())
+	text.WriteString("\nEvery screenable regularizer rides the same active-set engine through the " +
+		"prox.Screener interface: elastic net screens on the l2-shifted gradient, group lasso " +
+		"on per-group gradient norms with group-atomic working sets. The panics above enforce " +
+		"the contract — active-set objectives agree with dense to 1e-8 at every world size and " +
+		"ship strictly fewer allreduce words whenever communication exists (P > 1). " +
+		"Non-least-squares losses run the sampled-Hessian Proximal Newton engine; their rows " +
+		"report the per-fit communication footprint next to the least-squares baseline.\n")
+
+	return &Report{
+		ID:     "scenarios",
+		Title:  "Scenario matrix: losses and regularizers across screening, engines and world sizes",
+		Text:   text.String(),
+		Tables: []*trace.Table{regTbl, lossTbl},
+	}
+}

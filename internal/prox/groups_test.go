@@ -1,0 +1,158 @@
+package prox
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestParseGroupsSize(t *testing.T) {
+	groups, err := ParseGroups("size:4", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("size:4 over d=10 = %v, want %v", groups, want)
+	}
+}
+
+func TestParseGroupsRanges(t *testing.T) {
+	groups, err := ParseGroups("4-5,0-2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncovered coordinates 3, 6, 7 become singletons; output sorted by
+	// first index.
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}, {7}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("ranges = %v, want %v", groups, want)
+	}
+}
+
+func TestParseGroupsErrors(t *testing.T) {
+	bad := []string{"", "size:0", "size:x", "0-9", "1-0", "-1-2", "0-2,2-4", "a-b", "3;4", "size:-2"}
+	for _, spec := range bad {
+		if _, err := ParseGroups(spec, 8); err == nil {
+			t.Errorf("ParseGroups(%q, 8) accepted a bad spec", spec)
+		}
+	}
+	if _, err := ParseGroups("size:4", 0); err == nil {
+		t.Error("ParseGroups with d=0 accepted")
+	}
+}
+
+func TestParseGroupsPartition(t *testing.T) {
+	for _, spec := range []string{"size:3", "size:16", "0-1,5-7", "2,4,6"} {
+		groups, err := ParseGroups(spec, 16)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		g := GroupL2{Lambda: 1, Groups: groups}
+		if err := g.Check(16); err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		n := 0
+		for _, grp := range groups {
+			n += len(grp)
+		}
+		if n != 16 {
+			t.Fatalf("%q covers %d of 16 coordinates", spec, n)
+		}
+	}
+}
+
+func TestGroupL2ApplyValue(t *testing.T) {
+	g := GroupL2{Lambda: 2, Groups: [][]int{{0, 1}, {2, 3}}}
+	v := []float64{3, 4, 0.1, 0.1, 7}
+	dst := make([]float64, 5)
+	g.Apply(dst, v, 1, nil)
+	// Group {0,1}: norm 5 > 2, scale 1 - 2/5 = 0.6.
+	if math.Abs(dst[0]-1.8) > 1e-15 || math.Abs(dst[1]-2.4) > 1e-15 {
+		t.Fatalf("surviving group = (%g, %g), want (1.8, 2.4)", dst[0], dst[1])
+	}
+	// Group {2,3}: norm ~0.141 <= 2, zeroed as a block.
+	if dst[2] != 0 || dst[3] != 0 {
+		t.Fatalf("small group not zeroed: (%g, %g)", dst[2], dst[3])
+	}
+	// Coordinate 4 is uncovered: identity.
+	if dst[4] != 7 {
+		t.Fatalf("uncovered coordinate = %g, want 7", dst[4])
+	}
+	want := 2 * (5 + math.Hypot(0.1, 0.1))
+	if got := g.Value(v, nil); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Value = %g, want %g", got, want)
+	}
+}
+
+func TestGroupL2ApplyAliased(t *testing.T) {
+	g := GroupL2{Lambda: 1, Groups: [][]int{{0, 1, 2}}}
+	v := []float64{3, 0, 4}
+	ref := make([]float64, 3)
+	g.Apply(ref, append([]float64(nil), v...), 0.5, nil)
+	g.Apply(v, v, 0.5, nil)
+	if !reflect.DeepEqual(v, ref) {
+		t.Fatalf("aliased Apply = %v, want %v", v, ref)
+	}
+}
+
+func TestGroupL2CheckRejects(t *testing.T) {
+	if err := (GroupL2{Groups: [][]int{{0, 1}, {1, 2}}}).Check(4); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+	if err := (GroupL2{Groups: [][]int{{0, 4}}}).Check(4); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := (GroupL2{Groups: [][]int{{}}}).Check(4); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestGroupL2Restrict(t *testing.T) {
+	g := GroupL2{Lambda: 3, Groups: [][]int{{0, 1}, {4, 5}, {2, 3}}}
+	layout := []int{2, 3, 4, 5}
+	red, ok := g.Restrict(layout).(GroupL2)
+	if !ok {
+		t.Fatal("Restrict did not return a GroupL2")
+	}
+	want := [][]int{{2, 3}, {0, 1}} // groups {4,5} and {2,3} remapped
+	if red.Lambda != 3 || !reflect.DeepEqual(red.Groups, want) {
+		t.Fatalf("Restrict = %+v, want groups %v", red, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Restrict on a non-group-closed layout did not panic")
+		}
+	}()
+	g.Restrict([]int{0, 2, 3}) // group {0,1} partially present
+}
+
+func FuzzParseGroups(f *testing.F) {
+	f.Add("size:4", 10)
+	f.Add("0-3,4-7", 8)
+	f.Add("1,3,5", 6)
+	f.Add("size:0", 4)
+	f.Add("0-2,2-4", 8)
+	f.Add("", 1)
+	f.Fuzz(func(t *testing.T, spec string, d int) {
+		if d < 0 || d > 1<<12 {
+			return
+		}
+		groups, err := ParseGroups(spec, d)
+		if err != nil {
+			return
+		}
+		// Any accepted spec must yield a valid full partition of [0, d).
+		g := GroupL2{Lambda: 1, Groups: groups}
+		if cerr := g.Check(d); cerr != nil {
+			t.Fatalf("ParseGroups(%q, %d) returned invalid groups: %v", spec, d, cerr)
+		}
+		n := 0
+		for _, grp := range groups {
+			n += len(grp)
+		}
+		if n != d {
+			t.Fatalf("ParseGroups(%q, %d) covers %d coordinates", spec, d, n)
+		}
+	})
+}

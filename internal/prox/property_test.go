@@ -114,6 +114,88 @@ func TestProxVectorNonexpansiveProperty(t *testing.T) {
 	}
 }
 
+// registeredOps is every operator the solvers can instantiate, at the
+// parameters the scenario matrix uses. The group partition mixes sizes
+// so the block arithmetic is exercised on non-uniform layouts.
+func registeredOps(d int) map[string]Operator {
+	groups, err := ParseGroups("0-2,3-3,4-9", d)
+	if err != nil {
+		panic(err)
+	}
+	return map[string]Operator{
+		"l1":         L1{Lambda: 0.7},
+		"ridge":      Ridge{Lambda: 1.3},
+		"elasticnet": ElasticNet{Lambda1: 0.4, Lambda2: 0.9},
+		"group":      GroupL2{Lambda: 0.6, Groups: groups},
+		"zero":       Zero{},
+	}
+}
+
+// TestProxSubgradientCharacterizationProperty pins the Moreau identity
+// in its subgradient form: p = Prox_{gamma g}(v) iff (v-p)/gamma is a
+// subgradient of g at p, i.e. g(x) >= g(p) + <(v-p)/gamma, x-p> for
+// all x. The check uses only Apply and Value, so it holds every
+// registered operator to the same convex-analysis contract without
+// knowing its closed form.
+func TestProxSubgradientCharacterizationProperty(t *testing.T) {
+	const d = 10
+	r := rng.New(46)
+	for name, op := range registeredOps(d) {
+		for i := 0; i < 300; i++ {
+			v := randVec(r, d, 3)
+			gamma := 0.05 + r.Float64()*2
+			p := make([]float64, d)
+			op.Apply(p, v, gamma, nil)
+			gp := op.Value(p, nil)
+			q := make([]float64, d) // the certified subgradient (v-p)/gamma
+			for j := range q {
+				q[j] = (v[j] - p[j]) / gamma
+			}
+			for c := 0; c < 8; c++ {
+				x := randVec(r, d, 3)
+				lin := gp
+				for j := range x {
+					lin += q[j] * (x[j] - p[j])
+				}
+				if gx := op.Value(x, nil); gx < lin-1e-9 {
+					t.Fatalf("%s: subgradient inequality fails: g(x) = %g < %g (gamma=%g)",
+						name, gx, lin, gamma)
+				}
+			}
+		}
+	}
+}
+
+// TestProxFirmNonexpansivenessProperty: proximal mappings are not just
+// nonexpansive but firmly so, <Pu - Pv, u - v> >= ||Pu - Pv||^2. This
+// is the stronger inequality the momentum iterations lean on, and it
+// must hold for every registered operator.
+func TestProxFirmNonexpansivenessProperty(t *testing.T) {
+	const d = 10
+	r := rng.New(47)
+	for name, op := range registeredOps(d) {
+		for i := 0; i < 500; i++ {
+			u := randVec(r, d, 4)
+			v := randVec(r, d, 4)
+			gamma := 0.01 + r.Float64()*2
+			pu := make([]float64, d)
+			pv := make([]float64, d)
+			op.Apply(pu, u, gamma, nil)
+			op.Apply(pv, v, gamma, nil)
+			var inner, sq float64
+			for j := 0; j < d; j++ {
+				dp := pu[j] - pv[j]
+				inner += dp * (u[j] - v[j])
+				sq += dp * dp
+			}
+			if inner < sq-1e-9*(1+sq) {
+				t.Fatalf("%s: not firmly nonexpansive: <Pu-Pv,u-v> = %g < ||Pu-Pv||^2 = %g (gamma=%g)",
+					name, inner, sq, gamma)
+			}
+		}
+	}
+}
+
 // TestL1ProxMinimizesObjectiveProperty: Prox_gamma(v) minimizes
 // x -> (1/2gamma)||x-v||^2 + g(x); no random competitor may do better.
 func TestL1ProxMinimizesObjectiveProperty(t *testing.T) {

@@ -61,6 +61,28 @@ type FitRequest struct {
 	LIBSVM   string `json:"libsvm,omitempty"`
 	Features int    `json:"features,omitempty"`
 
+	// Reg selects the regularizer: "l1" (default), "en" (elastic net,
+	// needs L2), "ridge", or "group" (needs Groups). Lambda remains the
+	// primary penalty for every family; L2 adds the quadratic strength
+	// for en and ridge.
+	Reg string  `json:"reg,omitempty"`
+	L2  float64 `json:"l2,omitempty"`
+	// Groups is the group-lasso partition spec for reg=group, in
+	// prox.ParseGroups syntax ("size:4" or "0-3,4-7,8-11").
+	Groups string `json:"groups,omitempty"`
+
+	// Loss selects the smooth loss: "ls" (default), "logistic",
+	// "huber" or "quantile". Non-least-squares losses run on the
+	// sampled-Hessian Proximal Newton engine (one gradient + one
+	// Hessian allreduce per outer iteration) instead of RC-SFISTA, so
+	// Solver must stay empty and ActiveSet off for them. HuberDelta,
+	// QuantileTau and QuantileEps are the loss shape parameters; zero
+	// selects the loss defaults.
+	Loss        string  `json:"loss,omitempty"`
+	HuberDelta  float64 `json:"huber_delta,omitempty"`
+	QuantileTau float64 `json:"quantile_tau,omitempty"`
+	QuantileEps float64 `json:"quantile_eps,omitempty"`
+
 	// Lambda is the absolute l1 penalty. LambdaRatio instead selects
 	// lambda = ratio * lambda_max(dataset), with lambda_max =
 	// ||X y / m||_inf, the smallest penalty with an all-zero solution —

@@ -116,12 +116,17 @@ func inlineKey(libsvm string, features int) string {
 }
 
 // fingerprint identifies a warm-start-compatible family of solves:
-// same dataset, solver and sampling setup. Procs is deliberately
-// absent — the iterates are invariant to the world size (shared sample
-// streams), so a solution computed at P=1 warm-starts a P=8 fit.
-func fingerprint(datasetKey, solverName string, b float64, k, s int, activeSet bool, seed uint64) string {
+// same dataset, solver, sampling setup and scenario (regularizer
+// family and loss, as canonical scenario tags — a huber fit must never
+// warm-start an l1 least-squares fit, their optima differ). Procs is
+// deliberately absent — the iterates are invariant to the world size
+// (shared sample streams), so a solution computed at P=1 warm-starts a
+// P=8 fit. The primary penalty lambda is also absent: the path cache
+// indexes it separately, that is the whole point of warm starts.
+func fingerprint(datasetKey, solverName string, b float64, k, s int, activeSet bool, seed uint64, regTag, lossTag string) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s|%s|b%g|k%d|s%d|as%t|seed%d", datasetKey, solverName, b, k, s, activeSet, seed)
+	fmt.Fprintf(&sb, "%s|%s|b%g|k%d|s%d|as%t|seed%d|reg:%s|loss:%s",
+		datasetKey, solverName, b, k, s, activeSet, seed, regTag, lossTag)
 	return sb.String()
 }
 

@@ -9,8 +9,11 @@ import (
 
 	"github.com/hpcgo/rcsfista/internal/data"
 	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/erm"
 	"github.com/hpcgo/rcsfista/internal/mat"
+	"github.com/hpcgo/rcsfista/internal/scenario"
 	"github.com/hpcgo/rcsfista/internal/solver"
+	"github.com/hpcgo/rcsfista/internal/solvercore"
 )
 
 // httpError carries a status code chosen at the point the failure is
@@ -117,6 +120,21 @@ func (s *Server) fitOptions(req *FitRequest, ds *dataset) (solver.Options, float
 		o.EpochLen = req.EpochLen
 	}
 	o.ActiveSet = req.ActiveSet
+	// The regularizer block. The default l1 stays expressed through
+	// Lambda alone (Reg nil) so the pre-scenario request shape maps to
+	// byte-identical solver options; any other family goes through the
+	// scenario builder against the dataset's dimension.
+	if req.Reg != "" && req.Reg != "l1" {
+		reg, err := scenario.BuildReg(scenario.RegSpec{
+			Name: req.Reg, Lambda: lambda, L2: req.L2, Groups: req.Groups,
+		}, ds.prob.X.Rows)
+		if err != nil {
+			return zero, 0, badRequest("%v", err)
+		}
+		o.Reg = reg
+	} else if req.L2 != 0 || req.Groups != "" {
+		return zero, 0, badRequest("l2/groups apply to reg=en|ridge|group, not %q", req.Reg)
+	}
 	o.Gamma = ds.gammaFor(o.B)
 	o.TraceName = "serve"
 	if err := o.Validate(); err != nil {
@@ -125,12 +143,38 @@ func (s *Server) fitOptions(req *FitRequest, ds *dataset) (solver.Options, float
 	return o, lambda, nil
 }
 
+// fitLoss resolves the request's loss block. The bool reports whether
+// the fit must run on the Proximal Newton engine (any loss other than
+// least squares).
+func fitLoss(req *FitRequest) (erm.Loss, bool, error) {
+	loss, err := scenario.BuildLoss(scenario.LossSpec{
+		Name: req.Loss, Delta: req.HuberDelta, Tau: req.QuantileTau, Eps: req.QuantileEps,
+	})
+	if err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+	pn := req.Loss != "" && req.Loss != "ls"
+	if pn {
+		if req.Solver != "" {
+			return nil, false, badRequest("loss %q runs on the proximal newton engine; leave solver empty", req.Loss)
+		}
+		if req.ActiveSet {
+			return nil, false, badRequest("active_set applies to least-squares solvers only, not loss %q", req.Loss)
+		}
+	}
+	return loss, pn, nil
+}
+
 // runFit executes one admitted fit request end to end: dataset
 // resolution, warm-start lookup, the distributed solve under the
 // request context, and cache publication. It never returns a nil
 // response without an error.
 func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, error) {
 	ds, dsHit, err := s.resolveDataset(req.Dataset, req.LIBSVM, req.Features)
+	if err != nil {
+		return nil, err
+	}
+	loss, pnLoss, err := fitLoss(req)
 	if err != nil {
 		return nil, err
 	}
@@ -150,13 +194,19 @@ func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, err
 	// fingerprint: "" and "rcsfista" are the same algorithm, and
 	// fingerprinting the raw request string would split their warm-start
 	// entries into two cache populations that never hit each other.
+	// Non-least-squares losses always run Proximal Newton, so they
+	// canonicalize to "pn" regardless of the (empty) request field.
 	algo := req.Solver
 	if algo == "" {
 		algo = "rcsfista"
 	}
+	if pnLoss {
+		algo = "pn"
+	}
 
 	datasetKey := ds.key
-	fp := fingerprint(datasetKey, algo, opts.B, opts.K, opts.S, opts.ActiveSet, opts.Seed)
+	fp := fingerprint(datasetKey, algo, opts.B, opts.K, opts.S, opts.ActiveSet, opts.Seed,
+		scenario.RegTag(opts.Reg), scenario.LossTag(loss))
 	resp := &FitResponse{Lambda: lambda, DatasetCacheHit: dsHit}
 	if req.warm() {
 		if e := s.paths.lookup(fp, lambda); e != nil {
@@ -172,7 +222,13 @@ func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, err
 		return nil, &httpError{status: 500, msg: "create world: " + err.Error()}
 	}
 	start := time.Now()
-	res, serr := solver.SolveDistributedContext(ctx, world, ds.prob.X, ds.prob.Y, opts)
+	var res *solver.Result
+	var serr error
+	if pnLoss {
+		res, serr = s.runPNFit(ctx, world, req, ds, loss, opts, lambda)
+	} else {
+		res, serr = solver.SolveDistributedContext(ctx, world, ds.prob.X, ds.prob.Y, opts)
+	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if serr != nil {
 		if res == nil || (!errors.Is(serr, context.DeadlineExceeded) && !errors.Is(serr, context.Canceled)) {
@@ -226,6 +282,39 @@ func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, err
 		})
 	}
 	return resp, nil
+}
+
+// runPNFit runs a non-least-squares fit on the erm Proximal Newton
+// engine (one exact-gradient + one sampled-Hessian allreduce per outer
+// iteration). Logistic labels are sign-converted on a copy — the
+// cached dataset is shared and must stay untouched.
+func (s *Server) runPNFit(ctx context.Context, world dist.World, req *FitRequest, ds *dataset, loss erm.Loss, opts solver.Options, lambda float64) (*solver.Result, error) {
+	y := ds.prob.Y
+	if _, ok := loss.(erm.Logistic); ok {
+		y = make([]float64, len(ds.prob.Y))
+		for i, v := range ds.prob.Y {
+			if v >= 0 {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+	}
+	// The server's MaxIter default is a first-order update budget; a
+	// Newton outer iteration does far more work (and communication) per
+	// step, so an unset request budget maps to a Newton-scale default.
+	outer := 100
+	if req.MaxIter > 0 {
+		outer = req.MaxIter
+	}
+	eopts := erm.Options{
+		Loss: loss, Reg: opts.Reg, Lambda: lambda,
+		OuterIter: outer, B: opts.B, LineSearch: true,
+		Seed: opts.Seed, W0: opts.W0, TraceName: "serve-pn",
+	}
+	return solvercore.RunWorld(world, func(c dist.Comm) (*solver.Result, error) {
+		return erm.DistProxNewtonContext(ctx, c, erm.Partition(ds.prob.X, y, c.Size(), c.Rank()), eopts)
+	})
 }
 
 // runPredict executes POST /predict.

@@ -38,6 +38,7 @@ import (
 
 	"github.com/hpcgo/rcsfista/internal/mat"
 	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
 	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
 )
@@ -67,9 +68,20 @@ type activeState struct {
 
 	bits   []uint64
 	bitmap []float64
+	// layoutBits is scratch for the KKT check's layout-membership test.
+	layoutBits []uint64
 	// gExact is the exact full gradient at wCurr, refreshed at every
 	// round boundary by the KKT check.
 	gExact []float64
+
+	// regOp caches the regularizer restricted to the layout identified
+	// by (regKey, regLen): separable regularizers restrict to
+	// themselves, group regularizers are remapped onto reduced indices
+	// (prox.Screener.Restrict). Layout slices are never mutated after
+	// creation, so the first-element pointer identifies them.
+	regOp  prox.Operator
+	regKey *int
+	regLen int
 
 	fills []fillRec
 	// actGood is the layout of the last successfully exchanged batch —
@@ -145,12 +157,13 @@ func (as *activeState) popFill() fillRec {
 func (e *engine) initActiveSet() {
 	d, k := e.d, e.opts.K
 	as := &activeState{
-		margin: e.opts.ScreenMargin,
-		pos:    make([]int, d),
-		bits:   make([]uint64, (d+63)/64),
-		bitmap: make([]float64, (d+63)/64),
-		gExact: make([]float64, d),
-		wCurrA: make([]float64, d), wPrevA: make([]float64, d),
+		margin:     e.opts.ScreenMargin,
+		pos:        make([]int, d),
+		bits:       make([]uint64, (d+63)/64),
+		bitmap:     make([]float64, (d+63)/64),
+		layoutBits: make([]uint64, (d+63)/64),
+		gExact:     make([]float64, d),
+		wCurrA:     make([]float64, d), wPrevA: make([]float64, d),
 		vA: make([]float64, d), gradA: make([]float64, d),
 		tmpA: make([]float64, d), rA: make([]float64, d),
 		rowScratch: make([][]int, k),
@@ -410,6 +423,25 @@ func (e *engine) runActiveRound(shared []float64, layout []int) bool {
 	return false
 }
 
+// reducedReg returns the regularizer acting on the gathered
+// layout-indexed subvector, cached per layout (layout slices are never
+// mutated, so the first-element pointer plus length identify one).
+// Separable regularizers restrict to themselves — the cache is then a
+// pure identity — while GroupL2 is remapped onto reduced indices, which
+// is well-defined because working sets are group-closed.
+func (e *engine) reducedReg(layout []int) prox.Operator {
+	if len(layout) == 0 {
+		return e.reg
+	}
+	as := e.as
+	if as.regOp != nil && as.regKey == &layout[0] && as.regLen == len(layout) {
+		return as.regOp
+	}
+	as.regOp = e.scr.Restrict(layout)
+	as.regKey, as.regLen = &layout[0], len(layout)
+	return as.regOp
+}
+
 // updateActive is one solution update in the reduced coordinate space:
 // gather the A-indexed iterate state, run the FISTA recurrence against
 // the reduced Hessian, scatter back. Screened coordinates stay frozen
@@ -419,6 +451,7 @@ func (e *engine) runActiveRound(shared []float64, layout []int) bool {
 // coordinates at zero — exactly what the KKT check certifies).
 func (e *engine) updateActive(h Hessian, r []float64, layout []int) {
 	as, cost := e.as, e.c.Cost()
+	reg := e.reducedReg(layout)
 	a := len(layout)
 	wc, wp := as.wCurrA[:a], as.wPrevA[:a]
 	v, g, tmp := as.vA[:a], as.gradA[:a], as.tmpA[:a]
@@ -449,7 +482,7 @@ func (e *engine) updateActive(h Hessian, r []float64, layout []int) {
 
 	mat.Scatter(e.wPrev, wc, layout)
 	mat.AddScaled(wc, v, -e.gamma, g, cost)
-	e.reg.Apply(wc, wc, e.gamma, cost)
+	reg.Apply(wc, wc, e.gamma, cost)
 	mat.Scatter(e.wCurr, wc, layout)
 	e.rec.Iter++
 }

@@ -38,8 +38,11 @@ type Options struct {
 	Lambda float64
 	// Reg overrides the regularizer g. Nil selects the paper's
 	// prox.L1{Lambda} (Eq. 3); any prox.Operator (elastic net, ridge,
-	// ...) can be substituted — the engine only needs g's proximal
-	// mapping and value.
+	// group lasso, ...) can be substituted — the engine only needs g's
+	// proximal mapping and value. ActiveSet additionally requires a
+	// prox.Screener (L1, ElasticNet or GroupL2), whose KKT rule drives
+	// the screening. When Reg is a prox.L1 its penalty is authoritative
+	// and Lambda is synced to it.
 	Reg prox.Operator
 	// Gamma is the step size. It must satisfy the Theorem 1 bounds;
 	// in practice 1/L with L = lambda_max((1/m) X X^T) (see
@@ -150,9 +153,13 @@ type Options struct {
 	// method converges to the same optimum as the dense path (final
 	// objective agrees to solver precision; iterates are not bit-equal
 	// because screened coordinates are frozen at zero mid-round).
-	// Requires PackedHessian and an l1 regularizer; incompatible with
-	// UseDeltaForm. Default off: every existing configuration is
-	// bit-identical to its golden fixture.
+	// The rule shown is the l1 instance; the engine is generic over
+	// prox.Screener, so elastic net screens on |grad f_i + λ₂w_i| >
+	// λ₁(1-margin) and group lasso on per-group gradient norms with a
+	// group-granular working set. Requires PackedHessian and a
+	// screenable regularizer; incompatible with UseDeltaForm. Default
+	// off: every existing configuration is bit-identical to its golden
+	// fixture.
 	ActiveSet bool
 	// ScreenMargin is the safety margin of the screening rule: a zero
 	// coordinate stays screened only while |grad f(w)_i| <=
@@ -276,14 +283,13 @@ func (o *Options) Validate() error {
 		if o.UseDeltaForm {
 			return errors.New("solver: ActiveSet is not implemented for the UseDeltaForm ablation")
 		}
-		if o.Lambda <= 0 {
+		if o.Reg == nil && o.Lambda <= 0 {
 			return errors.New("solver: ActiveSet requires Lambda > 0 (screening is the l1 KKT rule)")
 		}
 		if o.Reg != nil {
-			l1, ok := o.Reg.(prox.L1)
-			if !ok || l1.Lambda != o.Lambda {
-				return errors.New("solver: ActiveSet requires the l1 regularizer prox.L1{Lambda} " +
-					"(the screening rule is specific to the l1 KKT conditions)")
+			if _, ok := o.Reg.(prox.Screener); !ok {
+				return fmt.Errorf("solver: ActiveSet requires a screenable regularizer "+
+					"(prox.Screener: L1, ElasticNet or GroupL2), got %T", o.Reg)
 			}
 		}
 	}
@@ -331,6 +337,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Reg == nil {
 		o.Reg = prox.L1{Lambda: o.Lambda}
+	} else if l1, ok := o.Reg.(prox.L1); ok {
+		// An explicit Reg is authoritative. Historically a disagreeing
+		// Lambda (e.g. prox.L1{0.2} with Lambda: 0.1) ran the proximal
+		// steps at the Reg value while the screening threshold and
+		// anything else derived from Lambda read the scalar; syncing here
+		// (and routing screening through prox.Screener, which carries its
+		// own penalty) makes every Lambda-derived path see the value the
+		// updates actually use.
+		o.Lambda = l1.Lambda
 	}
 	if o.FStar == 0 {
 		// A zero F* is almost surely an unset field rather than a true

@@ -61,6 +61,11 @@ func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Opt
 	if local.X == nil || local.X.Cols != len(local.Y) {
 		return nil, fmt.Errorf("solver: inconsistent local data")
 	}
+	if gl, ok := opts.Reg.(prox.GroupL2); ok {
+		if err := gl.Check(local.X.Rows); err != nil {
+			return nil, err
+		}
+	}
 	if opts.CompressPayload {
 		if _, ok := c.(dist.F32Allreducer); !ok {
 			return nil, fmt.Errorf("solver: CompressPayload requires a transport with a compressed collective (chan, tcp or self)")
@@ -151,7 +156,10 @@ type engine struct {
 	d, m, mbar int
 	gamma      float64
 	reg        prox.Operator
-	src        rng.Source
+	// scr is reg's screening side; non-nil whenever reg implements
+	// prox.Screener (Validate guarantees it under ActiveSet).
+	scr prox.Screener
+	src rng.Source
 
 	// Batched Gram wire format: k slots of (hLen Hessian + d R). hLen
 	// is d(d+1)/2 in the default packed symmetric format, d^2 dense.
@@ -216,6 +224,9 @@ func newEngine(c dist.Comm, local LocalData, opts Options) *engine {
 		tmp:     make([]float64, d),
 		scratch: make([]float64, local.X.Cols),
 		t:       1,
+	}
+	if s, ok := opts.Reg.(prox.Screener); ok {
+		e.scr = s
 	}
 	if opts.W0 != nil {
 		if len(opts.W0) != d {

@@ -1,0 +1,165 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/data"
+	"github.com/hpcgo/rcsfista/internal/dist"
+	"github.com/hpcgo/rcsfista/internal/perf"
+	"github.com/hpcgo/rcsfista/internal/prox"
+)
+
+// TestRegLambdaDisagreement is the regression test for the historical
+// Options inconsistency: an explicit Reg whose penalty disagreed with
+// Lambda ran the proximal steps at the Reg value while the screening
+// threshold read the scalar. The regularizer is authoritative now, so a
+// disagreeing Lambda must produce the bit-identical run.
+func TestRegLambdaDisagreement(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 24, M: 300, Density: 0.3, TrueNnz: 5, Lambda: 0.2, Seed: 11, NoiseStd: 0.01})
+	l := prox.EstimateLipschitz(p.X, 50, nil, nil)
+	base := Defaults()
+	base.Gamma = GammaFromLipschitz(l)
+	base.MaxIter = 400
+	base.B = 0.3
+	base.EvalEvery = 20
+	for _, active := range []bool{false, true} {
+		canonical := base
+		canonical.Lambda = 0.2
+		canonical.ActiveSet = active
+		mismatched := base
+		mismatched.Lambda = 0.1 // stale scalar: Reg must win
+		mismatched.Reg = prox.L1{Lambda: 0.2}
+		mismatched.ActiveSet = active
+		w := dist.NewWorld(2, perf.Comet())
+		want, err := SolveDistributed(w, p.X, p.Y, canonical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveDistributed(dist.NewWorld(2, perf.Comet()), p.X, p.Y, mismatched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.FinalObj != want.FinalObj {
+			t.Fatalf("active=%v: FinalObj %g != canonical %g", active, got.FinalObj, want.FinalObj)
+		}
+		for i := range want.W {
+			if got.W[i] != want.W[i] {
+				t.Fatalf("active=%v: w[%d] = %g != canonical %g", active, i, got.W[i], want.W[i])
+			}
+		}
+		if got.Cost.Words != want.Cost.Words {
+			t.Fatalf("active=%v: words %d != canonical %d", active, got.Cost.Words, want.Cost.Words)
+		}
+	}
+}
+
+// TestActiveSetElasticNet is the generalized-screening property for the
+// elastic net: across rank counts the screened run must agree with its
+// dense counterpart to 1e-8 in objective while shipping strictly fewer
+// allreduce words.
+func TestActiveSetElasticNet(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 28, M: 320, Density: 0.25, TrueNnz: 5, Seed: 13, NoiseStd: 0.01})
+	l := prox.EstimateLipschitz(p.X, 50, nil, nil)
+	o := Defaults()
+	o.Reg = prox.ElasticNet{Lambda1: 0.15, Lambda2: 0.05}
+	o.Lambda = 0.15
+	o.Gamma = GammaFromLipschitz(l + 0.05) // the smooth part is unchanged; 1/L is safe
+	o.MaxIter = 1000
+	o.B = 0.3
+	o.EvalEvery = 20
+	for _, procs := range []int{1, 4, 8} {
+		run := func(active bool) *Result {
+			oo := o
+			oo.ActiveSet = active
+			res, err := SolveDistributed(dist.NewWorld(procs, perf.Comet()), p.X, p.Y, oo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		dense, act := run(false), run(true)
+		if diff := math.Abs(act.FinalObj - dense.FinalObj); diff > 1e-8 {
+			t.Fatalf("P=%d: |F_active - F_dense| = %g > 1e-8", procs, diff)
+		}
+		if procs > 1 && act.Cost.Words >= dense.Cost.Words {
+			// A single-rank allreduce ships nothing, so the word
+			// comparison is meaningful only for P > 1.
+			t.Fatalf("P=%d: screening shipped %d words, dense %d", procs, act.Cost.Words, dense.Cost.Words)
+		}
+	}
+}
+
+// TestActiveSetGroupLasso checks the group-granular screening path:
+// objective agreement with the dense run, fewer words, and a
+// group-closed solution support (whole groups enter or leave together).
+func TestActiveSetGroupLasso(t *testing.T) {
+	p := data.Generate(data.GenSpec{D: 24, M: 320, Density: 0.3, TrueNnz: 6, Seed: 17, NoiseStd: 0.01})
+	groups, err := prox.ParseGroups("size:4", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := prox.EstimateLipschitz(p.X, 50, nil, nil)
+	o := Defaults()
+	o.Reg = prox.GroupL2{Lambda: 0.2, Groups: groups}
+	o.Gamma = GammaFromLipschitz(l)
+	o.MaxIter = 1000
+	o.B = 0.3
+	o.EvalEvery = 20
+	for _, procs := range []int{1, 4, 8} {
+		run := func(active bool) *Result {
+			oo := o
+			oo.ActiveSet = active
+			res, err := SolveDistributed(dist.NewWorld(procs, perf.Comet()), p.X, p.Y, oo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		dense, act := run(false), run(true)
+		if diff := math.Abs(act.FinalObj - dense.FinalObj); diff > 1e-8 {
+			t.Fatalf("P=%d: |F_active - F_dense| = %g > 1e-8", procs, diff)
+		}
+		if procs > 1 && act.Cost.Words >= dense.Cost.Words {
+			// A single-rank allreduce ships nothing, so the word
+			// comparison is meaningful only for P > 1.
+			t.Fatalf("P=%d: screening shipped %d words, dense %d", procs, act.Cost.Words, dense.Cost.Words)
+		}
+		for _, grp := range groups {
+			nz := 0
+			for _, i := range grp {
+				if act.W[i] != 0 {
+					nz++
+				}
+			}
+			if nz != 0 && nz != len(grp) {
+				t.Fatalf("P=%d: group %v has partial support (%d of %d nonzero)", procs, grp, nz, len(grp))
+			}
+		}
+	}
+}
+
+// TestActiveSetScreenableRegValidation: ActiveSet accepts any
+// prox.Screener and rejects non-screenable regularizers.
+func TestActiveSetScreenableRegValidation(t *testing.T) {
+	o := Defaults()
+	o.Gamma = 0.5
+	o.ActiveSet = true
+	for _, reg := range []prox.Operator{
+		prox.ElasticNet{Lambda1: 0.1, Lambda2: 0.01},
+		prox.GroupL2{Lambda: 0.1, Groups: [][]int{{0, 1}}},
+	} {
+		oo := o
+		oo.Reg = reg
+		if err := oo.Validate(); err != nil {
+			t.Errorf("screenable %T rejected: %v", reg, err)
+		}
+	}
+	for _, reg := range []prox.Operator{prox.Ridge{Lambda: 0.1}, prox.Zero{}} {
+		oo := o
+		oo.Reg = reg
+		if err := oo.Validate(); err == nil {
+			t.Errorf("non-screenable %T accepted under ActiveSet", reg)
+		}
+	}
+}

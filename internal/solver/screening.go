@@ -30,17 +30,19 @@ func (e *engine) exactGradient(dst []float64) {
 // (shared) state and agrees on it across ranks with a (d+63)/64-word
 // bitmap allreduce. The iterate supports are included so the reduced
 // FISTA recurrences v = w + mu*(w - wPrev) and H(v - wSnap) reproduce
-// the dense arithmetic restricted to A; the gradient rule admits every
-// coordinate the KKT conditions cannot screen at margin.
+// the dense arithmetic restricted to A; the regularizer's gradient rule
+// (prox.Screener.GradScreen — |g_i| > λ(1-margin) for l1, the shifted
+// rule for elastic net, per-group norms for group lasso) admits every
+// coordinate the KKT conditions cannot screen at margin, and
+// CloseSupport keeps the set group-closed under group penalties.
 func (e *engine) deriveActive() {
 	as := e.as
 	d := e.d
 	for w := range as.bits {
 		as.bits[w] = 0
 	}
-	thresh := e.opts.Lambda * (1 - as.margin)
 	for i := 0; i < d; i++ {
-		keep := e.wCurr[i] != 0 || e.wPrev[i] != 0 || math.Abs(as.gExact[i]) > thresh
+		keep := e.wCurr[i] != 0 || e.wPrev[i] != 0
 		if !keep && e.opts.VarianceReduced && e.wSnap[i] != 0 {
 			keep = true
 		}
@@ -48,6 +50,8 @@ func (e *engine) deriveActive() {
 			as.bits[i>>6] |= 1 << uint(i&63)
 		}
 	}
+	e.scr.GradScreen(as.bits, as.gExact, e.wCurr, as.margin)
+	e.scr.CloseSupport(as.bits)
 	// Working-set agreement. The bitmap is a pure function of allreduced
 	// quantities (gExact and the replicated iterates), so every rank has
 	// already built the identical bit pattern — the same rationale that
@@ -97,21 +101,21 @@ func (e *engine) deriveActive() {
 }
 
 // kktViolations returns the screened coordinates whose exact KKT
-// condition fails at wCurr: i outside layout with |gExact_i| > Lambda.
-// layout is sorted, so one merge walk suffices.
+// condition (prox.Screener.Violations — |gExact_i| > Lambda for l1,
+// the regularizer-specific rule otherwise) fails at wCurr. layout is
+// sorted; membership goes through a scratch bitset so the check stays
+// O(d) regardless of the regularizer's access pattern.
 func (e *engine) kktViolations(layout []int) []int {
-	var viol []int
-	p := 0
-	for i := 0; i < e.d; i++ {
-		if p < len(layout) && layout[p] == i {
-			p++
-			continue
-		}
-		if math.Abs(e.as.gExact[i]) > e.opts.Lambda {
-			viol = append(viol, i)
-		}
+	as := e.as
+	for w := range as.layoutBits {
+		as.layoutBits[w] = 0
 	}
-	return viol
+	for _, i := range layout {
+		as.layoutBits[i>>6] |= 1 << uint(i&63)
+	}
+	return e.scr.Violations(as.gExact, e.wCurr, func(i int) bool {
+		return as.layoutBits[i>>6]&(1<<uint(i&63)) != 0
+	})
 }
 
 // unionSorted merges two sorted, disjoint-or-not index sets.
