@@ -64,6 +64,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz '^FuzzFaultPlan$$' -fuzztime $(FUZZTIME) ./internal/dist
 	$(GO) test -run NONE -fuzz '^FuzzWireFrame$$' -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run NONE -fuzz '^FuzzI8Codec$$' -fuzztime $(FUZZTIME) ./internal/dist
 	$(GO) test -run NONE -fuzz '^FuzzPackedCholesky$$' -fuzztime $(FUZZTIME) ./internal/mat
 	$(GO) test -run NONE -fuzz '^FuzzReadLIBSVM$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run NONE -fuzz '^FuzzLIBSVMIndices$$' -fuzztime $(FUZZTIME) ./internal/data
@@ -112,9 +113,11 @@ bench-baseline:
 # regresses more than BENCH_THRESHOLD percent against the committed
 # baseline. Benchmarks added or retired since the baseline are
 # reported but never fail the gate. It also enforces the cross-run
-# wall-clock claim: BenchmarkActiveSetSolve must not exceed
-# BenchmarkDenseSolveBaseline ns/op within the fresh run — screening
-# has to win on measured time, not just modeled words.
+# claims within the fresh run: BenchmarkActiveSetSolve must not exceed
+# BenchmarkDenseSolveBaseline ns/op (screening has to win on measured
+# time, not just modeled words), and the BenchmarkTierRoundWords ladder
+# must ship strictly fewer modeled words/round at every rung down the
+# quantized collective ladder (f64 > f32 > i8).
 bench-compare:
 	$(GO) test -run NONE -bench . -benchtime=1x -count $(BENCH_COUNT) \
 	  $(BENCH_PKGS) > bench.out || { cat bench.out; rm -f bench.out; exit 1; }

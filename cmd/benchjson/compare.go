@@ -16,21 +16,31 @@ import (
 // latency-bound microbenchmark, the same convention the transport
 // calibration uses for its ping-pong sweep.
 
-// minNsPerOp collapses a report to the minimum ns/op seen per
-// benchmark name.
-func minNsPerOp(rep *Report) map[string]float64 {
+// minMetric collapses a report to the minimum value of one metric unit
+// seen per benchmark name.
+func minMetric(rep *Report, unit string) map[string]float64 {
 	out := map[string]float64{}
 	for _, b := range rep.Benchmarks {
-		ns, ok := b.Metrics["ns/op"]
+		v, ok := b.Metrics[unit]
 		if !ok {
 			continue
 		}
 		key := b.Package + "." + b.Name
-		if have, ok := out[key]; !ok || ns < have {
-			out[key] = ns
+		if have, ok := out[key]; !ok || v < have {
+			out[key] = v
 		}
 	}
 	return out
+}
+
+// modeledOnly marks benchmarks that exist to report a modeled metric
+// for the cross gates (the tier words ladder): their loop body is a
+// microsecond-scale rounding kernel whose -benchtime=1x wall clock is
+// dominated by host jitter, so an ns/op regression on them would gate
+// on the machine, not the code. They are dropped from the baseline
+// comparison and participate only in their metric's cross gates.
+func modeledOnly(name string) bool {
+	return strings.Contains(name, ".BenchmarkTierRoundWords/")
 }
 
 // Compare checks fresh against base and returns an error when any
@@ -38,7 +48,17 @@ func minNsPerOp(rep *Report) map[string]float64 {
 // Benchmarks present on only one side are reported but never fail the
 // gate: adding or retiring a benchmark is not a regression.
 func Compare(base, fresh *Report, thresholdPct float64, w io.Writer) error {
-	bm, fm := minNsPerOp(base), minNsPerOp(fresh)
+	bm, fm := minMetric(base, "ns/op"), minMetric(fresh, "ns/op")
+	for name := range bm {
+		if modeledOnly(name) {
+			delete(bm, name)
+		}
+	}
+	for name := range fm {
+		if modeledOnly(name) {
+			delete(fm, name)
+		}
+	}
 	names := make([]string, 0, len(bm))
 	for name := range bm {
 		names = append(names, name)
@@ -70,7 +90,7 @@ func Compare(base, fresh *Report, thresholdPct float64, w io.Writer) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %v",
 			len(regressed), thresholdPct, regressed)
 	}
-	if err := crossGates(fm, w); err != nil {
+	if err := crossGates(fresh, w); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "benchjson: no regression beyond %.0f%% across %d benchmarks\n",
@@ -79,60 +99,76 @@ func Compare(base, fresh *Report, thresholdPct float64, w io.Writer) error {
 }
 
 // crossGate asserts an ordering between two benchmarks within the SAME
-// fresh run: `faster` must not exceed `slower` in min ns/op. Unlike the
-// baseline comparison this survives machine changes — it is a claim
-// about the code, not about one host's clock.
+// fresh run: `smaller` must not exceed `larger` on the gated metric
+// (and must stay strictly below it when strict). Unlike the baseline
+// comparison this survives machine changes — it is a claim about the
+// code, not about one host's clock.
 type crossGate struct {
-	faster, slower string
+	smaller, larger string
+	metric          string // compared unit: ns/op, words/round, ...
+	strict          bool   // equality fails the gate too
 }
 
-// The screening claim the repo makes in the activeset experiment,
-// enforced on measured wall clock: a screened solve must beat the dense
-// solve on the same problem, else the reduced payload bought nothing.
-var wallClockGates = []crossGate{
-	{faster: "BenchmarkActiveSetSolve", slower: "BenchmarkDenseSolveBaseline"},
+// The cross-run claims the repo makes. The wall-clock pair enforces
+// the activeset experiment on measured time: a screened solve must
+// beat the dense solve on the same problem, else the reduced payload
+// bought nothing. The words/round pairs enforce the quantized
+// collective ladder on the modeled words the tier benchmarks report:
+// each rung down the ladder must ship strictly fewer words per
+// allreduce round (f64 > f32 > i8), so a cost-model edit that flattens
+// the ladder fails the gate rather than silently voiding the claim.
+var crossRunGates = []crossGate{
+	{smaller: "BenchmarkActiveSetSolve", larger: "BenchmarkDenseSolveBaseline", metric: "ns/op"},
+	{smaller: "BenchmarkTierRoundWords/i8", larger: "BenchmarkTierRoundWords/f32", metric: "words/round", strict: true},
+	{smaller: "BenchmarkTierRoundWords/f32", larger: "BenchmarkTierRoundWords/f64", metric: "words/round", strict: true},
 }
 
-// crossGates applies wallClockGates to the fresh run's per-name minima.
-// Names carry the -N GOMAXPROCS suffix, so matching is by prefix up to
-// the dash. A run that includes neither side of a pair (a partial
-// -bench invocation) skips the gate with a note; a run with exactly one
-// side fails — that is what a renamed benchmark quietly disabling the
-// claim looks like.
-func crossGates(fresh map[string]float64, w io.Writer) error {
-	lookup := func(prefix string) (float64, bool) {
-		best, found := math.Inf(1), false
-		for name, ns := range fresh {
-			// name is "pkg.BenchmarkFoo-N"; match the benchmark part.
-			i := strings.LastIndex(name, ".")
-			bench := name[i+1:]
-			if bench == prefix || strings.HasPrefix(bench, prefix+"-") {
-				found = true
-				if ns < best {
-					best = ns
+// crossGates applies crossRunGates to the fresh run's per-name metric
+// minima. Names carry the -N GOMAXPROCS suffix, so matching is by
+// prefix up to the dash. A run that includes neither side of a pair (a
+// partial -bench invocation) skips the gate with a note; a run with
+// exactly one side fails — that is what a renamed benchmark quietly
+// disabling the claim looks like.
+func crossGates(fresh *Report, w io.Writer) error {
+	for _, g := range crossRunGates {
+		m := minMetric(fresh, g.metric)
+		lookup := func(prefix string) (float64, bool) {
+			best, found := math.Inf(1), false
+			for name, v := range m {
+				// name is "pkg.BenchmarkFoo-N"; match the benchmark part.
+				i := strings.LastIndex(name, ".")
+				bench := name[i+1:]
+				if bench == prefix || strings.HasPrefix(bench, prefix+"-") {
+					found = true
+					if v < best {
+						best = v
+					}
 				}
 			}
+			return best, found
 		}
-		return best, found
-	}
-	for _, g := range wallClockGates {
-		f, fok := lookup(g.faster)
-		s, sok := lookup(g.slower)
-		if !fok && !sok {
+		rel := "<="
+		if g.strict {
+			rel = "<"
+		}
+		sv, sok := lookup(g.smaller)
+		lv, lok := lookup(g.larger)
+		if !sok && !lok {
 			// The run did not include the gated package at all (a partial
 			// -bench invocation); nothing to claim.
-			fmt.Fprintf(w, "  gate     %s <= %s skipped: benchmarks not in this run\n", g.faster, g.slower)
+			fmt.Fprintf(w, "  gate     %s %s %s skipped: benchmarks not in this run\n", g.smaller, rel, g.larger)
 			continue
 		}
-		if fok != sok {
-			return fmt.Errorf("cross gate %s <= %s: half the pair missing from run (found %v/%v) — renamed benchmark?",
-				g.faster, g.slower, fok, sok)
+		if sok != lok {
+			return fmt.Errorf("cross gate %s %s %s: half the pair missing from run (found %v/%v) — renamed benchmark?",
+				g.smaller, rel, g.larger, sok, lok)
 		}
-		if f > s {
-			return fmt.Errorf("cross gate failed: %s %.0f ns/op exceeds %s %.0f ns/op",
-				g.faster, f, g.slower, s)
+		if sv > lv || (g.strict && sv == lv) {
+			return fmt.Errorf("cross gate failed: %s %.0f %s is not %s %s %.0f %s",
+				g.smaller, sv, g.metric, rel, g.larger, lv, g.metric)
 		}
-		fmt.Fprintf(w, "  gate     %s %.0f ns/op <= %s %.0f ns/op\n", g.faster, f, g.slower, s)
+		fmt.Fprintf(w, "  gate     %s %.0f %s %s %s %.0f %s\n",
+			g.smaller, sv, g.metric, rel, g.larger, lv, g.metric)
 	}
 	return nil
 }

@@ -101,6 +101,42 @@ func TestCompareCrossGateOrdersActiveVsDense(t *testing.T) {
 	}
 }
 
+func TestCompareCrossGateTierWordsLadder(t *testing.T) {
+	// The words/round gates are strict: each rung of the quantized
+	// ladder must ship strictly fewer modeled words than the rung above.
+	tierBench := func(tier string, words float64) Benchmark {
+		return Benchmark{Name: "BenchmarkTierRoundWords/" + tier + "-16", Package: "p",
+			Iterations: 1, Metrics: map[string]float64{"ns/op": 5, "words/round": words}}
+	}
+	mk := func(i8, f32, f64 float64) *Report {
+		return mkReport(bench("BenchmarkKept", 10),
+			tierBench("i8", i8), tierBench("f32", f32), tierBench("f64", f64))
+	}
+	base := mk(600, 2048, 4096)
+	var out strings.Builder
+	if err := Compare(base, mk(600, 2048, 4096), 1000, &out); err != nil {
+		t.Fatalf("strictly decreasing ladder failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "words/round") {
+		t.Fatalf("words gate rows not reported:\n%s", out.String())
+	}
+
+	// A flattened rung (i8 == f32) fails even at equality.
+	out.Reset()
+	err := Compare(base, mk(2048, 2048, 4096), 1000, &out)
+	if err == nil || !strings.Contains(err.Error(), "cross gate failed") {
+		t.Fatalf("flat i8/f32 ladder passed the strict gate: %v\n%s", err, out.String())
+	}
+
+	// A run without the tier benchmarks skips the words gates (the
+	// wall-clock pair is absent here too, so everything skips).
+	out.Reset()
+	neither := mkReport(bench("BenchmarkKept", 10))
+	if err := Compare(neither, neither, 1000, &out); err != nil {
+		t.Fatalf("words gate did not skip on a run without the tier benchmarks: %v", err)
+	}
+}
+
 func TestValidThreshold(t *testing.T) {
 	for _, bad := range []float64{0, -5, 1000} {
 		if err := validThreshold(bad); err == nil {

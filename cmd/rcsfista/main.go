@@ -78,7 +78,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		activeSet    = flag.Bool("activeset", false, "screen to an active working set and ship reduced Gram batches (rcsfista/sfista only)")
 		screenMargin = flag.Float64("screen-margin", 0, "active-set screening safety margin in [0,1) (0: default 0.1)")
 		kktEvery     = flag.Int("kkt-every", 0, "exact KKT scan cadence in rounds under -activeset (0: default; backs off adaptively)")
-		compress     = flag.Bool("compress", false, "ship the Hessian allreduce as float32 with error feedback (rcsfista/sfista only)")
+		compress     = flag.Bool("compress", false, "ship the Hessian allreduce as float32 with error feedback (rcsfista/sfista only; legacy alias of -compress-tier f32)")
+		compressTier = flag.String("compress-tier", "", "wire tier for every solver collective: off|f32|i8|auto (error-feedback quantized collectives; rcsfista/sfista only)")
 		seed         = flag.Uint64("seed", 42, "random seed")
 		machine      = flag.String("machine", "comet", "cost model: comet|low-latency|high-latency")
 		transport    = flag.String("transport", "chan", "dist backend: chan (in-process)|tcp (one OS process per rank)|auto")
@@ -96,8 +97,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *activeSet && *algo != "rcsfista" && *algo != "sfista" {
 		return fmt.Errorf("-activeset applies to rcsfista/sfista only, not %q", *algo)
 	}
-	if *compress && *algo != "rcsfista" && *algo != "sfista" {
-		return fmt.Errorf("-compress applies to rcsfista/sfista only, not %q", *algo)
+	if (*compress || *compressTier != "") && *algo != "rcsfista" && *algo != "sfista" {
+		return fmt.Errorf("-compress/-compress-tier apply to rcsfista/sfista only, not %q", *algo)
 	}
 	if *lossName == "" {
 		*lossName = "ls"
@@ -106,8 +107,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if *algo != "rcsfista" {
 			return fmt.Errorf("-loss %s runs on the proximal newton engine; leave -algo at its default", *lossName)
 		}
-		if *activeSet || *pipeline || *compress {
-			return fmt.Errorf("-loss %s does not support -activeset/-pipeline/-compress", *lossName)
+		if *activeSet || *pipeline || *compress || *compressTier != "" {
+			return fmt.Errorf("-loss %s does not support -activeset/-pipeline/-compress/-compress-tier", *lossName)
 		}
 	}
 
@@ -390,6 +391,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		opts.ScreenMargin = *screenMargin
 		opts.KKTEvery = *kktEvery
 		opts.CompressPayload = *compress
+		opts.CompressTier = *compressTier
 		if *algo == "sfista" {
 			opts.K, opts.S = 1, 1
 		}

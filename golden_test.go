@@ -21,6 +21,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"github.com/hpcgo/rcsfista/internal/cabcd"
@@ -41,6 +42,17 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.js
 // over real localhost sockets, which is the cross-transport oracle the
 // TCP backend is held to.
 var goldenTransport = flag.String("transport", "chan", "dist backend to run the golden suite on (chan|tcp|auto)")
+
+// -compress-tier drives TestGoldenCompressTier: the eligible RC-SFISTA
+// slice of the matrix reruns with Options.CompressTier set to the given
+// rung and is held to the fixtures within the rung's tolerance instead
+// of bit-identity. The bit-identity suite itself never compresses.
+var goldenCompressTier = flag.String("compress-tier", "", "rerun the RC-SFISTA golden slice with this wire tier (f32|i8|auto) and compare within tolerance")
+
+// goldenTierInject, when non-empty, is copied into every Options built
+// by goldenEnv.opts(); only TestGoldenCompressTier sets it, and only
+// around configs whose solver honors the field.
+var goldenTierInject string
 
 // newGoldenWorld creates a p-rank world on the backend selected by
 // -transport, with the fixed Comet machine model the fixtures pin.
@@ -179,6 +191,7 @@ func (e *goldenEnv) opts() solver.Options {
 	o.S = 2
 	o.VarianceReduced = false
 	o.Seed = 123
+	o.CompressTier = goldenTierInject
 	return o
 }
 
@@ -695,5 +708,136 @@ func TestGoldenDeterminism(t *testing.T) {
 		if fmt.Sprintf("%+v", ra) != fmt.Sprintf("%+v", rb) {
 			t.Errorf("%s: two in-process runs disagree", name)
 		}
+	}
+}
+
+// unbits is the inverse of bits: the fixture's exact float64 back.
+func unbits(t *testing.T, s string) float64 {
+	t.Helper()
+	u, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		t.Fatalf("bad fixture bit pattern %q: %v", s, err)
+	}
+	return math.Float64frombits(u)
+}
+
+// TestGoldenCompressTier reruns the RC-SFISTA slice of the golden
+// matrix with Options.CompressTier set from -compress-tier and holds
+// each run to its committed full-precision fixture within the rung's
+// trajectory-tracking band, shipping strictly fewer words than the
+// fixture wherever communication happens (P > 1). This is the CI
+// compression matrix's oracle: same problems, same fixtures, a lossy
+// wire, on every transport.
+//
+// The fixtures pin a fixed 48-iteration budget, far from convergence,
+// so the bands measure how closely the quantized trajectory tracks the
+// full-precision one mid-flight — tight for f32 (~1e-7 relative
+// rounding per step), loose for the dithered int8 rung whose ~0.4%
+// per-step rounding visibly shifts an unconverged iterate. The
+// at-convergence accuracy contract (i8 within 1e-5, f32 within 1e-6 of
+// the uncompressed optimum) is pinned by TestTierMatrix, which runs to
+// convergence; here the band is a divergence tripwire, not the
+// accuracy promise.
+//
+// Excluded from the slice: the faulty grid entries and rcsfista/skip
+// (the compression x faults interplay is pinned by the dedicated tier
+// matrix test), and the tolerance-stopped configs (rcsfista/tol,
+// rcsfista/vr/gradmap) whose stopping round can flip when a
+// quantization step moves the trajectory across the threshold.
+func TestGoldenCompressTier(t *testing.T) {
+	tier := *goldenCompressTier
+	if tier == "" {
+		t.Skip("enable with -compress-tier=f32|i8|auto")
+	}
+	// Per-tier trajectory bands. The W band is relative to the
+	// fixture iterate's infinity norm (covtype iterates reach magnitude
+	// ~16 at this budget); the objective band is absolute. Both carry
+	// ~3-10x headroom over the measured worst case across the slice:
+	// f32 peaks at 1.4e-6 absolute on W in the delta-form ablation, the
+	// dithered rungs at ~2 absolute on a 16-magnitude warm-start
+	// iterate and 5e-3 on FinalObj at P=4.
+	tolW, tolObj := 0.15, 0.05
+	if tier == "f32" {
+		tolW, tolObj = 2e-6, 2e-6
+	}
+
+	// Config name -> rank count, for the words assertion.
+	eligible := map[string]int{
+		"rcsfista/vr/p1": 1, "rcsfista/vr/p4": 4, "rcsfista/vr/p8": 8,
+		"rcsfista/w0/p4":    4,
+		"rcsfista/delta/p1": 1, "rcsfista/delta/p4": 4,
+		"rcsfista/selfcomm":                 1,
+		"sfista/p4":                         4,
+		"scenario/rcsfista/en/p4":           4,
+		"scenario/rcsfista/en/active/p4":    4,
+		"scenario/rcsfista/ridge/p4":        4,
+		"scenario/rcsfista/group/p1":        1,
+		"scenario/rcsfista/group/active/p4": 4,
+	}
+	for _, p := range []int{1, 4, 8} {
+		for _, packed := range []bool{true, false} {
+			for _, pipe := range []bool{true, false} {
+				eligible[fmt.Sprintf("rcsfista/p%d/packed=%t/pipe=%t/faults=false", p, packed, pipe)] = p
+			}
+		}
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	var want map[string]goldenRecord
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	env := goldenSetup(t)
+	goldenTierInject = tier
+	defer func() { goldenTierInject = "" }()
+
+	ran := 0
+	for _, cfg := range goldenConfigs() {
+		p, ok := eligible[cfg.name]
+		if !ok {
+			continue
+		}
+		ran++
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			w, ok := want[cfg.name]
+			if !ok {
+				t.Fatalf("no fixture for %s", cfg.name)
+			}
+			res, err := cfg.run(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.W) != len(w.W) {
+				t.Fatalf("W length %d != fixture %d", len(res.W), len(w.W))
+			}
+			scale := 1.0
+			for _, s := range w.W {
+				if v := math.Abs(unbits(t, s)); v > scale {
+					scale = v
+				}
+			}
+			for i := range res.W {
+				ref := unbits(t, w.W[i])
+				if d := math.Abs(res.W[i] - ref); !(d <= tolW*scale) {
+					t.Errorf("W[%d] off by %.3g > %g x scale %.3g under tier %s", i, d, tolW, scale, tier)
+					break
+				}
+			}
+			if d := math.Abs(res.FinalObj - unbits(t, w.FinalObj)); !(d <= tolObj) {
+				t.Errorf("FinalObj off by %.3g > %g under tier %s", d, tolObj, tier)
+			}
+			if p > 1 && res.Cost.Words >= w.Cost.Words {
+				t.Errorf("shipped %d words, full-precision fixture shipped %d — tier %s must shrink the wire",
+					res.Cost.Words, w.Cost.Words, tier)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no eligible configs ran")
 	}
 }

@@ -72,7 +72,20 @@ func chargeAllreduceF32(cost *perf.Cost, p int, n int) {
 	if lg == 0 {
 		return
 	}
-	cost.AddMessages(lg, int64((n+1)/2))
+	cost.AddMessages(lg, perf.F32Words(n))
+	cost.AddFlops(lg * int64(n))
+}
+
+// chargeAllreduceI8 charges an int8 dithered allreduce of n payload
+// values on p ranks: log2(P) messages, each moving perf.I8Words(n)
+// 64-bit words — one byte per code plus a float32 scale per chunk —
+// while the reduction still runs at n float64 adds per level.
+func chargeAllreduceI8(cost *perf.Cost, p int, n int) {
+	lg := int64(perf.Log2Ceil(p))
+	if lg == 0 {
+		return
+	}
+	cost.AddMessages(lg, perf.I8Words(n))
 	cost.AddFlops(lg * int64(n))
 }
 
@@ -91,5 +104,13 @@ func AllreduceCost(p, words int) perf.Cost {
 func AllreduceCostF32(p, n int) perf.Cost {
 	var c perf.Cost
 	chargeAllreduceF32(&c, p, n)
+	return c
+}
+
+// AllreduceCostI8 is AllreduceCost for the int8 dithered collective: n
+// values charged at perf.I8Words(n) 64-bit words per tree level.
+func AllreduceCostI8(p, n int) perf.Cost {
+	var c perf.Cost
+	chargeAllreduceI8(&c, p, n)
 	return c
 }

@@ -37,6 +37,27 @@ func BenchmarkAllreduceShared(b *testing.B) {
 	}
 }
 
+// BenchmarkTierRoundWords exercises the per-tier wire rounding kernel
+// and reports the modeled words one rank ships per tree level for a
+// 4096-value allreduce at P=8. The words/round metric is what the
+// bench-compare cross gates order: every rung down the quantized
+// ladder must ship strictly fewer words (f64 > f32 > i8), so a cost
+// model or codec edit that flattens the ladder fails the gate instead
+// of silently voiding the compression claim.
+func BenchmarkTierRoundWords(b *testing.B) {
+	const n = 4096
+	for _, tier := range []Tier{TierF64, TierF32, TierI8} {
+		b.Run(tier.String(), func(b *testing.B) {
+			src := benchWords(n)
+			dst := make([]float64, n)
+			for i := 0; i < b.N; i++ {
+				TierRound(dst, src, tier)
+			}
+			b.ReportMetric(float64(AllreduceCostTier(8, n, tier).Words), "words/round")
+		})
+	}
+}
+
 func BenchmarkIAllreduceShared(b *testing.B) {
 	for _, p := range []int{4, 8} {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {

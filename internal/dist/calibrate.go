@@ -79,6 +79,14 @@ type Calibration struct {
 	// cross-check that the fitted point-to-point parameters are
 	// consistent with collective behavior.
 	Allreduce []CalibrationPoint
+	// AllreduceF32 and AllreduceI8 are the compressed-collective
+	// sweeps behind the per-tier beta fits. Words holds the MODELED
+	// wire words of the payload (perf.F32Words / perf.I8Words of the
+	// value count), so the fitted slope is directly the per-word
+	// inverse bandwidth of that tier's frames. Empty when the
+	// transport lacks the tier's capability.
+	AllreduceF32 []CalibrationPoint
+	AllreduceI8  []CalibrationPoint
 }
 
 // String renders the calibration as a small report.
@@ -86,6 +94,10 @@ func (cal Calibration) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "calibrated on P=%d: alpha=%.3g s, beta=%.3g s/word, gamma=%.3g s/flop\n",
 		cal.P, cal.Machine.Alpha, cal.Machine.Beta, cal.Machine.Gamma)
+	if cal.Machine.BetaF32 > 0 || cal.Machine.BetaI8 > 0 {
+		fmt.Fprintf(&b, "per-tier beta: f32=%.3g s/word, i8=%.3g s/word\n",
+			cal.Machine.F32Beta(), cal.Machine.I8Beta())
+	}
 	fmt.Fprintf(&b, "%10s %16s %16s\n", "words", "pingpong(s)", "allreduce(s)")
 	for i, pt := range cal.PingPong {
 		ar := ""
@@ -227,17 +239,68 @@ func Calibrate(c Comm, opts CalibrationOptions) Calibration {
 		c.Barrier()
 	}
 
+	// Compressed-collective sweeps on the tiers the transport supports,
+	// timed like the f64 allreduce sweep. Points carry the tier's
+	// modeled wire words so the fit slope reads as seconds per word of
+	// that tier's frames. All ranks agree on whether a tier runs — the
+	// capability is a property of the shared transport type.
+	sweepTier := func(t Tier) []CalibrationPoint {
+		if SupportsTier(c, t) != nil {
+			return nil
+		}
+		var pts []CalibrationPoint
+		for _, words := range opts.Sizes {
+			buf := make([]float64, words)
+			best := 0.0
+			for rep := 0; rep < opts.Reps; rep++ {
+				c.Barrier()
+				start := time.Now()
+				AllreduceSharedTier(c, buf, t)
+				dt := time.Since(start).Seconds()
+				if rep == 0 || dt < best {
+					best = dt
+				}
+			}
+			if c.Rank() == 0 {
+				w := int(perf.F32Words(words))
+				if t == TierI8 {
+					w = int(perf.I8Words(words))
+				}
+				pts = append(pts, CalibrationPoint{Words: w, Seconds: best})
+			}
+			c.Barrier()
+		}
+		return pts
+	}
+	cal.AllreduceF32 = sweepTier(TierF32)
+	cal.AllreduceI8 = sweepTier(TierI8)
+	f32Ran := SupportsTier(c, TierF32) == nil
+	i8Ran := SupportsTier(c, TierI8) == nil
+
 	// Rank 0 fits; everyone receives the same parameters, so the
-	// machines cannot diverge across ranks.
-	params := make([]float64, 3)
+	// machines cannot diverge across ranks. The per-tier betas come
+	// from the collective sweeps: the tree model prices an allreduce at
+	// ~log2(P)*(alpha + beta*words), so the fitted slope divides by
+	// log2(P) to yield the per-word inverse bandwidth of the tier.
+	params := make([]float64, 5)
 	if c.Rank() == 0 {
 		alpha, beta := fitAlphaBeta(cal.PingPong)
 		params[0], params[1], params[2] = alpha, beta, gamma
+		lg := float64(perf.Log2Ceil(c.Size()))
+		if len(cal.AllreduceF32) > 0 {
+			_, slope := fitAlphaBeta(cal.AllreduceF32)
+			params[3] = slope / lg
+		}
+		if len(cal.AllreduceI8) > 0 {
+			_, slope := fitAlphaBeta(cal.AllreduceI8)
+			params[4] = slope / lg
+		}
 	}
 	c.Bcast(params, 0)
 	cal.Machine = perf.Machine{
 		Name:  "calibrated(" + base.Name + ")",
 		Alpha: params[0], Beta: params[1], Gamma: params[2],
+		BetaF32: params[3], BetaI8: params[4],
 	}
 
 	// The sweep samples only live on rank 0; share them so any rank can
@@ -245,18 +308,40 @@ func Calibrate(c Comm, opts CalibrationOptions) Calibration {
 	// in-process experiment gathers from the world).
 	pp := make([]float64, len(opts.Sizes))
 	ar := make([]float64, len(opts.Sizes))
+	arf32 := make([]float64, 2*len(opts.Sizes))
+	ari8 := make([]float64, 2*len(opts.Sizes))
 	if c.Rank() == 0 {
 		for i := range cal.PingPong {
 			pp[i] = cal.PingPong[i].Seconds
 			ar[i] = cal.Allreduce[i].Seconds
 		}
+		for i, pt := range cal.AllreduceF32 {
+			arf32[2*i], arf32[2*i+1] = float64(pt.Words), pt.Seconds
+		}
+		for i, pt := range cal.AllreduceI8 {
+			ari8[2*i], ari8[2*i+1] = float64(pt.Words), pt.Seconds
+		}
 	}
 	c.Bcast(pp, 0)
 	c.Bcast(ar, 0)
+	c.Bcast(arf32, 0)
+	c.Bcast(ari8, 0)
 	if c.Rank() != 0 {
 		for i, words := range opts.Sizes {
 			cal.PingPong = append(cal.PingPong, CalibrationPoint{Words: words, Seconds: pp[i]})
 			cal.Allreduce = append(cal.Allreduce, CalibrationPoint{Words: words, Seconds: ar[i]})
+		}
+		if f32Ran {
+			for i := range opts.Sizes {
+				cal.AllreduceF32 = append(cal.AllreduceF32,
+					CalibrationPoint{Words: int(arf32[2*i]), Seconds: arf32[2*i+1]})
+			}
+		}
+		if i8Ran {
+			for i := range opts.Sizes {
+				cal.AllreduceI8 = append(cal.AllreduceI8,
+					CalibrationPoint{Words: int(ari8[2*i]), Seconds: ari8[2*i+1]})
+			}
 		}
 	}
 	return cal

@@ -105,23 +105,8 @@ type Comm interface {
 	Machine() perf.Machine
 }
 
-// F32Allreducer is the optional communicator capability behind
-// compressed-payload exchanges (solver Options.CompressPayload). The
-// semantics are fixed across backends: every rank's contribution is
-// rounded to float32 (F32Round), the rounded contributions are summed
-// in rank order in float64, and the sum is rounded to float32 before
-// it is shared — so the result is bit-identical on every transport,
-// whether or not bytes actually moved. Cost is charged at ceil(n/2)
-// 64-bit words per tree level (AllreduceCostF32): half the wire
-// footprint of the full-precision collective. Implemented by the chan,
-// tcp and self backends; the fault-injecting wrapper deliberately does
-// not (Validate rejects CompressPayload with Faults).
-type F32Allreducer interface {
-	// AllreduceSharedF32 is AllreduceShared over the compressed wire.
-	AllreduceSharedF32(local []float64) []float64
-	// IAllreduceSharedF32 posts the compressed allreduce nonblocking.
-	IAllreduceSharedF32(local []float64) *Request
-}
+// The optional tiered-collective capabilities (F32Allreducer,
+// I8Allreducer) and their dispatch helpers live in tier.go.
 
 // Request is the handle of an in-flight nonblocking collective posted
 // with IAllreduceShared. It is owned by the posting rank and is not

@@ -85,14 +85,23 @@ func (f *FaultyComm) EndRound() { f.round++ }
 // returns (nil, false) on every rank, so the SPMD retry loops stay in
 // lockstep without any extra coordination.
 func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]float64, bool) {
+	return f.AttemptAllreduceSharedTier(local, attempt, TierF64)
+}
+
+// AttemptAllreduceSharedTier is AttemptAllreduceShared over the tier's
+// wire: the collective (when the verdict lets it run) dispatches at
+// tier, and a lost attempt charges the tree traffic at the tier's
+// compressed footprint — a dropped int8 round wasted int8 words, not
+// float64 words.
+func (f *FaultyComm) AttemptAllreduceSharedTier(local []float64, attempt int, tier Tier) ([]float64, bool) {
 	v := f.plan.Verdict(f.round, attempt, f.Size())
 	var res []float64
 	switch v.Kind {
 	case FaultNone, FaultStraggler, FaultCorrupt:
 		// The collective itself completes under these verdicts.
-		res = f.Comm.AllreduceShared(local)
+		res = AllreduceSharedTier(f.Comm, local, tier)
 	}
-	return f.resolveAttempt(v, f.round, attempt, res, len(local))
+	return f.resolveAttempt(v, f.round, attempt, res, len(local), tier)
 }
 
 // resolveAttempt applies a verdict to a completed (or never-started)
@@ -101,8 +110,10 @@ func (f *FaultyComm) AttemptAllreduceShared(local []float64, attempt int) ([]flo
 // AttemptAllreduceShared and the pipelined PendingAttempt.Wait, so both
 // paths observe identical costs and events for identical verdicts. res
 // is the collective's result for verdicts that complete it, nil for
-// drop/crash (where no rank enters the collective).
-func (f *FaultyComm) resolveAttempt(v Verdict, round, attempt int, res []float64, words int) ([]float64, bool) {
+// drop/crash (where no rank enters the collective). tier is the wire
+// tier the attempt ran (or would have run) at; lost attempts charge
+// the already-sent tree traffic at that tier's footprint.
+func (f *FaultyComm) resolveAttempt(v Verdict, round, attempt int, res []float64, words int, tier Tier) ([]float64, bool) {
 	cost := f.Cost()
 	switch v.Kind {
 	case FaultNone:
@@ -122,7 +133,14 @@ func (f *FaultyComm) resolveAttempt(v Verdict, round, attempt int, res []float64
 		// timeout before declaring the attempt dead. No rank receives
 		// data, and — because the verdict is shared — no rank enters
 		// the underlying collective, so nobody deadlocks.
-		chargeAllreduce(cost, f.Size(), words)
+		switch tier {
+		case TierF32:
+			chargeAllreduceF32(cost, f.Size(), words)
+		case TierI8:
+			chargeAllreduceI8(cost, f.Size(), words)
+		default:
+			chargeAllreduce(cost, f.Size(), words)
+		}
 		cost.AddStall(f.timeoutSec)
 		stall := f.timeoutSec
 		if v.Kind == FaultCrash && f.plan.Crash != nil &&
@@ -178,6 +196,7 @@ type PendingAttempt struct {
 	round   int
 	attempt int
 	words   int
+	tier    Tier
 	req     *Request // nil when the verdict loses the payload in transit
 	done    bool
 	res     []float64
@@ -191,11 +210,18 @@ type PendingAttempt struct {
 // rank posts anything — the shared verdict keeps the SPMD ranks in
 // lockstep — and the loss is charged when Wait resolves the attempt.
 func (f *FaultyComm) IAttemptAllreduceShared(local []float64, attempt int) *PendingAttempt {
+	return f.IAttemptAllreduceSharedTier(local, attempt, TierF64)
+}
+
+// IAttemptAllreduceSharedTier posts the tiered fallible attempt
+// nonblocking; Wait resolves it with the tier's arithmetic and the
+// tier's failure accounting.
+func (f *FaultyComm) IAttemptAllreduceSharedTier(local []float64, attempt int, tier Tier) *PendingAttempt {
 	v := f.plan.Verdict(f.round, attempt, f.Size())
-	p := &PendingAttempt{f: f, verdict: v, round: f.round, attempt: attempt, words: len(local)}
+	p := &PendingAttempt{f: f, verdict: v, round: f.round, attempt: attempt, words: len(local), tier: tier}
 	switch v.Kind {
 	case FaultNone, FaultStraggler, FaultCorrupt:
-		p.req = f.Comm.IAllreduceShared(local)
+		p.req = IAllreduceSharedTier(f.Comm, local, tier)
 	}
 	return p
 }
@@ -212,7 +238,7 @@ func (p *PendingAttempt) Wait() ([]float64, bool) {
 	if p.req != nil {
 		res = p.req.Wait()
 	}
-	p.res, p.ok = p.f.resolveAttempt(p.verdict, p.round, p.attempt, res, p.words)
+	p.res, p.ok = p.f.resolveAttempt(p.verdict, p.round, p.attempt, res, p.words, p.tier)
 	return p.res, p.ok
 }
 

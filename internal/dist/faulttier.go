@@ -1,0 +1,43 @@
+package dist
+
+// Tiered-collective capability of the fault wrapper. FaultyComm embeds
+// the Comm interface, so the compressed methods of the wrapped
+// communicator are not promoted automatically; these delegations make
+// a FaultyComm over a capable transport satisfy F32Allreducer and
+// I8Allreducer itself, which is what lets the solver compose payload
+// compression with fault injection. The delegations are reliable
+// passthroughs — fault verdicts apply only through the tiered attempt
+// methods (AttemptAllreduceSharedTier / IAttemptAllreduceSharedTier),
+// mirroring how the uncompressed AllreduceShared passthrough relates
+// to AttemptAllreduceShared.
+//
+// Because the methods exist unconditionally, a bare type assertion on
+// a FaultyComm cannot tell whether the wrapped transport is capable;
+// SupportsTier (tier.go) therefore consults the wrapper's own
+// SupportsTier method, which forwards the check to the inner Comm.
+
+// SupportsTier reports whether the wrapped communicator can run tiered
+// collectives at tier t.
+func (f *FaultyComm) SupportsTier(t Tier) error {
+	return SupportsTier(f.Comm, t)
+}
+
+// AllreduceSharedF32 passes through to the wrapped communicator.
+func (f *FaultyComm) AllreduceSharedF32(local []float64) []float64 {
+	return f.Comm.(F32Allreducer).AllreduceSharedF32(local)
+}
+
+// IAllreduceSharedF32 passes through to the wrapped communicator.
+func (f *FaultyComm) IAllreduceSharedF32(local []float64) *Request {
+	return f.Comm.(F32Allreducer).IAllreduceSharedF32(local)
+}
+
+// AllreduceSharedI8 passes through to the wrapped communicator.
+func (f *FaultyComm) AllreduceSharedI8(local []float64) []float64 {
+	return f.Comm.(I8Allreducer).AllreduceSharedI8(local)
+}
+
+// IAllreduceSharedI8 passes through to the wrapped communicator.
+func (f *FaultyComm) IAllreduceSharedI8(local []float64) *Request {
+	return f.Comm.(I8Allreducer).IAllreduceSharedI8(local)
+}

@@ -15,6 +15,8 @@ const (
 	kindIAllreduceShared
 	kindAllreduceSharedF32
 	kindIAllreduceSharedF32
+	kindAllreduceSharedI8
+	kindIAllreduceSharedI8
 	kindBcast
 	kindReduce
 	kindAllgather
@@ -26,6 +28,7 @@ const (
 var kindNames = [kindCount]string{
 	"barrier", "allreduce", "allreduce_shared", "iallreduce_shared",
 	"allreduce_shared_f32", "iallreduce_shared_f32",
+	"allreduce_shared_i8", "iallreduce_shared_i8",
 	"bcast", "reduce", "allgather", "send", "recv",
 }
 

@@ -62,6 +62,24 @@ func (c *SelfComm) IAllreduceSharedF32(local []float64) *Request {
 	return completedRequest(out)
 }
 
+// AllreduceSharedI8 returns local quantized through the int8 dithered
+// wire. A single-rank combine is Q(Q(local)) — quantize the lone
+// contribution, then quantize the "sum" — matching what the chan and
+// tcp backends compute at P = 1, so the three backends agree bit for
+// bit at every world size.
+func (c *SelfComm) AllreduceSharedI8(local []float64) []float64 {
+	out := make([]float64, len(local))
+	combineI8(out, [][]float64{local})
+	return out
+}
+
+// IAllreduceSharedI8 returns an already-completed quantized request.
+func (c *SelfComm) IAllreduceSharedI8(local []float64) *Request {
+	out := make([]float64, len(local))
+	combineI8(out, [][]float64{local})
+	return completedRequest(out)
+}
+
 // Bcast is a no-op.
 func (c *SelfComm) Bcast(buf []float64, root int) {}
 

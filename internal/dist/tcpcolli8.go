@@ -1,0 +1,103 @@
+package dist
+
+import "fmt"
+
+// Int8 dithered TCP collectives. The once-per-hop quantization rule of
+// combineI8 maps onto the wire as follows: contributors ship their RAW
+// local slice as FrameContribI8 — encoding the frame IS the uplink
+// quantization, so the hub's readLoop decodes exactly
+// I8RoundSlice(local). The hub quantizes its own raw contribution in
+// process, sums the quantized contributions in rank order in float64,
+// and broadcasts that raw sum as FrameResultI8 — the frame encode is
+// the single downlink quantization, so every remote decodes exactly
+// I8RoundSlice(sum), the same value the hub keeps by quantizing the
+// sum in process. (Broadcasting a pre-quantized sum instead would
+// re-quantize it on the wire, and the i8 codec is not idempotent.)
+
+// AllreduceSharedI8 sums local across ranks over the int8 dithered
+// wire. Bit-identical to the chan backend's in-process combineI8.
+func (c *TCPComm) AllreduceSharedI8(local []float64) []float64 {
+	if c.size == 1 {
+		out := make([]float64, len(local))
+		combineI8(out, [][]float64{local})
+		return out
+	}
+	seq := c.collSeq()
+	var out []float64
+	if c.rank == 0 {
+		out = c.combineContribsI8(seq, local)
+	} else {
+		c.sendTo(0, Frame{Kind: FrameContribI8, Rank: uint32(c.rank), Seq: seq, Payload: local})
+		out = c.waitResult(seq)
+		if len(out) != len(local) {
+			panic(fmt.Sprintf("dist: AllreduceSharedI8 length mismatch: rank 0 has %d, rank %d has %d",
+				len(out), c.rank, len(local)))
+		}
+	}
+	c.prof.record(kindAllreduceSharedI8, len(local))
+	chargeAllreduceI8(&c.cost, c.size, len(local))
+	return out
+}
+
+// IAllreduceSharedI8 posts the int8 allreduce nonblocking: contributors
+// ship their FrameContribI8 at post time, the hub defers combining to
+// Wait, and costs charge at Wait — the same split-phase shape as
+// IAllreduceShared.
+func (c *TCPComm) IAllreduceSharedI8(local []float64) *Request {
+	if c.size == 1 {
+		out := make([]float64, len(local))
+		combineI8(out, [][]float64{local})
+		return completedRequest(out)
+	}
+	seq := c.collSeq()
+	if c.rank != 0 {
+		c.sendTo(0, Frame{Kind: FrameContribI8, Rank: uint32(c.rank), Seq: seq, Payload: local})
+		n := len(local)
+		return &Request{wait: func() []float64 {
+			res := c.waitResult(seq)
+			if len(res) != n {
+				panic(fmt.Sprintf("dist: IAllreduceSharedI8 length mismatch: rank 0 has %d, rank %d has %d",
+					len(res), c.rank, n))
+			}
+			c.prof.record(kindIAllreduceSharedI8, n)
+			chargeAllreduceI8(&c.cost, c.size, n)
+			return res
+		}}
+	}
+	return &Request{wait: func() []float64 {
+		res := c.combineContribsI8(seq, local)
+		c.prof.record(kindIAllreduceSharedI8, len(local))
+		chargeAllreduceI8(&c.cost, c.size, len(local))
+		return res
+	}}
+}
+
+// combineContribsI8 is the hub half of the int8 allreduce: wait for the
+// P-1 decoded (pre-quantized) remote contributions, quantize the hub's
+// own raw slice, sum in rank order in float64, broadcast the RAW sum
+// (the result frame's encode quantizes it for the remotes) and return
+// the in-process quantization of the same sum.
+func (c *TCPComm) combineContribsI8(seq uint32, local []float64) []float64 {
+	set := c.waitContribs(seq)
+	for r := 1; r < c.size; r++ {
+		if len(set.bufs[r]) != len(local) {
+			panic(fmt.Sprintf("dist: AllreduceSharedI8 length mismatch: rank 0 has %d, rank %d has %d",
+				len(local), r, len(set.bufs[r])))
+		}
+	}
+	sum := make([]float64, len(local))
+	I8RoundSlice(sum, local)
+	for r := 1; r < c.size; r++ {
+		for i, v := range set.bufs[r] {
+			sum[i] += v
+		}
+	}
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		c.sendTo(r, Frame{Kind: FrameResultI8, Rank: uint32(c.rank), Seq: seq, Payload: sum})
+	}
+	I8RoundSlice(sum, sum)
+	return sum
+}

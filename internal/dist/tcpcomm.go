@@ -241,9 +241,9 @@ func (c *TCPComm) readLoop(peer int, conn net.Conn) {
 			return
 		}
 		switch f.Kind {
-		case FrameContrib, FrameContribF32:
+		case FrameContrib, FrameContribF32, FrameContribI8:
 			c.addContrib(f.Seq, int(f.Rank), f.Payload)
-		case FrameResult, FrameResultF32:
+		case FrameResult, FrameResultF32, FrameResultI8:
 			c.resultCh(f.Seq) <- f.Payload
 		case FrameP2P:
 			select {

@@ -32,7 +32,12 @@ type FrameKind uint8
 // result back; P2P carries a Send/Recv message. The F32 variants are
 // the compressed-payload collective frames: the payload ships as
 // 32-bit IEEE-754 words (the header's length field counts those 4-byte
-// words), halving the wire footprint of a Hessian batch.
+// words), halving the wire footprint of a Hessian batch. The I8
+// variants are the int8 dithered tier: the header's length field
+// counts payload values, and the body carries one signed byte per
+// value plus a 4-byte float32 scale per perf.I8ChunkLen-value chunk
+// (wirei8.go) — encoding the frame IS the quantization, so a decoded
+// I8 payload equals I8RoundSlice of what the sender passed in.
 const (
 	FrameHello FrameKind = 1 + iota
 	FrameContrib
@@ -40,12 +45,31 @@ const (
 	FrameP2P
 	FrameContribF32
 	FrameResultF32
+	FrameContribI8
+	FrameResultI8
 	frameKindEnd // one past the last valid kind
 )
 
 // isF32 reports whether k's payload is encoded as 4-byte float32 words.
 func (k FrameKind) isF32() bool {
 	return k == FrameContribF32 || k == FrameResultF32
+}
+
+// isI8 reports whether k's payload is encoded as chunked dithered int8.
+func (k FrameKind) isI8() bool {
+	return k == FrameContribI8 || k == FrameResultI8
+}
+
+// payloadBytes returns the body length in bytes of an n-value payload
+// of kind k.
+func (k FrameKind) payloadBytes(n int) int {
+	switch {
+	case k.isF32():
+		return 4 * n
+	case k.isI8():
+		return i8PayloadLen(n)
+	}
+	return 8 * n
 }
 
 const (
@@ -105,6 +129,9 @@ func AppendFrame(dst []byte, f Frame) []byte {
 		}
 		return dst
 	}
+	if f.Kind.isI8() {
+		return appendI8Payload(dst, f.Payload)
+	}
 	for _, v := range f.Payload {
 		var w [8]byte
 		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
@@ -147,17 +174,17 @@ func DecodeFrame(buf []byte) (Frame, int, error) {
 	if err != nil {
 		return Frame{}, 0, err
 	}
-	wordLen := 8
-	if kind.isF32() {
-		wordLen = 4
-	}
-	total := WireHeaderLen + wordLen*nwords
+	total := WireHeaderLen + kind.payloadBytes(nwords)
 	if len(buf) < total {
 		return Frame{}, 0, io.ErrUnexpectedEOF
 	}
 	f := Frame{Kind: kind, Rank: rank, Seq: seq}
 	if nwords > 0 {
 		f.Payload = make([]float64, nwords)
+		if kind.isI8() {
+			decodeI8Payload(f.Payload, buf[WireHeaderLen:total])
+			return f, total, nil
+		}
 		for i := range f.Payload {
 			if kind.isF32() {
 				f.Payload[i] = f32FromWire(binary.LittleEndian.Uint32(buf[WireHeaderLen+4*i:]))
@@ -185,11 +212,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	f := Frame{Kind: kind, Rank: rank, Seq: seq}
 	if nwords > 0 {
-		wordLen := 8
-		if kind.isF32() {
-			wordLen = 4
-		}
-		body := make([]byte, wordLen*nwords)
+		body := make([]byte, kind.payloadBytes(nwords))
 		if _, err := io.ReadFull(r, body); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
@@ -197,6 +220,10 @@ func ReadFrame(r io.Reader) (Frame, error) {
 			return Frame{}, err
 		}
 		f.Payload = make([]float64, nwords)
+		if kind.isI8() {
+			decodeI8Payload(f.Payload, body)
+			return f, nil
+		}
 		for i := range f.Payload {
 			if kind.isF32() {
 				f.Payload[i] = f32FromWire(binary.LittleEndian.Uint32(body[4*i:]))

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/hpcgo/rcsfista/internal/perf"
+)
+
+// i8FromBytes builds a float64 payload from raw fuzz bytes, 8 bytes
+// per value, so the fuzzer explores every bit pattern including NaN,
+// infinities, denormals and mixed-magnitude chunks.
+func i8FromBytes(data []byte) []float64 {
+	vals := make([]float64, len(data)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return vals
+}
+
+// FuzzI8Codec pins the contract the tiered collectives build on: for
+// ANY payload, encoding an i8 frame and decoding it back yields
+// exactly I8RoundSlice of the payload — the wire and the in-process
+// quantizer are the same function — and both are deterministic.
+func FuzzI8Codec(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 0, 8*130)
+	for i := 0; i < 130; i++ {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(float64(i-65)*1.7e-3))
+		seed = append(seed, w[:]...)
+	}
+	f.Add(seed)
+	special := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1), 5e-324, 1e308, -127, 126.5}
+	sp := make([]byte, 0, 8*len(special))
+	for _, v := range special {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		sp = append(sp, w[:]...)
+	}
+	f.Add(sp)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := i8FromBytes(data)
+		enc := AppendFrame(nil, Frame{Kind: FrameContribI8, Rank: 1, Seq: 7, Payload: vals})
+		wantLen := WireHeaderLen + i8PayloadLen(len(vals))
+		if len(enc) != wantLen {
+			t.Fatalf("encoded %d values to %d bytes, want %d", len(vals), len(enc), wantLen)
+		}
+		dec, n, err := DecodeFrame(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("decode: n=%d err=%v", n, err)
+		}
+		want := make([]float64, len(vals))
+		I8RoundSlice(want, vals)
+		for i := range want {
+			if math.Float64bits(dec.Payload[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("payload[%d]: decode %x, I8RoundSlice %x (in %x)",
+					i, math.Float64bits(dec.Payload[i]), math.Float64bits(want[i]),
+					math.Float64bits(vals[i]))
+			}
+		}
+		// Determinism: a second quantization of the same input is
+		// bit-identical (the dither is a pure function of the index).
+		again := make([]float64, len(vals))
+		I8RoundSlice(again, vals)
+		for i := range again {
+			if math.Float64bits(again[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("I8RoundSlice not deterministic at %d", i)
+			}
+		}
+		// Quantization error bound: |q - v| <= scale per value (one
+		// dithered step), with scale = F32Round(maxabs/127) per chunk.
+		for base := 0; base < len(vals); base += perf.I8ChunkLen {
+			end := base + perf.I8ChunkLen
+			if end > len(vals) {
+				end = len(vals)
+			}
+			scale := i8ChunkScale(vals[base:end])
+			if math.IsInf(scale, 0) || math.IsNaN(scale) {
+				continue // chunk holds an Inf or overflow; codes clamp instead
+			}
+			for i := base; i < end; i++ {
+				v := vals[i]
+				if math.IsNaN(v) || math.Abs(v) > 127*scale {
+					continue
+				}
+				if diff := math.Abs(want[i] - v); diff > scale*1.0000001 {
+					t.Fatalf("value %d: |%g - %g| = %g exceeds scale %g", i, want[i], v, diff, scale)
+				}
+			}
+		}
+	})
+}
+
+// TestI8RoundSliceBasics pins the deterministic small-value behavior of
+// the quantizer directly.
+func TestI8RoundSliceBasics(t *testing.T) {
+	t.Run("zeros", func(t *testing.T) {
+		in := make([]float64, 100)
+		out := make([]float64, 100)
+		I8RoundSlice(out, in)
+		for i, v := range out {
+			if v != 0 {
+				t.Fatalf("out[%d] = %g, want 0", i, v)
+			}
+		}
+	})
+	t.Run("alias", func(t *testing.T) {
+		a := []float64{1, -2, 3.5, 1e-9}
+		b := append([]float64(nil), a...)
+		I8RoundSlice(a, a)
+		out := make([]float64, len(b))
+		I8RoundSlice(out, b)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(out[i]) {
+				t.Fatalf("aliased quantize diverges at %d: %g vs %g", i, a[i], out[i])
+			}
+		}
+	})
+	t.Run("per-chunk scales", func(t *testing.T) {
+		// Two chunks of wildly different magnitude: each must be
+		// quantized against its own scale, keeping the error relative.
+		in := make([]float64, 2*perf.I8ChunkLen)
+		for i := 0; i < perf.I8ChunkLen; i++ {
+			in[i] = 1e6 * float64(i%7-3)
+			in[perf.I8ChunkLen+i] = 1e-6 * float64(i%5-2)
+		}
+		out := make([]float64, len(in))
+		I8RoundSlice(out, in)
+		for i, v := range in {
+			bound := 3e6 / 127 * 1.01 // chunk maxabs is 3e6
+			if i >= perf.I8ChunkLen {
+				bound = 2e-6 / 127 * 1.01 // chunk maxabs is 2e-6
+			}
+			if math.Abs(out[i]-v) > bound {
+				t.Fatalf("value %d: |%g - %g| exceeds chunk bound %g", i, out[i], v, bound)
+			}
+		}
+	})
+	t.Run("words accounting", func(t *testing.T) {
+		for _, n := range []int{0, 1, 7, 8, 63, 64, 65, 128, 1000} {
+			gotBytes := i8PayloadLen(n)
+			wantChunks := 0
+			if n > 0 {
+				wantChunks = (n + perf.I8ChunkLen - 1) / perf.I8ChunkLen
+			}
+			if gotBytes != n+4*wantChunks {
+				t.Fatalf("i8PayloadLen(%d) = %d, want %d", n, gotBytes, n+4*wantChunks)
+			}
+			if w := perf.I8Words(n); n > 0 && 8*w < int64(gotBytes) {
+				t.Fatalf("I8Words(%d) = %d words under-counts %d payload bytes", n, w, gotBytes)
+			}
+		}
+	})
+}

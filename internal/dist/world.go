@@ -262,24 +262,25 @@ func (c *worldComm) AllreduceShared(local []float64) []float64 {
 
 // iarRound is the shared state of one in-flight nonblocking allreduce:
 // the per-rank contributions, the combined result, and a done channel
-// the background combiner closes when the result is published. f32
-// selects the compressed-collective arithmetic; every rank posts the
-// same sequence of collectives, so the flag is fixed at creation.
+// the background combiner closes when the result is published. tier
+// selects the collective arithmetic; every rank posts the same
+// sequence of collectives, so the tier is fixed at creation.
 type iarRound struct {
 	contrib [][]float64
 	posted  int
 	waited  int
-	f32     bool
+	tier    Tier
 	res     []float64
 	errMsg  string
 	done    chan struct{}
 }
 
 // combine reduces the round's contributions in rank order on a fresh
-// slice — the exact arithmetic sequence of AllreduceShared (or of the
-// compressed AllreduceSharedF32 when f32 is set), so the nonblocking
-// result is bit-identical to the blocking collective. It runs after
-// every rank has posted, so contrib is read without a lock.
+// slice — the exact arithmetic sequence of the blocking collective at
+// the round's tier (AllreduceShared, AllreduceSharedF32 or
+// AllreduceSharedI8), so the nonblocking result is bit-identical to
+// the blocking one. It runs after every rank has posted, so contrib is
+// read without a lock.
 func (rd *iarRound) combine() {
 	defer close(rd.done)
 	n := len(rd.contrib[0])
@@ -291,9 +292,12 @@ func (rd *iarRound) combine() {
 		}
 	}
 	res := make([]float64, n)
-	if rd.f32 {
+	switch rd.tier {
+	case TierF32:
 		combineF32(res, rd.contrib)
-	} else {
+	case TierI8:
+		combineI8(res, rd.contrib)
+	default:
 		copy(res, rd.contrib[0])
 		for r := 1; r < len(rd.contrib); r++ {
 			OpSum.combine(res, rd.contrib[r])
@@ -304,12 +308,12 @@ func (rd *iarRound) combine() {
 
 // iarGet returns (creating if needed) the in-flight round with the
 // given sequence number.
-func (w *chanWorld) iarGet(seq int, f32 bool) *iarRound {
+func (w *chanWorld) iarGet(seq int, tier Tier) *iarRound {
 	w.iarMu.Lock()
 	defer w.iarMu.Unlock()
 	rd, ok := w.iar[seq]
 	if !ok {
-		rd = &iarRound{contrib: make([][]float64, w.size), f32: f32, done: make(chan struct{})}
+		rd = &iarRound{contrib: make([][]float64, w.size), tier: tier, done: make(chan struct{})}
 		w.iar[seq] = rd
 	}
 	return rd
@@ -323,26 +327,29 @@ func (w *chanWorld) iarGet(seq int, f32 bool) *iarRound {
 // in post order per rank; every posted request must be waited before
 // the rank's Run function returns.
 func (c *worldComm) IAllreduceShared(local []float64) *Request {
-	return c.iallreduceShared(local, false)
+	return c.iallreduceShared(local, TierF64)
 }
 
-// iallreduceShared is the shared nonblocking post/wait machinery of the
-// full-precision and compressed collectives; f32 picks the arithmetic
-// and the accounting.
-func (c *worldComm) iallreduceShared(local []float64, f32 bool) *Request {
+// iallreduceShared is the shared nonblocking post/wait machinery of
+// the full-precision and compressed collectives; the tier picks the
+// arithmetic and the accounting.
+func (c *worldComm) iallreduceShared(local []float64, tier Tier) *Request {
 	w := c.w
 	if w.size == 1 {
 		out := make([]float64, len(local))
-		if f32 {
+		switch tier {
+		case TierF32:
 			combineF32(out, [][]float64{local})
-		} else {
+		case TierI8:
+			combineI8(out, [][]float64{local})
+		default:
 			copy(out, local)
 		}
 		return completedRequest(out)
 	}
 	seq := c.iarSeq
 	c.iarSeq++
-	rd := w.iarGet(seq, f32)
+	rd := w.iarGet(seq, tier)
 	w.iarMu.Lock()
 	rd.contrib[c.rank] = local
 	rd.posted++
@@ -362,10 +369,14 @@ func (c *worldComm) iallreduceShared(local []float64, f32 bool) *Request {
 		if rd.errMsg != "" {
 			panic(rd.errMsg)
 		}
-		if f32 {
+		switch tier {
+		case TierF32:
 			w.prof.record(kindIAllreduceSharedF32, n)
 			chargeAllreduceF32(&w.costs[rank], w.size, n)
-		} else {
+		case TierI8:
+			w.prof.record(kindIAllreduceSharedI8, n)
+			chargeAllreduceI8(&w.costs[rank], w.size, n)
+		default:
 			w.prof.record(kindIAllreduceShared, n)
 			chargeAllreduce(&w.costs[rank], w.size, n)
 		}

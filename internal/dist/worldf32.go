@@ -57,5 +57,5 @@ func (c *worldComm) AllreduceSharedF32(local []float64) []float64 {
 
 // IAllreduceSharedF32 posts the compressed allreduce nonblocking.
 func (c *worldComm) IAllreduceSharedF32(local []float64) *Request {
-	return c.iallreduceShared(local, true)
+	return c.iallreduceShared(local, TierF32)
 }

@@ -1,0 +1,62 @@
+package dist
+
+import "fmt"
+
+// combineI8 is the single definition of the int8 dithered collective
+// arithmetic. Contributions arrive RAW (unquantized float64): each is
+// quantized exactly once with I8RoundSlice, the quantized
+// contributions are summed in rank order in float64, and the sum is
+// quantized once more for the downlink. The i8 quantizer is not
+// idempotent, so this once-per-hop discipline is what keeps an
+// in-process hub and a tcp hub — which receives contributions already
+// quantized by the frame codec and broadcasts the raw rank-order sum —
+// bit-identical: decode(encode(x)) == I8RoundSlice(x) on both sides of
+// every hop.
+func combineI8(res []float64, contrib [][]float64) {
+	I8RoundSlice(res, contrib[0])
+	q := make([]float64, len(res))
+	for r := 1; r < len(contrib); r++ {
+		I8RoundSlice(q, contrib[r])
+		for i, v := range q {
+			res[i] += v
+		}
+	}
+	I8RoundSlice(res, res)
+}
+
+// AllreduceSharedI8 is the int8 dithered counterpart of
+// AllreduceShared: no bytes move in process, but the arithmetic is the
+// wire's — contributions and result quantize through I8RoundSlice —
+// and the cost is the ~8x-compressed AllreduceCostI8 footprint.
+func (c *worldComm) AllreduceSharedI8(local []float64) []float64 {
+	w := c.w
+	if w.size == 1 {
+		out := make([]float64, len(local))
+		combineI8(out, [][]float64{local})
+		return out
+	}
+	w.contrib[c.rank] = local
+	w.bar.wait()
+	if c.rank == 0 {
+		res := make([]float64, len(local))
+		for r := 1; r < w.size; r++ {
+			if len(w.contrib[r]) != len(local) {
+				panic(fmt.Sprintf("dist: AllreduceSharedI8 length mismatch: rank 0 has %d, rank %d has %d",
+					len(local), r, len(w.contrib[r])))
+			}
+		}
+		combineI8(res, w.contrib)
+		w.shared = res
+	}
+	w.bar.wait()
+	out := w.shared
+	w.bar.wait()
+	w.prof.record(kindAllreduceSharedI8, len(local))
+	chargeAllreduceI8(c.Cost(), w.size, len(local))
+	return out
+}
+
+// IAllreduceSharedI8 posts the int8 dithered allreduce nonblocking.
+func (c *worldComm) IAllreduceSharedI8(local []float64) *Request {
+	return c.iallreduceShared(local, TierI8)
+}

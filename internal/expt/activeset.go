@@ -36,7 +36,7 @@ func ActiveSet(cfg Config) *Report {
 	l := solver.SampledLipschitz(prob.X, prob.Y, 0.2, 8, 777)
 	_, fstar := solver.Reference(prob.X, prob.Y, prob.Lambda, 4000)
 
-	run := func(active, compress bool) *solver.Result {
+	run := func(active bool, tier string) *solver.Result {
 		o := solver.Defaults()
 		o.Lambda = prob.Lambda
 		o.Gamma = solver.GammaFromLipschitz(l)
@@ -48,10 +48,10 @@ func ActiveSet(cfg Config) *Report {
 		o.S = 2
 		o.EvalEvery = o.K * o.S // one checkpoint per round: |A| per round
 		o.ActiveSet = active
-		o.CompressPayload = compress
+		o.CompressTier = tier
 		switch {
-		case active && compress:
-			o.TraceName = "active-set+f32"
+		case active && tier != "":
+			o.TraceName = "active-set+" + tier
 		case active:
 			o.TraceName = "active-set"
 		default:
@@ -64,9 +64,11 @@ func ActiveSet(cfg Config) *Report {
 		}
 		return res
 	}
-	dense := run(false, false)
-	act := run(true, false)
-	comp := run(true, true)
+	dense := run(false, "")
+	act := run(true, "")
+	comp := run(true, "f32")
+	qi8 := run(true, "i8")
+	auto := run(true, "auto")
 
 	if diff := math.Abs(act.FinalObj - dense.FinalObj); diff > 1e-10 {
 		// Screening must be exact, not approximate; a drifted optimum is
@@ -82,12 +84,31 @@ func ActiveSet(cfg Config) *Report {
 		panic(fmt.Sprintf("expt: activeset: compressed run shipped %d words, uncompressed active %d — compression must shrink the wire",
 			comp.Cost.Words, act.Cost.Words))
 	}
+	if diff := math.Abs(qi8.FinalObj - dense.FinalObj); diff > 1e-5 {
+		// One dithered int8 step per value per round, absorbed by error
+		// feedback: the i8 ladder rung promises 1e-5 agreement.
+		panic(fmt.Sprintf("expt: activeset: |F_i8 - F_dense| = %g > 1e-5", diff))
+	}
+	if qi8.Cost.Words >= comp.Cost.Words {
+		panic(fmt.Sprintf("expt: activeset: i8 run shipped %d words, f32 %d — the ladder must strictly shrink",
+			qi8.Cost.Words, comp.Cost.Words))
+	}
+	if diff := math.Abs(auto.FinalObj - dense.FinalObj); diff > 1e-5 {
+		panic(fmt.Sprintf("expt: activeset: |F_auto - F_dense| = %g > 1e-5", diff))
+	}
+	if auto.ModelSeconds >= comp.ModelSeconds {
+		// The point of the cost-model-driven policy: picking i8 while the
+		// gradient dominates the quantization noise must beat a fixed f32
+		// tier on modeled time, not just on words.
+		panic(fmt.Sprintf("expt: activeset: auto tier modeled %.4gs, fixed f32 %.4gs — auto must win",
+			auto.ModelSeconds, comp.ModelSeconds))
+	}
 
 	const k = 4
 	denseWords := int64(k * (d*(d+1)/2 + d))
 	tbl := &trace.Table{
 		Title:   fmt.Sprintf("Active-set screening: per-round batch payload (sparse synthetic, d=%d, P=%d, k=%d)", d, p, k),
-		Headers: []string{"round", "|A|", "batch words", "f32 words", "dense words", "ratio", "relerr"},
+		Headers: []string{"round", "|A|", "batch words", "f32 words", "i8 words", "dense words", "ratio", "relerr"},
 	}
 	var lastRatio float64
 	step := len(act.Trace.Points)/12 + 1
@@ -107,6 +128,7 @@ func ActiveSet(cfg Config) *Report {
 			fmt.Sprintf("%d", pt.Active),
 			fmt.Sprintf("%d", words),
 			fmt.Sprintf("%d", perf.ActiveSetRoundWordsF32(d, k, pt.Active)),
+			fmt.Sprintf("%d", perf.ActiveSetRoundWordsI8(d, k, pt.Active)),
 			fmt.Sprintf("%d", denseWords),
 			fmt.Sprintf("%.2f", float64(words)/float64(denseWords)),
 			fmt.Sprintf("%.2e", pt.RelErr),
@@ -117,7 +139,7 @@ func ActiveSet(cfg Config) *Report {
 			100*lastRatio))
 	}
 
-	series := []*trace.Series{dense.Trace, act.Trace, comp.Trace}
+	series := []*trace.Series{dense.Trace, act.Trace, comp.Trace, qi8.Trace, auto.Trace}
 	var text strings.Builder
 	text.WriteString(tbl.Render())
 	text.WriteByte('\n')
@@ -129,21 +151,31 @@ func ActiveSet(cfg Config) *Report {
 			expands++
 		}
 	}
-	fmt.Fprintf(&text, "\ntotal words: dense %d, active %d (%.1fx less), active+f32 %d (%.1fx less); "+
-		"final objectives agree to %.1e (f32 to %.1e); %d KKT re-expansion(s)\n",
+	fmt.Fprintf(&text, "\ntotal words: dense %d, active %d (%.1fx less), active+f32 %d (%.1fx less), "+
+		"active+i8 %d (%.1fx less), active+auto %d; "+
+		"final objectives agree to %.1e (f32 %.1e, i8 %.1e, auto %.1e); "+
+		"modeled time: auto %.4gs vs fixed f32 %.4gs; %d KKT re-expansion(s)\n",
 		dense.Cost.Words, act.Cost.Words,
 		float64(dense.Cost.Words)/float64(act.Cost.Words),
 		comp.Cost.Words,
 		float64(dense.Cost.Words)/float64(comp.Cost.Words),
+		qi8.Cost.Words,
+		float64(dense.Cost.Words)/float64(qi8.Cost.Words),
+		auto.Cost.Words,
 		math.Abs(act.FinalObj-dense.FinalObj),
-		math.Abs(comp.FinalObj-dense.FinalObj), expands)
+		math.Abs(comp.FinalObj-dense.FinalObj),
+		math.Abs(qi8.FinalObj-dense.FinalObj),
+		math.Abs(auto.FinalObj-dense.FinalObj),
+		auto.ModelSeconds, comp.ModelSeconds, expands)
 	text.WriteString("\nThe working set starts at d (nothing screenable at w = 0 beyond the " +
 		"gradient rule) and collapses to the optimum's support plus the margin band; the " +
 		"batch payload shrinks quadratically with it. The exact round-boundary KKT check " +
 		"makes the screen safe — any violation rewinds and redoes the round on the expanded " +
 		"set — so the screened trajectory lands on the dense optimum, not near it. " +
-		"Stacking CompressPayload on top ships the reduced batch as float32 with error " +
-		"feedback, halving the remaining batch words at quantization-level (1e-6) accuracy.\n")
+		"Stacking CompressTier on top ships the reduced batch through the quantized " +
+		"collective ladder: f32 halves the remaining batch words at 1e-6 accuracy, the " +
+		"dithered int8 tier cuts them ~8x at 1e-5, and the auto policy picks the cheapest " +
+		"rung the convergence state permits per collective, beating fixed f32 on modeled time.\n")
 
 	return &Report{
 		ID:     "activeset",

@@ -75,7 +75,7 @@ func Transport(cfg Config) *Report {
 	// loopback sockets; both feed the same alpha + beta*n fit.
 	calTbl := &trace.Table{
 		Title:   fmt.Sprintf("Calibrated machine parameters (P=%d, measured on this host)", p),
-		Headers: []string{"backend", "alpha (s)", "beta (s/word)", "gamma (s/flop)", "assumed alpha", "assumed beta"},
+		Headers: []string{"backend", "alpha (s)", "beta (s/word)", "beta f32 (s/word)", "beta i8 (s/word)", "gamma (s/flop)", "assumed alpha", "assumed beta"},
 	}
 	cals := map[string]dist.Calibration{}
 	for _, b := range backends {
@@ -96,6 +96,7 @@ func Transport(cfg Config) *Report {
 		cals[b] = cal
 		calTbl.AddRow(b,
 			fmt.Sprintf("%.3g", cal.Machine.Alpha), fmt.Sprintf("%.3g", cal.Machine.Beta),
+			fmt.Sprintf("%.3g", cal.Machine.BetaF32), fmt.Sprintf("%.3g", cal.Machine.BetaI8),
 			fmt.Sprintf("%.3g", cal.Machine.Gamma),
 			fmt.Sprintf("%.3g", cfg.Machine.Alpha), fmt.Sprintf("%.3g", cfg.Machine.Beta))
 	}

@@ -36,6 +36,20 @@ func ActiveSetRoundWordsF32(d, k, a int) int64 {
 	return bitmap + (int64(k)*slot+1)/2 + int64(d)
 }
 
+// ActiveSetRoundWordsI8 is ActiveSetRoundWords with the batched
+// reduced slots shipped through the int8 dithered tier: the k·slot
+// batch costs I8Words (one byte per value plus a 4-byte float32 scale
+// per 64-value chunk); the bitmap and the exact-gradient check stay
+// full-width.
+func ActiveSetRoundWordsI8(d, k, a int) int64 {
+	if k < 1 {
+		k = 1
+	}
+	bitmap := int64((d + 63) / 64)
+	slot := int64(a)*int64(a+1)/2 + int64(d)
+	return bitmap + I8Words(int(int64(k)*slot)) + int64(d)
+}
+
 // ActiveSetRoundCosts is RCSFISTARoundCosts under screening with
 // working-set size a: the stage-B fills touch only the a(a+1)/2 reduced
 // Gram entries, and the round runs three tree collectives (bitmap

@@ -27,6 +27,32 @@ type Machine struct {
 	Beta float64
 	// Gamma is the compute cost: seconds per floating point operation.
 	Gamma float64
+	// BetaF32 and BetaI8 are optional per-tier inverse bandwidths for
+	// the compressed collective frames, whose per-word wire overhead
+	// differs from the 8-byte float64 frames (4 bytes per f32 value,
+	// ~1.06 bytes per dithered int8 value). Zero falls back to Beta;
+	// dist.Calibrate fits them from per-tier allreduce sweeps and the
+	// solver's auto tier policy prices candidate tiers with them.
+	BetaF32 float64
+	BetaI8  float64
+}
+
+// F32Beta returns the fitted float32-frame inverse bandwidth, falling
+// back to the base Beta when no per-tier fit is present.
+func (m Machine) F32Beta() float64 {
+	if m.BetaF32 > 0 {
+		return m.BetaF32
+	}
+	return m.Beta
+}
+
+// I8Beta returns the fitted int8-frame inverse bandwidth, falling back
+// to the base Beta when no per-tier fit is present.
+func (m Machine) I8Beta() float64 {
+	if m.BetaI8 > 0 {
+		return m.BetaI8
+	}
+	return m.Beta
 }
 
 // Comet returns the XSEDE Comet profile the paper calibrates against
@@ -78,10 +104,14 @@ func (m Machine) String() string {
 	return fmt.Sprintf("%s(alpha=%.3g beta=%.3g gamma=%.3g)", m.Name, m.Alpha, m.Beta, m.Gamma)
 }
 
-// Validate reports whether all machine parameters are positive.
+// Validate reports whether all machine parameters are positive. The
+// per-tier betas may be zero (fall back to Beta) but not negative.
 func (m Machine) Validate() error {
 	if m.Alpha <= 0 || m.Beta <= 0 || m.Gamma <= 0 {
 		return fmt.Errorf("perf: machine %q has non-positive parameters", m.Name)
+	}
+	if m.BetaF32 < 0 || m.BetaI8 < 0 || math.IsNaN(m.BetaF32) || math.IsNaN(m.BetaI8) {
+		return fmt.Errorf("perf: machine %q has negative per-tier beta", m.Name)
 	}
 	return nil
 }

@@ -111,6 +111,10 @@ type FitRequest struct {
 	EpochLen int `json:"epoch_len,omitempty"`
 	// ActiveSet enables dynamic screening (reduced allreduce payloads).
 	ActiveSet bool `json:"active_set,omitempty"`
+	// CompressTier selects the quantized-collective wire tier for the
+	// solve: "" or "off" (full f64), "f32", "i8", "auto"
+	// (cost-model-driven per collective). Least-squares solvers only.
+	CompressTier string `json:"compress_tier,omitempty"`
 	// Procs is the world size the solve runs on; zero selects the
 	// server default. The iterates are invariant to Procs (shared
 	// sample streams), which is why the lambda-path cache can ignore it.

@@ -123,10 +123,17 @@ func inlineKey(libsvm string, features int) string {
 // (shared sample streams), so a solution computed at P=1 warm-starts a
 // P=8 fit. The primary penalty lambda is also absent: the path cache
 // indexes it separately, that is the whole point of warm starts.
-func fingerprint(datasetKey, solverName string, b float64, k, s int, activeSet bool, seed uint64, regTag, lossTag string) string {
+func fingerprint(datasetKey, solverName string, b float64, k, s int, activeSet bool, seed uint64, regTag, lossTag, tierTag string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s|%s|b%g|k%d|s%d|as%t|seed%d|reg:%s|loss:%s",
 		datasetKey, solverName, b, k, s, activeSet, seed, regTag, lossTag)
+	if tierTag != "" {
+		// Quantized solves land near-identical but not bit-identical
+		// optima; tag them so tier families keep separate warm-start
+		// paths. The empty tag ("" / "off" / "f64" requests) preserves
+		// the historical fingerprint for uncompressed solves.
+		fmt.Fprintf(&sb, "|tier:%s", tierTag)
+	}
 	return sb.String()
 }
 

@@ -127,21 +127,22 @@ func TestPathCacheEviction(t *testing.T) {
 // TestFingerprintSeparatesFamilies pins what may and may not share
 // warm starts: sampling setup separates, world size does not.
 func TestFingerprintSeparatesFamilies(t *testing.T) {
-	base := fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "l1", "ls")
-	same := fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "l1", "ls")
+	base := fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "l1", "ls", "")
+	same := fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "l1", "ls", "")
 	if base != same {
 		t.Fatal("fingerprint not deterministic")
 	}
 	for name, other := range map[string]string{
-		"dataset":   fingerprint("ds2", "rcsfista", 0.1, 1, 1, false, 42, "l1", "ls"),
-		"solver":    fingerprint("ds", "fista", 0.1, 1, 1, false, 42, "l1", "ls"),
-		"b":         fingerprint("ds", "rcsfista", 0.2, 1, 1, false, 42, "l1", "ls"),
-		"k":         fingerprint("ds", "rcsfista", 0.1, 2, 1, false, 42, "l1", "ls"),
-		"s":         fingerprint("ds", "rcsfista", 0.1, 1, 2, false, 42, "l1", "ls"),
-		"activeset": fingerprint("ds", "rcsfista", 0.1, 1, 1, true, 42, "l1", "ls"),
-		"seed":      fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 43, "l1", "ls"),
-		"reg":       fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "en:l2=0.01", "ls"),
-		"loss":      fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "l1", "huber:d=1"),
+		"dataset":   fingerprint("ds2", "rcsfista", 0.1, 1, 1, false, 42, "l1", "ls", ""),
+		"solver":    fingerprint("ds", "fista", 0.1, 1, 1, false, 42, "l1", "ls", ""),
+		"b":         fingerprint("ds", "rcsfista", 0.2, 1, 1, false, 42, "l1", "ls", ""),
+		"k":         fingerprint("ds", "rcsfista", 0.1, 2, 1, false, 42, "l1", "ls", ""),
+		"s":         fingerprint("ds", "rcsfista", 0.1, 1, 2, false, 42, "l1", "ls", ""),
+		"activeset": fingerprint("ds", "rcsfista", 0.1, 1, 1, true, 42, "l1", "ls", ""),
+		"seed":      fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 43, "l1", "ls", ""),
+		"reg":       fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "en:l2=0.01", "ls", ""),
+		"loss":      fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "l1", "huber:d=1", ""),
+		"tier":      fingerprint("ds", "rcsfista", 0.1, 1, 1, false, 42, "l1", "ls", "i8"),
 	} {
 		if other == base {
 			t.Errorf("fingerprint ignores %s", name)

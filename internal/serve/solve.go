@@ -120,6 +120,7 @@ func (s *Server) fitOptions(req *FitRequest, ds *dataset) (solver.Options, float
 		o.EpochLen = req.EpochLen
 	}
 	o.ActiveSet = req.ActiveSet
+	o.CompressTier = req.CompressTier
 	// The regularizer block. The default l1 stays expressed through
 	// Lambda alone (Reg nil) so the pre-scenario request shape maps to
 	// byte-identical solver options; any other family goes through the
@@ -160,6 +161,9 @@ func fitLoss(req *FitRequest) (erm.Loss, bool, error) {
 		}
 		if req.ActiveSet {
 			return nil, false, badRequest("active_set applies to least-squares solvers only, not loss %q", req.Loss)
+		}
+		if req.CompressTier != "" {
+			return nil, false, badRequest("compress_tier applies to least-squares solvers only, not loss %q", req.Loss)
 		}
 	}
 	return loss, pn, nil
@@ -205,8 +209,12 @@ func (s *Server) runFit(ctx context.Context, req *FitRequest) (*FitResponse, err
 	}
 
 	datasetKey := ds.key
+	tierTag := opts.CompressTier
+	if tierTag == "off" || tierTag == "f64" {
+		tierTag = ""
+	}
 	fp := fingerprint(datasetKey, algo, opts.B, opts.K, opts.S, opts.ActiveSet, opts.Seed,
-		scenario.RegTag(opts.Reg), scenario.LossTag(loss))
+		scenario.RegTag(opts.Reg), scenario.LossTag(loss), tierTag)
 	resp := &FitResponse{Lambda: lambda, DatasetCacheHit: dsHit}
 	if req.warm() {
 		if e := s.paths.lookup(fp, lambda); e != nil {

@@ -189,19 +189,31 @@ type Options struct {
 	// the degradation backstop); explicit values > 1 are incompatible
 	// with Faults. Ignored without ActiveSet.
 	KKTEvery int
-	// CompressPayload encodes the batched Hessian allreduce as float32
-	// on the wire with per-rank error-feedback residuals: each rank
-	// quantizes local+residual to float32, ships the 32-bit words (the
-	// cost model charges (n+1)/2 64-bit words per payload), and keeps
-	// the quantization error to add into the next round's contribution,
-	// so the compression error is recycled rather than accumulated and
-	// iterates track the uncompressed trajectory to ~1e-6 in objective.
-	// Only the batch allreduce is compressed; the exact-gradient,
-	// bitmap, consensus and eval collectives stay full precision.
-	// Default off: every existing configuration is bit-identical to its
-	// golden fixture. Incompatible with Faults (the fault injector's
-	// attempt protocol is defined over full-precision payloads).
+	// CompressPayload is the legacy spelling of CompressTier = "f32":
+	// the batched Hessian allreduce ships as float32 on the wire with
+	// per-rank error-feedback residuals. Kept for compatibility;
+	// withDefaults maps it onto CompressTier when that field is unset,
+	// and the two run the identical tiered path.
 	CompressPayload bool
+	// CompressTier selects the wire precision of the solver's
+	// collectives: "off"/""/"f64" (full precision, the default),
+	// "f32" (error-feedback float32, ~2x fewer words), "i8"
+	// (error-feedback dithered int8, ~7x fewer words, iterates track
+	// the uncompressed trajectory to ~1e-5 in objective), or "auto"
+	// (per-collective tier chosen each round from the calibrated
+	// per-tier betas, the payload length and the gradient-map norm —
+	// aggressive i8 early, tightening to f32/f64 near convergence; the
+	// choice is derived from allreduced state, so all ranks agree).
+	// Under a fixed tier or auto, the batched Hessian allreduce, the
+	// stage-A gradient refresh, the KKT full-gradient scan and the
+	// objective/eval scalar reductions all run tiered, each compressed
+	// reduction with its own error-feedback residual stream (scalar
+	// eval reductions floor to f32 and carry no residual — they are
+	// one-shot instrumentation values). Composes with Faults: a lost
+	// round rolls its residual update back so degraded/skipped rounds
+	// never double-apply feedback. Default off: every existing
+	// configuration is bit-identical to its golden fixture.
+	CompressTier string
 	// PackedHessian selects the packed symmetric wire format for the
 	// batched Hessian allreduce: each slot ships d(d+1)/2 + d words (the
 	// upper triangle of H plus R) instead of the dense d^2 + d. Packed
@@ -303,9 +315,14 @@ func (o *Options) Validate() error {
 		return errors.New("solver: KKTEvery > 1 is incompatible with Faults " +
 			"(the per-round KKT scan is the fault-degradation backstop; use KKTEvery = 1)")
 	}
-	if o.CompressPayload && o.Faults != nil {
-		return errors.New("solver: CompressPayload is incompatible with Faults " +
-			"(the fault injector's attempt protocol is defined over full-precision payloads)")
+	if o.CompressTier != "" && o.CompressTier != "auto" {
+		if _, err := dist.ParseTier(o.CompressTier); err != nil {
+			return fmt.Errorf("solver: CompressTier %q: want off, f32, i8 or auto", o.CompressTier)
+		}
+	}
+	if o.CompressPayload && o.CompressTier != "" && o.CompressTier != "f32" {
+		return fmt.Errorf("solver: CompressPayload (legacy f32) conflicts with CompressTier %q",
+			o.CompressTier)
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return err
@@ -366,6 +383,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ActiveSet && o.ScreenMargin == 0 {
 		o.ScreenMargin = 0.1
+	}
+	if o.CompressPayload && o.CompressTier == "" {
+		o.CompressTier = "f32"
+	}
+	if o.CompressTier == "off" || o.CompressTier == "f64" {
+		o.CompressTier = ""
 	}
 	if o.ActiveSet && o.KKTEvery == 0 {
 		if o.Faults != nil {

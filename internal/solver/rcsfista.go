@@ -66,13 +66,19 @@ func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Opt
 			return nil, err
 		}
 	}
-	if opts.CompressPayload {
-		if _, ok := c.(dist.F32Allreducer); !ok {
-			return nil, fmt.Errorf("solver: CompressPayload requires a transport with a compressed collective (chan, tcp or self)")
-		}
+	tiers, err := parseTierConfig(opts.CompressTier)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateTierSupport(c, tiers); err != nil {
+		return nil, err
 	}
 
 	e := newEngine(c, local, opts)
+	e.tiers = tiers
+	e.gradMapNorm = gradMapNormInit()
+	e.tierBestObj = math.Inf(1)
+	e.tierCap = dist.TierI8
 	var pass solvercore.InnerPass = e
 	if opts.UseDeltaForm {
 		pass = newDeltaPass(e)
@@ -107,21 +113,23 @@ func RCSFISTAContext(ctx context.Context, c dist.Comm, local LocalData, opts Opt
 		Pipeline: opts.Pipeline,
 		CommCost: dist.AllreduceCost(e.c.Size(), e.BatchLen()),
 	}
-	if opts.CompressPayload {
-		spec.CommCost = dist.AllreduceCostF32(e.c.Size(), e.BatchLen())
+	if e.tiers.on {
+		n := e.BatchLen()
+		spec.CommCost = dist.AllreduceCostTier(e.c.Size(), n, e.tierAt(n))
 	}
 	if opts.ActiveSet {
 		// The batch length moves with the working set; price each
-		// overlapped collective at its actual in-flight length. Left nil
-		// on the dense path so golden modeled costs are untouched.
+		// overlapped collective at its actual in-flight length (and, under
+		// compression, at the tier the engine picks for it). Left nil on
+		// the dense path so golden modeled costs are untouched.
 		spec.CommCostOf = func(n int) perf.Cost {
-			if opts.CompressPayload {
-				return dist.AllreduceCostF32(e.c.Size(), n)
+			if e.tiers.on {
+				return dist.AllreduceCostTier(e.c.Size(), n, e.tierAt(n))
 			}
 			return dist.AllreduceCost(e.c.Size(), n)
 		}
 	}
-	err := solvercore.Loop(spec)
+	err = solvercore.Loop(spec)
 	if err == nil && !e.rec.Converged && e.sinceEval != 0 {
 		e.rec.Converged = e.checkpoint()
 	}
@@ -180,6 +188,22 @@ type engine struct {
 
 	fc          *dist.FaultyComm
 	gradMapStop bool
+
+	// Tiered compression state (Options.CompressTier, see tiering.go).
+	// gradEF/kktEF are the per-site error-feedback residual streams of
+	// the stage-A gradient refresh and the KKT full-gradient scan;
+	// gradMapNorm is the auto policy's tightening signal, derived from
+	// allreduced state so all ranks agree.
+	tiers       tierConfig
+	gradMapNorm float64
+	gradEF      solvercore.EFStream
+	kktEF       solvercore.EFStream
+	// Objective-stagnation ratchet of the auto policy (tierProgress):
+	// best evaluated objective, evaluations since it improved, and the
+	// monotone cap on the loosest selectable rung.
+	tierBestObj float64
+	tierStall   int
+	tierCap     dist.Tier
 
 	// as is the dynamic-screening state (Options.ActiveSet); nil runs
 	// the dense path bit-identically to the goldens.
@@ -321,34 +345,6 @@ func (e *engine) slotView(batch []float64, j int) (Hessian, []float64) {
 	return mat.DenseOf(e.d, e.d, slot[:e.hLen]), slot[e.hLen:]
 }
 
-// refreshSnapshot re-centers the variance-reduction estimator at the
-// current iterate: w-hat = w, full gradient by one distributed pass
-// (Eq. 9 last term), momentum restart (Algorithm 3 epoch boundary).
-func (e *engine) refreshSnapshot() {
-	cost := e.c.Cost()
-	copy(e.wSnap, e.wCurr)
-	// Local partial of (1/m)(X X^T w - X y) over the local columns.
-	e.local.X.MulVecT(e.scratch, e.wSnap, cost)
-	mat.Axpy(-1, e.local.Y, e.scratch, cost)
-	mat.Zero(e.fullGrad)
-	e.local.X.MulVec(e.fullGrad, e.scratch, cost)
-	mat.Scal(1/float64(e.m), e.fullGrad, cost)
-	e.c.Allreduce(e.fullGrad, dist.OpSum)
-	// Reference-free stopping: the exact gradient is in hand, so the
-	// proximal gradient mapping norm comes for free (O(d) flops).
-	if e.opts.GradMapTol > 0 {
-		mat.AddScaled(e.tmp, e.wSnap, -e.gamma, e.fullGrad, cost)
-		e.reg.Apply(e.tmp, e.tmp, e.gamma, cost)
-		mat.Sub(e.tmp, e.wSnap, e.tmp, cost)
-		if mat.Nrm2(e.tmp, cost)/e.gamma <= e.opts.GradMapTol {
-			e.gradMapStop = true
-		}
-	}
-	// Momentum restart.
-	e.t = 1
-	copy(e.wPrev, e.wCurr)
-}
-
 // update performs one solution update (Algorithm 5 lines 9-15 for a
 // single s) with Hessian slot (h, r).
 func (e *engine) update(h Hessian, r []float64) {
@@ -378,30 +374,6 @@ func (e *engine) update(h Hessian, r []float64) {
 	mat.AddScaled(e.wCurr, e.v, -e.gamma, e.grad, cost)
 	e.reg.Apply(e.wCurr, e.wCurr, e.gamma, cost)
 	e.rec.Iter++
-}
-
-// evaluate computes the global objective F(wCurr) as instrumentation:
-// the communication and flops are rolled back so cost accounting
-// reflects only the algorithm (Section 5.1 measures error offline).
-func (e *engine) evaluate() float64 {
-	cost := e.c.Cost()
-	saved := *cost
-	e.local.X.MulVecT(e.scratch, e.wCurr, nil)
-	var loss float64
-	for i, t := range e.scratch {
-		res := t - e.local.Y[i]
-		loss += res * res
-	}
-	loss = dist.AllreduceScalar(e.c, loss, dist.OpSum)
-	f := loss/(2*float64(e.m)) + e.reg.Value(e.wCurr, nil)
-	*cost = saved
-	return f
-}
-
-// checkpoint records a trace point and returns true when the stopping
-// criterion fires.
-func (e *engine) checkpoint() bool {
-	return e.rec.Checkpoint(e.evaluate())
 }
 
 // Done gates round starts: the iteration budget is spent.

@@ -23,7 +23,20 @@ func (e *engine) exactGradient(dst []float64) {
 	mat.Zero(dst)
 	e.local.X.MulVec(dst, e.scratch, cost)
 	mat.Scal(1/float64(e.m), dst, cost)
-	e.c.Allreduce(dst, dist.OpSum)
+	e.kktEF.Reduce(e.c, dst, e.tierAt(len(dst)))
+	if e.tiers.auto {
+		// The exact gradient doubles as the auto tier policy's
+		// tightening signal: non-variance-reduced active-set runs never
+		// take the snapshot pass, so this is their only source of the
+		// proximal gradient-map norm. Pure function of allreduced state,
+		// and control-plane only — uncharged, like evaluate's
+		// instrumentation, so the policy's bookkeeping cannot eat the
+		// modeled time its tier choices save.
+		mat.AddScaled(e.tmp, e.wCurr, -e.gamma, dst, nil)
+		e.reg.Apply(e.tmp, e.tmp, e.gamma, nil)
+		mat.Sub(e.tmp, e.wCurr, e.tmp, nil)
+		e.gradMapNorm = mat.Nrm2(e.tmp, nil) / e.gamma
+	}
 }
 
 // deriveActive computes the next round's working set from the current
@@ -98,6 +111,9 @@ func (e *engine) deriveActive() {
 		as.pos[i] = p
 	}
 	as.gen++
+	// The packed batch layout just changed meaning: drop every carried
+	// error-feedback residual keyed to the old working set.
+	e.resetCompressState()
 }
 
 // kktViolations returns the screened coordinates whose exact KKT

@@ -6,24 +6,27 @@ package solver
 // live in rcsfista.go.
 
 import (
-	"github.com/hpcgo/rcsfista/internal/dist"
 	"github.com/hpcgo/rcsfista/internal/mat"
 	"github.com/hpcgo/rcsfista/internal/perf"
 	"github.com/hpcgo/rcsfista/internal/solvercore"
 	"github.com/hpcgo/rcsfista/internal/sparse"
 )
 
-// exchanger picks stage C: the plain allreduce on the reliable path,
-// the float32 error-feedback path under CompressPayload, the
-// retry/degrade/skip machine under a FaultPlan.
+// exchanger picks stage C: the tiered error-feedback path under
+// CompressTier (which handles faults itself, rolling residuals back on
+// lost rounds), the plain allreduce on the reliable uncompressed path,
+// the retry/degrade/skip machine under an uncompressed FaultPlan.
 func (e *engine) exchanger() solvercore.Exchanger {
 	if e.exch == nil {
-		if e.opts.CompressPayload {
-			f32, ok := e.c.(dist.F32Allreducer)
-			if !ok {
-				panic("solver: CompressPayload requires a communicator implementing dist.F32Allreducer")
+		if e.tiers.on {
+			e.exch = &solvercore.TieredExchanger{
+				C:          e.c,
+				TierOf:     e.tierAt,
+				FC:         e.fc,
+				Rec:        e.rec,
+				MaxRetries: e.opts.MaxRetries,
+				Backoff:    e.opts.RetryBackoff,
 			}
-			e.exch = &solvercore.CompressedExchanger{C: f32}
 		} else if e.fc == nil {
 			e.exch = solvercore.AllreduceExchanger{C: e.c}
 		} else {

@@ -26,10 +26,13 @@ type AsyncExchanger interface {
 
 // Pending is one posted, not-yet-resolved exchange. Exactly one of
 // req/att is set: req on the reliable path, att under a FaultPlan.
+// tier records the wire tier a TieredExchanger posted at, so retries
+// re-ship at the same tier the round was prepared for.
 type Pending struct {
-	req *dist.Request
-	att *dist.PendingAttempt
-	buf []float64
+	req  *dist.Request
+	att  *dist.PendingAttempt
+	buf  []float64
+	tier dist.Tier
 }
 
 // AllreduceExchanger is the reliable stage-C path: a plain (I)Allreduce
